@@ -1,0 +1,50 @@
+GO ?= go
+
+.PHONY: all build vet test race bench experiments experiments-paper fuzz examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One testing.B bench per paper table/figure plus ablations and microbenches.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure at the default (fast) scale.
+experiments:
+	$(GO) run ./cmd/experiments
+
+# The paper's 50-200 hour sweep. Slow.
+experiments-paper:
+	$(GO) run ./cmd/experiments -scale paper
+
+# Short fuzzing pass over every fuzz target.
+fuzz:
+	$(GO) test ./internal/btree/ -fuzz FuzzTreeOps -fuzztime 20s
+	$(GO) test ./internal/hashing/ -fuzz FuzzShiftAddXor -fuzztime 10s
+	$(GO) test ./internal/lsh/ -fuzz FuzzZOrderPrefix -fuzztime 10s
+	$(GO) test ./internal/video/ -fuzz FuzzDecode -fuzztime 10s
+	$(GO) test ./internal/store/ -fuzz FuzzLoad -fuzztime 10s
+	$(GO) test ./internal/store/ -fuzz FuzzReplayJournal -fuzztime 10s
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/newsroom
+	$(GO) run ./examples/adcampaign
+	$(GO) run ./examples/livestream
+	$(GO) run ./examples/archive
+	$(GO) run ./examples/copyrightbot
+
+clean:
+	$(GO) clean -testcache
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,99 @@
+package videorec
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"videorec/internal/signature"
+	"videorec/internal/social"
+)
+
+// AddAll ingests a batch of clips, extracting signatures in parallel across
+// workers (0 = GOMAXPROCS). Extraction — shot detection, block merging,
+// cuboid construction — dominates ingest cost and is embarrassingly
+// parallel; the index insertions themselves are serialized. The first
+// validation or extraction error aborts the batch: clips processed before
+// the error remain ingested, the rest are skipped.
+func (e *Engine) AddAll(clips []Clip, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(clips) {
+		workers = len(clips)
+	}
+	if len(clips) == 0 {
+		return nil
+	}
+
+	type extracted struct {
+		idx    int
+		series signature.Series
+		desc   social.Descriptor
+		err    error
+	}
+	jobs := make(chan int)
+	results := make(chan extracted, len(clips))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				clip := clips[i]
+				out := extracted{idx: i}
+				switch {
+				case clip.ID == "":
+					out.err = fmt.Errorf("clip %d: %w", i, ErrEmptyID)
+				case len(clip.Frames) == 0:
+					out.err = fmt.Errorf("clip %d (%s): %w", i, clip.ID, ErrNoFrames)
+				default:
+					v, err := toVideo(clip)
+					if err != nil {
+						out.err = err
+					} else {
+						out.series = e.rec.ExtractSeries(v)
+						out.desc = social.NewDescriptor(clip.Owner, clip.Commenters...)
+					}
+				}
+				results <- out
+			}
+		}()
+	}
+	go func() {
+		for i := range clips {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	// Ingest in input order so collection order stays deterministic.
+	pending := make([]*extracted, len(clips))
+	next := 0
+	for res := range results {
+		res := res
+		pending[res.idx] = &res
+		for next < len(clips) && pending[next] != nil {
+			p := pending[next]
+			if p.err != nil {
+				// Drain remaining workers before returning.
+				for range results {
+				}
+				return p.err
+			}
+			e.ingestExtracted(clips[next].ID, p.series, p.desc)
+			next++
+		}
+	}
+	return nil
+}
+
+// ingestExtracted stores one pre-extracted clip under the write lock.
+func (e *Engine) ingestExtracted(id string, series signature.Series, desc social.Descriptor) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.rec.IngestSeries(id, series, desc)
+	e.built = false
+}

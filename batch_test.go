@@ -1,0 +1,109 @@
+package videorec
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"videorec/internal/video"
+)
+
+func makeClips(t testing.TB, n int) []Clip {
+	t.Helper()
+	rng := rand.New(rand.NewSource(31))
+	clips := make([]Clip, n)
+	for i := range clips {
+		v := video.Synthesize(vidName(i), i%4, video.DefaultSynthOptions(), rng)
+		clips[i] = clipFrom(v, "owner", "fan1", "fan2")
+	}
+	return clips
+}
+
+func vidName(i int) string { return "batch-" + string(rune('a'+i%26)) + string(rune('0'+i/26)) }
+
+func TestAddAllMatchesSequentialAdd(t *testing.T) {
+	clips := makeClips(t, 12)
+
+	seq := New(Options{SubCommunities: 4})
+	for _, c := range clips {
+		if err := seq.Add(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seq.Build()
+
+	par := New(Options{SubCommunities: 4})
+	if err := par.AddAll(clips, 4); err != nil {
+		t.Fatal(err)
+	}
+	par.Build()
+
+	if seq.Len() != par.Len() {
+		t.Fatalf("lengths differ: %d vs %d", seq.Len(), par.Len())
+	}
+	a, err := seq.Recommend(clips[0].ID, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := par.Recommend(clips[0].ID, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rank %d differs: %+v vs %+v (parallel ingest must be order-deterministic)", i, a[i], b[i])
+		}
+	}
+}
+
+func TestAddAllValidation(t *testing.T) {
+	clips := makeClips(t, 3)
+	clips[1].Frames = nil
+	eng := New(Options{})
+	if err := eng.AddAll(clips, 2); !errors.Is(err, ErrNoFrames) {
+		t.Fatalf("got %v, want ErrNoFrames", err)
+	}
+	clips2 := makeClips(t, 3)
+	clips2[2].ID = ""
+	eng2 := New(Options{})
+	if err := eng2.AddAll(clips2, 2); !errors.Is(err, ErrEmptyID) {
+		t.Fatalf("got %v, want ErrEmptyID", err)
+	}
+}
+
+func TestAddAllEmptyAndDefaults(t *testing.T) {
+	eng := New(Options{})
+	if err := eng.AddAll(nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AddAll(makeClips(t, 2), 0); err != nil { // workers defaulted
+		t.Fatal(err)
+	}
+	if eng.Len() != 2 {
+		t.Errorf("Len = %d, want 2", eng.Len())
+	}
+}
+
+func BenchmarkAddAllParallel(b *testing.B) {
+	clips := makeClips(b, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := New(Options{})
+		if err := eng.AddAll(clips, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAddSequential(b *testing.B) {
+	clips := makeClips(b, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := New(Options{})
+		for _, c := range clips {
+			if err := eng.Add(c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,156 @@
+// Command experiments regenerates the paper's tables and figures over the
+// synthetic sharing community and prints the same rows/series the paper
+// reports. See EXPERIMENTS.md for paper-vs-measured shapes.
+//
+// Usage:
+//
+//	experiments [-scale default|paper] [-exp all|table2|silhouette|fig7|fig8|fig9|fig10|fig11|fig12a|fig12b|fig12c]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"videorec/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "default", "experiment scale: default (seconds) or paper (50-200h sweep, slow)")
+	expFlag := flag.String("exp", "all", "experiment id: all, table2, silhouette, fig7, fig8, fig9, fig10, fig11, extended, robustness, ablations, fig12a, fig12b, fig12c")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "default":
+		scale = experiments.DefaultScale()
+	case "paper":
+		scale = experiments.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	want := func(id string) bool { return *expFlag == "all" || *expFlag == id }
+
+	needEff := false
+	for _, id := range []string{"table2", "silhouette", "fig7", "fig8", "fig9", "fig10", "fig11", "extended", "robustness", "ablations"} {
+		if want(id) {
+			needEff = true
+		}
+	}
+	var env *experiments.Env
+	if needEff {
+		fmt.Printf("building effectiveness collection (%.0f nominal hours, %d users)...\n",
+			scale.EffectivenessHours, scale.Users)
+		env = experiments.NewEnv(scale)
+		fmt.Printf("collection: %d videos, %d queries\n\n", len(env.Col.Items), len(env.Col.Queries))
+	}
+
+	if want("table2") {
+		section("Table 2: queries collected from the sharing community")
+		for _, q := range env.Table2() {
+			fmt.Printf("  %-4s %-15q sources: %s\n", q.ID, q.Text, strings.Join(q.Sources, ", "))
+		}
+	}
+
+	if want("silhouette") {
+		section("§4.2.2 in-text: Silhouette Coefficient, sub-community extraction vs spectral clustering")
+		ours, spec := env.Silhouette(2000, scale.OptimalK)
+		fmt.Printf("  ours = %.3f    spectral = %.3f    (paper: 0.498 vs 0.242)\n", ours, spec)
+	}
+
+	if want("fig7") {
+		section("Figure 7: content relevance measures (ERP vs DTW vs κJ)")
+		printRows(env.Fig7())
+	}
+
+	if want("fig8") {
+		section("Figure 8: effect of ω (paper optimum 0.7)")
+		printRows(env.Fig8([]float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}))
+	}
+
+	if want("fig9") {
+		section("Figure 9: effect of k (paper: rises to 60, then steady)")
+		printRows(env.Fig9(scale.KSweep))
+	}
+
+	if want("fig10") {
+		section("Figure 10: recommendation approaches (SR, CSF, CR, AFFRF)")
+		printRows(env.Fig10())
+	}
+
+	if want("fig11") {
+		section("Figure 11: effect of social updates on effectiveness (paper: steady)")
+		printRows(env.Fig11())
+	}
+
+	if want("ablations") {
+		section("Extension: design-choice ablations (DESIGN.md)")
+		for _, r := range env.Ablations() {
+			fmt.Println("  " + r.String())
+		}
+	}
+
+	if want("robustness") {
+		section("Extension: κJ retention under edit severity sweeps")
+		rows, floor := env.Robustness()
+		for _, r := range rows {
+			fmt.Println("  " + r.String())
+		}
+		fmt.Printf("  (unrelated-pair noise floor: %.3f)\n", floor)
+	}
+
+	if want("extended") {
+		section("Extension: modern ranking metrics over the Figure 10 approaches")
+		last := ""
+		for _, r := range env.Fig10Extended() {
+			if r.Label != last && last != "" {
+				fmt.Println()
+			}
+			last = r.Label
+			fmt.Println("  " + r.String())
+		}
+	}
+
+	if want("fig12a") || want("fig12b") || want("fig12c") {
+		fmt.Printf("\nbuilding efficiency collection (%.0f nominal hours max, %d users)...\n",
+			scale.EfficiencyHours[len(scale.EfficiencyHours)-1], scale.Users*4)
+		eff := experiments.NewEfficiencyEnv(scale)
+		fmt.Printf("collection: %d videos\n", len(eff.Col.Items))
+		if want("fig12a") {
+			section("Figure 12(a): recommendation time — CSF vs CSF-SAR vs CSF-SAR-H")
+			for _, r := range eff.Fig12a() {
+				fmt.Println("  " + r.String())
+			}
+		}
+		if want("fig12b") {
+			section("Figure 12(b): recommendation time — CSF-SAR-H vs CR")
+			for _, r := range eff.Fig12b() {
+				fmt.Println("  " + r.String())
+			}
+		}
+		if want("fig12c") {
+			section("Figure 12(c): social update maintenance cost, 1-4 months")
+			for _, r := range eff.Fig12c() {
+				fmt.Println("  " + r.String())
+			}
+		}
+	}
+}
+
+func section(title string) {
+	fmt.Printf("\n== %s ==\n", title)
+}
+
+func printRows(rows []experiments.Row) {
+	last := ""
+	for _, r := range rows {
+		if r.Label != last && last != "" {
+			fmt.Println()
+		}
+		last = r.Label
+		fmt.Println("  " + r.String())
+	}
+}

@@ -1,0 +1,117 @@
+// Command vrecd serves the recommender over HTTP — the online deployment
+// shape of the paper's system. It optionally restores a snapshot at start
+// and persists one on demand (POST /snapshot) or on shutdown.
+//
+//	vrecd [-addr :8080] [-snapshot engine.snap] [-demo hours]
+//
+// With -demo N the server starts pre-loaded with an N-hour synthetic
+// community, ready to answer /recommend immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"videorec"
+	"videorec/internal/dataset"
+	"videorec/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	snapshot := flag.String("snapshot", "", "snapshot path: restored at start if present, saved on shutdown")
+	journal := flag.String("journal", "", "comment journal (WAL): replayed at start, appended on every update")
+	demo := flag.Float64("demo", 0, "pre-load an N-hour synthetic community (0 = start empty)")
+	flag.Parse()
+
+	eng, err := bootstrap(*snapshot, *demo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *journal != "" {
+		if n, err := eng.ReplayJournal(*journal); err != nil {
+			log.Fatalf("replay journal: %v", err)
+		} else if n > 0 {
+			log.Printf("replayed %d journaled update batches", n)
+		}
+		if err := eng.AttachJournal(*journal); err != nil {
+			log.Fatal(err)
+		}
+		defer eng.CloseJournal()
+	}
+	log.Printf("engine ready: %d videos, %d sub-communities", eng.Len(), eng.SubCommunities())
+
+	srv := &http.Server{
+		Addr:         *addr,
+		Handler:      server.New(eng, *snapshot).Handler(),
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 60 * time.Second,
+	}
+	go func() {
+		log.Printf("listening on %s", *addr)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Print("shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	if *snapshot != "" {
+		if err := eng.SaveFile(*snapshot); err != nil {
+			log.Printf("save snapshot: %v", err)
+		} else {
+			log.Printf("snapshot saved to %s", *snapshot)
+		}
+	}
+}
+
+func bootstrap(snapshot string, demoHours float64) (*videorec.Engine, error) {
+	if snapshot != "" {
+		if _, err := os.Stat(snapshot); err == nil {
+			log.Printf("restoring snapshot %s", snapshot)
+			return videorec.LoadFile(snapshot)
+		}
+	}
+	eng := videorec.New(videorec.Options{})
+	if demoHours <= 0 {
+		return eng, nil
+	}
+	log.Printf("generating %.0fh demo community", demoHours)
+	o := dataset.DefaultOptions()
+	o.Hours = demoHours
+	o.Users = 250
+	col := dataset.Generate(o)
+	for _, it := range col.Items {
+		v := it.Render(o.Synth)
+		var commenters []string
+		for _, cm := range it.Comments {
+			if cm.Month < o.MonthsSource {
+				commenters = append(commenters, cm.User)
+			}
+		}
+		clip := videorec.Clip{ID: it.ID, FPS: v.FPS, Owner: it.Owner, Commenters: commenters}
+		for _, f := range v.Frames {
+			clip.Frames = append(clip.Frames, videorec.Frame{W: f.W, H: f.H, Pix: f.Pix})
+		}
+		if err := eng.Add(clip); err != nil {
+			return nil, fmt.Errorf("demo ingest %s: %w", it.ID, err)
+		}
+	}
+	eng.Build()
+	return eng, nil
+}

@@ -1,0 +1,77 @@
+package videorec_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"videorec"
+	"videorec/internal/video"
+)
+
+// makeClip synthesizes a deterministic clip for the examples. Real callers
+// would fill Frames from decoded footage.
+func makeClip(id string, topic int, seed int64, owner string, commenters ...string) videorec.Clip {
+	rng := rand.New(rand.NewSource(seed))
+	v := video.Synthesize(id, topic, video.DefaultSynthOptions(), rng)
+	c := videorec.Clip{ID: id, FPS: v.FPS, Owner: owner, Commenters: commenters}
+	for _, f := range v.Frames {
+		c.Frames = append(c.Frames, videorec.Frame{W: f.W, H: f.H, Pix: f.Pix})
+	}
+	return c
+}
+
+// Build a small index and recommend for a clicked clip: the repost shares
+// footage with cats-1 (content relevance), the other cat clips share its
+// audience (social relevance).
+func Example() {
+	eng := videorec.New(videorec.Options{}) // ω=0.7, k=60, CSF-SAR-H
+
+	fans := []string{"ada", "bo", "cy"}
+	for i := 1; i <= 3; i++ {
+		clip := makeClip(fmt.Sprintf("cats-%d", i), 1, int64(i), fans[i-1], fans...)
+		if err := eng.Add(clip); err != nil {
+			panic(err)
+		}
+	}
+	trainFans := []string{"ed", "fil", "gus"}
+	for i := 1; i <= 3; i++ {
+		clip := makeClip(fmt.Sprintf("trains-%d", i), 2, int64(10+i), trainFans[i-1], trainFans...)
+		if err := eng.Add(clip); err != nil {
+			panic(err)
+		}
+	}
+	eng.Build()
+
+	recs, err := eng.Recommend("cats-1", 3)
+	if err != nil {
+		panic(err)
+	}
+	for i, r := range recs {
+		fmt.Printf("%d. %s\n", i+1, r.VideoID)
+	}
+	// Output:
+	// 1. cats-2
+	// 2. cats-3
+	// 3. trains-1
+}
+
+// ExampleEngine_RecommendClip serves an anonymous visitor watching a clip
+// the index has never seen — the scenario the paper targets.
+func ExampleEngine_RecommendClip() {
+	eng := videorec.New(videorec.Options{})
+	for i := 1; i <= 4; i++ {
+		if err := eng.Add(makeClip(fmt.Sprintf("v%d", i), i%2, int64(i), "owner", "fan-a", "fan-b")); err != nil {
+			panic(err)
+		}
+	}
+	eng.Build()
+
+	visitorView := makeClip("current-view", 1, 99, "", "fan-a")
+	recs, err := eng.RecommendClip(visitorView, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(recs) > 0)
+	// Output:
+	// true
+}

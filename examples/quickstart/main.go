@@ -1,0 +1,78 @@
+// Quickstart: build a tiny sharing community, index it, and recommend
+// videos for a clicked clip — the minimal end-to-end use of the public API.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"videorec"
+	"videorec/internal/video"
+)
+
+// clip converts a synthesized video plus its social context into the public
+// Clip type. A real deployment would decode uploaded footage instead.
+func clip(v *video.Video, owner string, commenters ...string) videorec.Clip {
+	c := videorec.Clip{
+		ID:         v.ID,
+		FPS:        v.FPS,
+		Owner:      owner,
+		Commenters: commenters,
+	}
+	for _, f := range v.Frames {
+		c.Frames = append(c.Frames, videorec.Frame{W: f.W, H: f.H, Pix: f.Pix})
+	}
+	return c
+}
+
+func main() {
+	// Engine with the paper's tuned parameters (ω=0.7, k=60, CSF-SAR-H).
+	eng := videorec.New(videorec.Options{})
+
+	// A small community: two fandoms ("cats", topic 1; "trains", topic 2),
+	// five clips each, plus one edited repost of the first cat clip.
+	rng := rand.New(rand.NewSource(7))
+	opts := video.DefaultSynthOptions()
+	catFans := []string{"ada", "bo", "cy", "didi"}
+	trainFans := []string{"ed", "fil", "gus", "hana"}
+
+	var catClips []*video.Video
+	for i := 0; i < 5; i++ {
+		v := video.Synthesize(fmt.Sprintf("cat-%d", i), 1, opts, rng)
+		catClips = append(catClips, v)
+		if err := eng.Add(clip(v, catFans[i%len(catFans)], catFans...)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		v := video.Synthesize(fmt.Sprintf("train-%d", i), 2, opts, rng)
+		if err := eng.Add(clip(v, trainFans[i%len(trainFans)], trainFans...)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// An edited repost of cat-0: brightened and with dropped frames.
+	repost := video.DropFrames(video.Brighten(catClips[0], 20), 7)
+	repost.ID = "cat-0-repost"
+	if err := eng.Add(clip(repost, "zel", "ada", "zel")); err != nil {
+		log.Fatal(err)
+	}
+
+	eng.Build()
+	fmt.Printf("indexed %d clips, %d sub-communities\n\n", eng.Len(), eng.SubCommunities())
+
+	// A visitor clicked cat-0. What should the sidebar show?
+	recs, err := eng.Recommend("cat-0", 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("recommendations for cat-0:")
+	for i, r := range recs {
+		fmt.Printf("%d. %-14s score %.3f (content %.3f, social %.3f)\n",
+			i+1, r.VideoID, r.Score, r.Content, r.Social)
+	}
+	// Expect: the repost ranks via content (matched footage), the other cat
+	// clips via the shared fan community — and no train clips.
+}

@@ -1,0 +1,3 @@
+module videorec
+
+go 1.24

@@ -1,0 +1,236 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"videorec/internal/signature"
+	"videorec/internal/video"
+)
+
+func series(topic int, seed int64) signature.Series {
+	rng := rand.New(rand.NewSource(seed))
+	v := video.Synthesize("x", topic, video.DefaultSynthOptions(), rng)
+	return signature.Extract(v, signature.DefaultOptions())
+}
+
+func TestERPIdentityAndSymmetry(t *testing.T) {
+	s := series(1, 1)
+	if got := ERP(s, s); math.Abs(got) > 1e-9 {
+		t.Errorf("ERP(s,s) = %g, want 0", got)
+	}
+	u := series(5, 2)
+	if a, b := ERP(s, u), ERP(u, s); math.Abs(a-b) > 1e-9 {
+		t.Errorf("ERP asymmetric: %g vs %g", a, b)
+	}
+}
+
+func TestERPEmptySeries(t *testing.T) {
+	s := series(1, 1)
+	if got := ERP(nil, nil); got != 0 {
+		t.Errorf("ERP(nil,nil) = %g", got)
+	}
+	// Aligning against empty charges every element's gap cost.
+	got := ERP(s, nil)
+	var want float64
+	for _, sig := range s {
+		want += gapDist(sig)
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("ERP(s,nil) = %g, want %g", got, want)
+	}
+}
+
+func TestDTWIdentityAndSymmetry(t *testing.T) {
+	s := series(2, 3)
+	if got := DTW(s, s); math.Abs(got) > 1e-9 {
+		t.Errorf("DTW(s,s) = %g, want 0", got)
+	}
+	u := series(7, 4)
+	if a, b := DTW(s, u), DTW(u, s); math.Abs(a-b) > 1e-9 {
+		t.Errorf("DTW asymmetric: %g vs %g", a, b)
+	}
+	if got := DTW(nil, s); got != 0 {
+		t.Errorf("DTW(nil,s) = %g", got)
+	}
+}
+
+func TestSimilarityConversions(t *testing.T) {
+	s := series(1, 1)
+	u := series(9, 2)
+	for name, f := range map[string]func(a, b signature.Series) float64{
+		"ERP": ERPSimilarity, "DTW": DTWSimilarity,
+	} {
+		self := f(s, s)
+		cross := f(s, u)
+		if math.Abs(self-1) > 1e-9 {
+			t.Errorf("%s self similarity = %g, want 1", name, self)
+		}
+		if cross <= 0 || cross > 1 {
+			t.Errorf("%s cross similarity = %g out of (0,1]", name, cross)
+		}
+		if cross >= self {
+			t.Errorf("%s cross %g >= self %g", name, cross, self)
+		}
+	}
+	if got := ERPSimilarity(nil, nil); got != 0 {
+		t.Errorf("ERPSimilarity(nil,nil) = %g", got)
+	}
+	if got := DTWSimilarity(nil, series(1, 1)); got != 0 {
+		t.Errorf("DTWSimilarity(nil,s) = %g", got)
+	}
+}
+
+// The headline Figure 7 behaviour: shot reordering hurts the order-bound
+// measures far more than it hurts κJ.
+func TestSequenceMeasuresOrderSensitive(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	orig := video.Synthesize("o", 4, video.DefaultSynthOptions(), rng)
+	re := video.ReorderShots(orig, rand.New(rand.NewSource(2)))
+	so := signature.Extract(orig, signature.DefaultOptions())
+	sr := signature.Extract(re, signature.DefaultOptions())
+
+	kj := signature.KJ(so, sr, signature.DefaultMatchThreshold)
+	kjSelf := signature.KJ(so, so, signature.DefaultMatchThreshold)
+	dtw := DTWSimilarity(so, sr)
+	dtwSelf := DTWSimilarity(so, so)
+	// κJ retention under reorder must beat DTW retention.
+	if kj/kjSelf <= dtw/dtwSelf {
+		t.Errorf("κJ retention %.3f not above DTW retention %.3f", kj/kjSelf, dtw/dtwSelf)
+	}
+}
+
+func TestPropertyDistancesNonNegative(t *testing.T) {
+	f := func(sa, sb int64, ta, tb uint8) bool {
+		a := series(int(ta%6), sa)
+		b := series(int(tb%6), sb)
+		return ERP(a, b) >= 0 && DTW(a, b) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func synthVideo(topic int, seed int64) *video.Video {
+	rng := rand.New(rand.NewSource(seed))
+	return video.Synthesize("x", topic, video.DefaultSynthOptions(), rng)
+}
+
+func buildAFFRF(t testing.TB) *AFFRF {
+	t.Helper()
+	a := NewAFFRF(DefaultAFFRFOptions())
+	id := 0
+	for topic := 0; topic < 6; topic++ {
+		for inst := 0; inst < 4; inst++ {
+			a.Ingest(vid(id), topic, synthVideo(topic, int64(id+1)), int64(id+1))
+			id++
+		}
+	}
+	return a
+}
+
+func vid(i int) string { return "v" + string(rune('a'+i/10)) + string(rune('0'+i%10)) }
+
+func TestAFFRFRecommendBasics(t *testing.T) {
+	a := buildAFFRF(t)
+	if a.Len() != 24 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	res := a.Recommend(vid(0), 10)
+	if len(res) != 10 {
+		t.Fatalf("got %d results", len(res))
+	}
+	for i, r := range res {
+		if r.ID == vid(0) {
+			t.Error("query recommended to itself")
+		}
+		if i > 0 && r.Score > res[i-1].Score {
+			t.Error("results unsorted")
+		}
+	}
+}
+
+func TestAFFRFPrefersSameTopic(t *testing.T) {
+	a := buildAFFRF(t)
+	// Count same-topic items (topic 0: ids 1..3) in the top 6 for query 0.
+	res := a.Recommend(vid(0), 6)
+	same := 0
+	for _, r := range res {
+		for i := 1; i < 4; i++ {
+			if r.ID == vid(i) {
+				same++
+			}
+		}
+	}
+	if same < 2 {
+		t.Errorf("only %d/3 same-topic items in top 6", same)
+	}
+}
+
+func TestAFFRFUnknownQueryAndZeroK(t *testing.T) {
+	a := buildAFFRF(t)
+	if res := a.Recommend("missing", 5); res != nil {
+		t.Errorf("unknown query returned %v", res)
+	}
+	if res := a.Recommend(vid(0), 0); res != nil {
+		t.Errorf("topK=0 returned %v", res)
+	}
+}
+
+func TestAFFRFDeterministic(t *testing.T) {
+	a := buildAFFRF(t)
+	b := buildAFFRF(t)
+	ra := a.Recommend(vid(3), 8)
+	rb := b.Recommend(vid(3), 8)
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("rank %d differs: %+v vs %+v", i, ra[i], rb[i])
+		}
+	}
+}
+
+func TestAttentionContrast(t *testing.T) {
+	if got := attention([]float64{0.9, 0.1, 0.1}); got <= attention([]float64{0.5, 0.5, 0.5}) {
+		t.Error("peaked scores should earn more attention than flat scores")
+	}
+	if got := attention(nil); got != 0 {
+		t.Errorf("attention(nil) = %g", got)
+	}
+	if got := attention([]float64{0, 0}); got != 0 {
+		t.Errorf("attention(zeros) = %g", got)
+	}
+}
+
+func TestCosineAndHistIntersect(t *testing.T) {
+	if got := cosine([]float64{1, 0}, []float64{1, 0}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("cosine parallel = %g", got)
+	}
+	if got := cosine([]float64{1, 0}, []float64{0, 1}); got != 0 {
+		t.Errorf("cosine orthogonal = %g", got)
+	}
+	if got := cosine([]float64{0, 0}, []float64{1, 0}); got != 0 {
+		t.Errorf("cosine zero = %g", got)
+	}
+	if got := histIntersect([]float64{0.5, 0.5}, []float64{0.25, 0.75}); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("histIntersect = %g, want 0.75", got)
+	}
+}
+
+func BenchmarkDTW(b *testing.B) {
+	s1 := series(1, 1)
+	s2 := series(2, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DTW(s1, s2)
+	}
+}
+
+func BenchmarkAFFRFRecommend(b *testing.B) {
+	a := buildAFFRF(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Recommend(vid(0), 10)
+	}
+}

@@ -1,0 +1,66 @@
+package btree
+
+import (
+	"sort"
+	"testing"
+)
+
+// FuzzTreeOps: a byte stream drives interleaved inserts/deletes; the tree
+// must always agree with a sorted-slice reference and keep its leaf chain
+// consistent.
+func FuzzTreeOps(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{255, 1, 255, 1, 255, 1})
+	f.Add([]byte{7, 7, 7, 135, 7, 7, 135, 135})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		tr := New[int](4)
+		var ref []uint64
+		for _, b := range ops {
+			k := uint64(b & 0x3f) // small key space forces duplicates
+			if b&0x80 == 0 {
+				tr.Insert(k, int(k))
+				i := sort.Search(len(ref), func(i int) bool { return ref[i] >= k })
+				ref = append(ref, 0)
+				copy(ref[i+1:], ref[i:])
+				ref[i] = k
+			} else {
+				got := tr.Delete(k)
+				i := sort.Search(len(ref), func(i int) bool { return ref[i] >= k })
+				want := i < len(ref) && ref[i] == k
+				if got != want {
+					t.Fatalf("Delete(%d) = %v, want %v", k, got, want)
+				}
+				if want {
+					ref = append(ref[:i], ref[i+1:]...)
+				}
+			}
+		}
+		if tr.Len() != len(ref) {
+			t.Fatalf("Len = %d, want %d", tr.Len(), len(ref))
+		}
+		var scan []uint64
+		tr.Ascend(func(k uint64, v int) bool {
+			scan = append(scan, k)
+			return true
+		})
+		if len(scan) != len(ref) {
+			t.Fatalf("scan %d keys, want %d", len(scan), len(ref))
+		}
+		for i := range ref {
+			if scan[i] != ref[i] {
+				t.Fatalf("scan[%d] = %d, want %d", i, scan[i], ref[i])
+			}
+		}
+		// Backward walk must mirror forward.
+		var back []uint64
+		for it := tr.SeekLast(); it.Valid(); it.Prev() {
+			back = append(back, it.Key())
+		}
+		for i := range back {
+			if back[i] != scan[len(scan)-1-i] {
+				t.Fatal("leaf chain inconsistent")
+			}
+		}
+	})
+}

@@ -1,0 +1,419 @@
+package community
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGraphBasics(t *testing.T) {
+	g := NewGraph()
+	g.AddEdgeWeight("a", "b", 2)
+	g.AddEdgeWeight("b", "a", 1) // accumulates, undirected
+	g.AddEdgeWeight("c", "c", 5) // self-loop ignored
+	g.AddUser("lonely")
+	if g.NumUsers() != 4 {
+		t.Errorf("NumUsers = %d, want 4", g.NumUsers())
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if w := g.Weight("a", "b"); w != 3 {
+		t.Errorf("Weight(a,b) = %g, want 3", w)
+	}
+	if w := g.Weight("a", "zz"); w != 0 {
+		t.Errorf("Weight to unknown = %g, want 0", w)
+	}
+	if !g.HasUser("lonely") || g.HasUser("nobody") {
+		t.Error("HasUser wrong")
+	}
+}
+
+func TestGraphEdgesDeterministic(t *testing.T) {
+	g := NewGraph()
+	g.AddEdgeWeight("b", "c", 1)
+	g.AddEdgeWeight("a", "b", 2)
+	es := g.Edges()
+	if len(es) != 2 {
+		t.Fatalf("edges = %d, want 2", len(es))
+	}
+	if es[0].U != "a" || es[0].V != "b" || es[1].U != "b" || es[1].V != "c" {
+		t.Errorf("edges not sorted: %+v", es)
+	}
+}
+
+// The paper's worked example: 8 videos, 5 users (Figure 2).
+func paperExampleGraph() *Graph {
+	return BuildUIG(map[string][]string{
+		"V1": {"u1", "u4"},
+		"V2": {"u3"},
+		"V3": {"u1", "u2"},
+		"V4": {"u3", "u4", "u5"},
+		"V5": {"u3", "u4", "u5"},
+		"V6": {"u5"},
+		"V7": {"u5"},
+		"V8": {"u1", "u2"},
+	})
+}
+
+func TestBuildUIGPaperExample(t *testing.T) {
+	g := paperExampleGraph()
+	if g.NumUsers() != 5 {
+		t.Fatalf("users = %d, want 5", g.NumUsers())
+	}
+	// u1-u2 share V3 and V8 → weight 2; u3-u4 share V4,V5 → 2; u3-u5 → 2;
+	// u4-u5 → 2; u1-u4 share V1 → 1.
+	cases := []struct {
+		u, v string
+		w    float64
+	}{
+		{"u1", "u2", 2}, {"u3", "u4", 2}, {"u3", "u5", 2},
+		{"u4", "u5", 2}, {"u1", "u4", 1}, {"u1", "u3", 0}, {"u2", "u5", 0},
+	}
+	for _, c := range cases {
+		if got := g.Weight(c.u, c.v); got != c.w {
+			t.Errorf("Weight(%s,%s) = %g, want %g", c.u, c.v, got, c.w)
+		}
+	}
+}
+
+func TestBuildUIGDedupesAudience(t *testing.T) {
+	g := BuildUIG(map[string][]string{"V1": {"a", "a", "b", ""}})
+	if got := g.Weight("a", "b"); got != 1 {
+		t.Errorf("duplicate commenters inflated weight: %g", got)
+	}
+	if g.HasUser("") {
+		t.Error("empty user id became a node")
+	}
+}
+
+func TestExtractPaperExample(t *testing.T) {
+	g := paperExampleGraph()
+	// Removing the lightest edge (u1-u4, weight 1) yields 2 components:
+	// {u1,u2} and {u3,u4,u5}.
+	p := ExtractSubCommunities(g, 2)
+	if p.Dim != 2 {
+		t.Fatalf("Dim = %d, want 2", p.Dim)
+	}
+	if p.Assign["u1"] != p.Assign["u2"] {
+		t.Error("u1 and u2 should share a sub-community")
+	}
+	if p.Assign["u3"] != p.Assign["u4"] || p.Assign["u4"] != p.Assign["u5"] {
+		t.Error("u3, u4, u5 should share a sub-community")
+	}
+	if p.Assign["u1"] == p.Assign["u3"] {
+		t.Error("u1 and u3 should be separated")
+	}
+	if p.LightestIntra != 2 {
+		t.Errorf("LightestIntra = %g, want 2", p.LightestIntra)
+	}
+}
+
+func TestExtractKEqualsOne(t *testing.T) {
+	g := paperExampleGraph()
+	p := ExtractSubCommunities(g, 1)
+	if p.Dim != 1 {
+		t.Errorf("Dim = %d, want 1 (graph is connected)", p.Dim)
+	}
+}
+
+func TestExtractKLargerThanUsers(t *testing.T) {
+	g := paperExampleGraph()
+	p := ExtractSubCommunities(g, 50)
+	if p.Dim != 5 {
+		t.Errorf("Dim = %d, want 5 (one per user)", p.Dim)
+	}
+	if !math.IsInf(p.LightestIntra, 1) {
+		t.Errorf("LightestIntra = %g, want +Inf (no intra edges)", p.LightestIntra)
+	}
+}
+
+func TestExtractAlreadyDisconnected(t *testing.T) {
+	g := NewGraph()
+	g.AddEdgeWeight("a", "b", 5)
+	g.AddEdgeWeight("c", "d", 5)
+	g.AddEdgeWeight("e", "f", 5)
+	p := ExtractSubCommunities(g, 2)
+	// 3 natural components > k: removal stops immediately.
+	if p.Dim != 3 {
+		t.Errorf("Dim = %d, want 3", p.Dim)
+	}
+}
+
+func TestExtractSizesSumToUsers(t *testing.T) {
+	g := paperExampleGraph()
+	p := ExtractSubCommunities(g, 3)
+	total := 0
+	for _, s := range p.Sizes() {
+		total += s
+	}
+	if total != g.NumUsers() {
+		t.Errorf("sizes sum to %d, want %d", total, g.NumUsers())
+	}
+}
+
+func randomGraph(rng *rand.Rand, users, edges int) *Graph {
+	g := NewGraph()
+	for i := 0; i < users; i++ {
+		g.AddUser(fmt.Sprintf("u%d", i))
+	}
+	for e := 0; e < edges; e++ {
+		u := fmt.Sprintf("u%d", rng.Intn(users))
+		v := fmt.Sprintf("u%d", rng.Intn(users))
+		g.AddEdgeWeight(u, v, float64(1+rng.Intn(9)))
+	}
+	return g
+}
+
+// The headline correctness property: the efficient Kruskal dual produces
+// exactly the partition of the literal Figure 3 removal loop.
+func TestPropertyKruskalDualMatchesLiteral(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		users := 2 + rng.Intn(25)
+		g := randomGraph(rng, users, rng.Intn(60))
+		k := 1 + rng.Intn(users)
+		fast := ExtractSubCommunities(g, k)
+		slow := ExtractLiteral(g, k)
+		if fast.Dim != slow.Dim {
+			t.Logf("seed %d: Dim %d vs %d", seed, fast.Dim, slow.Dim)
+			return false
+		}
+		// Partitions must be identical up to id renaming; ids are assigned
+		// by first appearance in both, so they must match exactly.
+		for u, c := range fast.Assign {
+			if slow.Assign[u] != c {
+				t.Logf("seed %d: user %s assigned %d vs %d", seed, u, c, slow.Assign[u])
+				return false
+			}
+		}
+		if fast.LightestIntra != slow.LightestIntra {
+			t.Logf("seed %d: w %g vs %g", seed, fast.LightestIntra, slow.LightestIntra)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Every extraction invariant: Dim communities, every user assigned, ids
+// dense in [0, Dim).
+func TestPropertyPartitionWellFormed(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		users := 1 + rng.Intn(30)
+		g := randomGraph(rng, users, rng.Intn(80))
+		k := 1 + rng.Intn(users+3)
+		p := ExtractSubCommunities(g, k)
+		if len(p.Assign) != users {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, c := range p.Assign {
+			if c < 0 || c >= p.Dim {
+				return false
+			}
+			seen[c] = true
+		}
+		return len(seen) == p.Dim
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaintainerUnion(t *testing.T) {
+	g := paperExampleGraph()
+	p := ExtractSubCommunities(g, 2) // w = 2
+	var replaced [][2]int
+	var touched []int
+	m := NewMaintainer(g, p, Hooks{
+		ReplaceCommunity: func(old, new int) { replaced = append(replaced, [2]int{old, new}) },
+		TouchDimensions:  func(ids ...int) { touched = append(touched, ids...) },
+	})
+	// A heavy new connection across the two communities (weight 3 > w=2)
+	// must union them; the split pass then restores k=2.
+	st := m.ApplyConnections([]Edge{{U: "u2", V: "u3", W: 3}})
+	if st.Unions != 1 {
+		t.Fatalf("Unions = %d, want 1", st.Unions)
+	}
+	if len(replaced) != 1 {
+		t.Fatalf("ReplaceCommunity calls = %d, want 1", len(replaced))
+	}
+	if st.Splits != 1 {
+		t.Errorf("Splits = %d, want 1 (restore k)", st.Splits)
+	}
+	if got := m.liveCount(); got != 2 {
+		t.Errorf("live communities = %d, want 2", got)
+	}
+	if len(touched) == 0 {
+		t.Error("TouchDimensions never called")
+	}
+}
+
+func TestMaintainerLightConnectionNoUnion(t *testing.T) {
+	g := paperExampleGraph()
+	p := ExtractSubCommunities(g, 2) // w = 2
+	m := NewMaintainer(g, p, Hooks{})
+	st := m.ApplyConnections([]Edge{{U: "u2", V: "u3", W: 1}}) // 1 <= w
+	if st.Unions != 0 || st.Splits != 0 {
+		t.Errorf("light edge caused unions=%d splits=%d", st.Unions, st.Splits)
+	}
+	if p.Assign["u2"] == p.Assign["u3"] {
+		t.Error("communities merged despite light connection")
+	}
+}
+
+func TestMaintainerNewUserAssignment(t *testing.T) {
+	g := paperExampleGraph()
+	p := ExtractSubCommunities(g, 2)
+	assigned := map[string]int{}
+	m := NewMaintainer(g, p, Hooks{
+		AssignUser: func(u string, c int) { assigned[u] = c },
+	})
+	st := m.ApplyConnections([]Edge{
+		{U: "newbie", V: "u5", W: 1},
+		{U: "chain", V: "newbie", W: 1},
+	})
+	if st.NewUsersAssigned != 2 {
+		t.Fatalf("NewUsersAssigned = %d, want 2", st.NewUsersAssigned)
+	}
+	if p.Assign["newbie"] != p.Assign["u5"] {
+		t.Error("newbie should join u5's community")
+	}
+	if p.Assign["chain"] != p.Assign["newbie"] {
+		t.Error("chained new user should follow its neighbour")
+	}
+	if assigned["newbie"] != p.Assign["newbie"] {
+		t.Error("AssignUser hook saw a different community")
+	}
+}
+
+func TestMaintainerIsolatedNewUserStaysOut(t *testing.T) {
+	g := paperExampleGraph()
+	p := ExtractSubCommunities(g, 2)
+	m := NewMaintainer(g, p, Hooks{})
+	st := m.ApplyConnections([]Edge{{U: "lost1", V: "lost2", W: 1}})
+	if st.NewUsersAssigned != 0 {
+		t.Errorf("NewUsersAssigned = %d, want 0", st.NewUsersAssigned)
+	}
+	if _, ok := p.Assign["lost1"]; ok {
+		t.Error("isolated new user got an assignment")
+	}
+}
+
+func TestMaintainerSplitRestoresK(t *testing.T) {
+	// Two clusters bridged by a light edge, k=2; then a heavy connection
+	// merges them and the split must recreate two communities.
+	g := NewGraph()
+	g.AddEdgeWeight("a1", "a2", 5)
+	g.AddEdgeWeight("a2", "a3", 5)
+	g.AddEdgeWeight("b1", "b2", 5)
+	g.AddEdgeWeight("b2", "b3", 5)
+	g.AddEdgeWeight("a3", "b1", 1)
+	p := ExtractSubCommunities(g, 2)
+	if p.Assign["a1"] == p.Assign["b1"] {
+		t.Fatal("setup: clusters should start separated")
+	}
+	m := NewMaintainer(g, p, Hooks{})
+	st := m.ApplyConnections([]Edge{{U: "a1", V: "b3", W: 9}})
+	if st.Unions != 1 {
+		t.Fatalf("Unions = %d, want 1", st.Unions)
+	}
+	if st.Splits != 1 {
+		t.Fatalf("Splits = %d, want 1", st.Splits)
+	}
+	if m.liveCount() != 2 {
+		t.Errorf("live communities = %d, want 2", m.liveCount())
+	}
+}
+
+func TestMaintainerStatsCostModel(t *testing.T) {
+	st := Stats{
+		NewConnections: 10,
+		Unions:         1,
+		UnionSizes:     []int{4},
+		Splits:         1,
+		SplitSizes:     []int{6},
+	}
+	c := CostConstants{Ch: 1, T1: 2, T2: 3, T3: 4}
+	// 10*1 + (4*2 + 2*3) + (6*(2+4) + 5*3) = 10 + 14 + 51 = 75.
+	got := EstimateCost(c, st, []int{2}, []int{5})
+	if got != 75 {
+		t.Errorf("EstimateCost = %g, want 75", got)
+	}
+	// Missing video counts are treated as zero.
+	got = EstimateCost(c, st, nil, nil)
+	if got != 10+4*2+6*6 {
+		t.Errorf("EstimateCost without videos = %g", got)
+	}
+}
+
+// Maintenance preserves partition well-formedness under random update
+// streams.
+func TestPropertyMaintenanceWellFormed(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		users := 6 + rng.Intn(20)
+		g := randomGraph(rng, users, 20+rng.Intn(40))
+		k := 2 + rng.Intn(5)
+		p := ExtractSubCommunities(g, k)
+		m := NewMaintainer(g, p, Hooks{})
+		for round := 0; round < 3; round++ {
+			var batch []Edge
+			for e := 0; e < rng.Intn(10); e++ {
+				batch = append(batch, Edge{
+					U: fmt.Sprintf("u%d", rng.Intn(users+4)),
+					V: fmt.Sprintf("u%d", rng.Intn(users+4)),
+					W: float64(1 + rng.Intn(12)),
+				})
+			}
+			m.ApplyConnections(batch)
+		}
+		// Every assigned id is in [0, Dim); assigned users are graph nodes.
+		for u, c := range p.Assign {
+			if c < 0 || c >= p.Dim {
+				return false
+			}
+			if !g.HasUser(u) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkExtractSubCommunities(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomGraph(rng, 2000, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ExtractSubCommunities(g, 60)
+	}
+}
+
+func BenchmarkApplyConnections(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomGraph(rng, 1000, 5000)
+	p := ExtractSubCommunities(g, 60)
+	m := NewMaintainer(g, p, Hooks{})
+	batch := make([]Edge, 100)
+	for i := range batch {
+		batch[i] = Edge{
+			U: fmt.Sprintf("u%d", rng.Intn(1100)),
+			V: fmt.Sprintf("u%d", rng.Intn(1100)),
+			W: float64(1 + rng.Intn(10)),
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ApplyConnections(batch)
+	}
+}

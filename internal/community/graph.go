@@ -1,0 +1,177 @@
+// Package community implements the sub-community machinery of §4.2.2 and
+// §4.2.4: the user interest graph (UIG), sub-community extraction by
+// lightest-edge removal (Figure 3) together with its efficient
+// descending-Kruskal dual, and the social-updates maintenance algorithm
+// (Figure 5) with the cost model of Equation 8.
+package community
+
+import "sort"
+
+// Edge is a weighted UIG edge: W counts the videos both users are
+// interested in.
+type Edge struct {
+	U, V string
+	W    float64
+}
+
+// Graph is the user interest graph: nodes are social users, edge weights
+// count shared interesting videos. It is undirected; parallel additions
+// accumulate weight.
+type Graph struct {
+	index map[string]int
+	names []string
+	adj   []map[int]float64
+}
+
+// NewGraph returns an empty UIG.
+func NewGraph() *Graph {
+	return &Graph{index: make(map[string]int)}
+}
+
+// AddUser inserts the user if absent and returns its node index.
+func (g *Graph) AddUser(u string) int {
+	if i, ok := g.index[u]; ok {
+		return i
+	}
+	i := len(g.names)
+	g.index[u] = i
+	g.names = append(g.names, u)
+	g.adj = append(g.adj, make(map[int]float64))
+	return i
+}
+
+// HasUser reports whether u is a node of the graph.
+func (g *Graph) HasUser(u string) bool {
+	_, ok := g.index[u]
+	return ok
+}
+
+// NumUsers returns the node count.
+func (g *Graph) NumUsers() int { return len(g.names) }
+
+// Users returns the node names in insertion order. The caller must not
+// modify the returned slice.
+func (g *Graph) Users() []string { return g.names }
+
+// AddEdgeWeight adds delta to the weight of the undirected edge (u, v),
+// creating users and the edge as needed. Self-loops create the user but no
+// edge; empty user ids are ignored entirely.
+func (g *Graph) AddEdgeWeight(u, v string, delta float64) {
+	if u == "" || v == "" {
+		return
+	}
+	iu := g.AddUser(u)
+	iv := g.AddUser(v)
+	if u == v || delta == 0 {
+		return
+	}
+	g.adj[iu][iv] += delta
+	g.adj[iv][iu] += delta
+}
+
+// Weight returns the weight of edge (u, v), or 0 if absent.
+func (g *Graph) Weight(u, v string) float64 {
+	iu, ok := g.index[u]
+	if !ok {
+		return 0
+	}
+	iv, ok := g.index[v]
+	if !ok {
+		return 0
+	}
+	return g.adj[iu][iv]
+}
+
+// Edges returns every undirected edge exactly once, sorted by (U, V) for
+// determinism.
+func (g *Graph) Edges() []Edge {
+	var es []Edge
+	for iu, nbrs := range g.adj {
+		for iv, w := range nbrs {
+			if iu < iv {
+				a, b := g.names[iu], g.names[iv]
+				if a > b {
+					a, b = b, a
+				}
+				es = append(es, Edge{U: a, V: b, W: w})
+			}
+		}
+	}
+	sort.Slice(es, func(a, b int) bool {
+		if es[a].U != es[b].U {
+			return es[a].U < es[b].U
+		}
+		return es[a].V < es[b].V
+	})
+	return es
+}
+
+// NumEdges returns the undirected edge count.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, nbrs := range g.adj {
+		n += len(nbrs)
+	}
+	return n / 2
+}
+
+// Neighbors calls f for every neighbor of u with the edge weight.
+func (g *Graph) Neighbors(u string, f func(v string, w float64)) {
+	iu, ok := g.index[u]
+	if !ok {
+		return
+	}
+	for iv, w := range g.adj[iu] {
+		f(g.names[iv], w)
+	}
+}
+
+// Interests maps a user to the set of video ids they are interested in
+// (owned or commented). It is the input from which the UIG is built.
+type Interests map[string][]string
+
+// BuildUIG constructs the user interest graph from per-video audiences: for
+// each video, every pair of its users gains one unit of edge weight ("the
+// weight of an edge linking two users denotes the number of common
+// interested videos shared by them"). audiences maps video id → user ids.
+// Every user becomes a node even if it shares no video with anyone.
+func BuildUIG(audiences map[string][]string) *Graph {
+	g := NewGraph()
+	// Sort video ids so graph construction order — and therefore node
+	// indices — is deterministic.
+	vids := make([]string, 0, len(audiences))
+	for vid := range audiences {
+		vids = append(vids, vid)
+	}
+	sort.Strings(vids)
+	for _, vid := range vids {
+		users := dedupe(audiences[vid])
+		for _, u := range users {
+			g.AddUser(u)
+		}
+		for i := 0; i < len(users); i++ {
+			for j := i + 1; j < len(users); j++ {
+				g.AddEdgeWeight(users[i], users[j], 1)
+			}
+		}
+	}
+	return g
+}
+
+func dedupe(in []string) []string {
+	out := append([]string(nil), in...)
+	sort.Strings(out)
+	w := 0
+	for i, s := range out {
+		if s == "" {
+			continue
+		}
+		if w > 0 && out[w-1] == s {
+			continue
+		}
+		_ = i
+		out[w] = s
+		w++
+	}
+	return out[:w]
+}

@@ -1,0 +1,401 @@
+package community
+
+import (
+	"math"
+	"sort"
+)
+
+// Hooks let the maintenance algorithm patch the structures that depend on
+// the partition — the chained hash index and the video descriptor vectors —
+// exactly as lines 9–10 and 19–20 of Figure 5 require. Nil hooks are
+// skipped.
+type Hooks struct {
+	// AssignUser is called when a user enters a sub-community for the first
+	// time or moves to another one (hash-table Insert / cno rewrite).
+	AssignUser func(user string, cno int)
+	// ReplaceCommunity is called on a union: every member of community old
+	// is now in community new (hash-table ReplaceCno).
+	ReplaceCommunity func(old, new int)
+	// TouchDimensions is called with every sub-community id whose membership
+	// changed; videos whose descriptors use these dimensions must be
+	// re-vectorized.
+	TouchDimensions func(ids ...int)
+}
+
+// Stats summarizes one maintenance pass; it carries the quantities of the
+// cost model of Equation 8.
+type Stats struct {
+	NewConnections   int   // |E|
+	Unions           int   // |{g_ui}|
+	Splits           int   // |{g_si}|
+	UnionSizes       []int // |g_ui| for each union (size of the absorbed community)
+	SplitSizes       []int // |g_si| for each split (size of the community before splitting)
+	NewUsersAssigned int
+	UsersMoved       int
+}
+
+// Maintainer applies social updates to a partition in place (Figure 5). It
+// owns the UIG and the partition it was built with; the caller streams new
+// connections through ApplyConnections.
+type Maintainer struct {
+	g     *Graph
+	p     *Partition
+	hooks Hooks
+	free  []int // sub-community ids released by unions, reused by splits
+
+	// edgeCache holds the sorted edge list for the duration of one
+	// ApplyConnections pass: the graph only changes in step 1, but the
+	// split loop consults the global edge list once per split.
+	edgeCache []Edge
+}
+
+// NewMaintainer wraps a graph and its partition for incremental updates.
+func NewMaintainer(g *Graph, p *Partition, hooks Hooks) *Maintainer {
+	return &Maintainer{g: g, p: p, hooks: hooks}
+}
+
+// Partition returns the live partition (mutated by ApplyConnections).
+func (m *Maintainer) Partition() *Partition { return m.p }
+
+// Graph returns the live UIG (mutated by ApplyConnections).
+func (m *Maintainer) Graph() *Graph { return m.g }
+
+// ApplyConnections performs one maintenance pass over a batch of new social
+// connections (Figure 5):
+//
+//  1. the connections are merged into the UIG; users never seen before are
+//     attached to the sub-community of their heaviest known neighbour;
+//  2. a connection heavier than w joining two sub-communities unions them
+//     (absorbing the smaller into the larger, freeing the absorbed id);
+//  3. while fewer than k sub-communities remain, the community holding the
+//     lightest internal edge is split in two (reusing a freed id);
+//  4. the hash index and descriptor hooks are invoked for every change, and
+//     w is re-derived for the next period.
+func (m *Maintainer) ApplyConnections(edges []Edge) Stats {
+	var st Stats
+	st.NewConnections = len(edges)
+	w := m.p.LightestIntra
+
+	// Step 1: merge connections into the UIG, remembering new users.
+	newUsers := map[string]bool{}
+	for _, e := range edges {
+		if e.U == e.V || e.W <= 0 {
+			continue
+		}
+		if !m.g.HasUser(e.U) {
+			newUsers[e.U] = true
+		}
+		if !m.g.HasUser(e.V) {
+			newUsers[e.V] = true
+		}
+		m.g.AddEdgeWeight(e.U, e.V, e.W)
+	}
+	st.NewUsersAssigned = m.assignNewUsers(newUsers)
+	m.edgeCache = m.g.Edges()
+	defer func() { m.edgeCache = nil }()
+
+	// Step 2: union pass. A fresh connection heavier than w that bridges
+	// two sub-communities means they have grown together.
+	for _, e := range edges {
+		if e.W <= w {
+			continue
+		}
+		ci, iok := m.p.Assign[e.U]
+		cj, jok := m.p.Assign[e.V]
+		if !iok || !jok || ci == cj {
+			continue
+		}
+		m.union(ci, cj, &st)
+	}
+
+	// Step 3: split pass — restore k sub-communities.
+	for m.liveCount() < m.p.K {
+		if !m.splitLightest(&st) {
+			break // nothing splittable left
+		}
+	}
+
+	// Step 4: w stays at its extraction-time value. Newly attached users
+	// hang off their communities by weight-1 edges; folding those into w
+	// would drag the union threshold to 1 and make the next batch merge
+	// every fandom a single shared video connects (observed as a partition
+	// collapse after two update rounds). The separating threshold the
+	// extraction established is the meaningful "lightest edge of the
+	// original sub-communities" of §4.2.4. LightestIntraEdge remains
+	// available to callers that rebuild from scratch.
+	return st
+}
+
+// LightestIntraEdge recomputes the lightest edge weight inside any current
+// sub-community. It is informational: ApplyConnections deliberately keeps
+// the extraction-time w as its union threshold.
+func (m *Maintainer) LightestIntraEdge() float64 { return m.lightestIntraEdge() }
+
+// assignNewUsers attaches unseen users to the sub-community of their
+// heaviest already-assigned neighbour, iterating so chains of new users
+// resolve. Users with no assigned neighbour stay outside the dictionary
+// until the next full rebuild.
+func (m *Maintainer) assignNewUsers(newUsers map[string]bool) int {
+	// Deterministic order: assignment of one new user can decide which
+	// community a chained neighbour joins, and replaying a journal must
+	// reproduce the live run exactly.
+	pending := make([]string, 0, len(newUsers))
+	for u := range newUsers {
+		pending = append(pending, u)
+	}
+	sort.Strings(pending)
+	assigned := 0
+	for {
+		progress := false
+		for _, u := range pending {
+			if _, ok := m.p.Assign[u]; ok {
+				continue
+			}
+			bestW := 0.0
+			bestC := -1
+			bestName := ""
+			m.g.Neighbors(u, func(v string, w float64) {
+				c, ok := m.p.Assign[v]
+				if !ok {
+					return
+				}
+				// Deterministic tie-break by neighbour name: Neighbors
+				// iterates a map.
+				if w > bestW || (w == bestW && (bestName == "" || v < bestName)) {
+					bestW = w
+					bestC = c
+					bestName = v
+				}
+			})
+			if bestC >= 0 {
+				m.p.Assign[u] = bestC
+				if m.hooks.AssignUser != nil {
+					m.hooks.AssignUser(u, bestC)
+				}
+				if m.hooks.TouchDimensions != nil {
+					m.hooks.TouchDimensions(bestC)
+				}
+				assigned++
+				progress = true
+			}
+		}
+		if !progress {
+			return assigned
+		}
+	}
+}
+
+// union absorbs the smaller of the two sub-communities into the larger one.
+func (m *Maintainer) union(a, b int, st *Stats) {
+	sizes := m.sizesByID()
+	if sizes[a] < sizes[b] {
+		a, b = b, a // absorb b into a
+	}
+	moved := 0
+	for u, c := range m.p.Assign {
+		if c == b {
+			m.p.Assign[u] = a
+			moved++
+		}
+	}
+	m.free = append(m.free, b)
+	st.Unions++
+	st.UnionSizes = append(st.UnionSizes, moved)
+	st.UsersMoved += moved
+	if m.hooks.ReplaceCommunity != nil {
+		m.hooks.ReplaceCommunity(b, a)
+	}
+	if m.hooks.TouchDimensions != nil {
+		m.hooks.TouchDimensions(a, b)
+	}
+}
+
+// splitLightest splits the sub-community containing the globally lightest
+// internal edge. It reports false when no community can be split (all
+// singletons or no internal edges).
+func (m *Maintainer) splitLightest(st *Stats) bool {
+	target, ok := m.communityWithLightestEdge()
+	if !ok {
+		return false
+	}
+	members := m.members(target)
+	induced := NewGraph()
+	for _, u := range members {
+		induced.AddUser(u)
+	}
+	memberSet := make(map[string]bool, len(members))
+	for _, u := range members {
+		memberSet[u] = true
+	}
+	for _, u := range members {
+		m.g.Neighbors(u, func(v string, w float64) {
+			if memberSet[v] && u < v {
+				induced.AddEdgeWeight(u, v, w)
+			}
+		})
+	}
+	sub := ExtractSubCommunities(induced, 2)
+	if sub.Dim < 2 {
+		return false
+	}
+	// Members of induced community id >= 1 move to a fresh id; id 0 keeps
+	// the original. When the split yields more than two pieces (already
+	// disconnected), everything beyond piece 0 moves together — the next
+	// loop iteration can split again if needed.
+	newID := m.takeID()
+	moved := 0
+	for _, u := range members {
+		if sub.Assign[u] >= 1 {
+			m.p.Assign[u] = newID
+			if m.hooks.AssignUser != nil {
+				m.hooks.AssignUser(u, newID)
+			}
+			moved++
+		}
+	}
+	if moved == 0 || moved == len(members) {
+		// Degenerate split; roll back the id and give up on this community.
+		m.free = append(m.free, newID)
+		return false
+	}
+	st.Splits++
+	st.SplitSizes = append(st.SplitSizes, len(members))
+	st.UsersMoved += moved
+	if m.hooks.TouchDimensions != nil {
+		m.hooks.TouchDimensions(target, newID)
+	}
+	return true
+}
+
+// communityWithLightestEdge finds the sub-community whose internal edge set
+// contains the globally lightest edge (Figure 5, line 16). Communities of
+// size < 2 cannot be split and are skipped.
+func (m *Maintainer) communityWithLightestEdge() (int, bool) {
+	best := math.Inf(1)
+	bestID := -1
+	sizes := m.sizesByID()
+	for _, e := range m.edges() {
+		cu, uok := m.p.Assign[e.U]
+		cv, vok := m.p.Assign[e.V]
+		if !uok || !vok || cu != cv {
+			continue
+		}
+		if sizes[cu] < 2 {
+			continue
+		}
+		if e.W < best {
+			best = e.W
+			bestID = cu
+		}
+	}
+	if bestID < 0 {
+		// Fall back to any internally disconnected community of size >= 2
+		// (splittable without removing an edge).
+		ids := make([]int, 0, len(sizes))
+		for id, n := range sizes {
+			if n >= 2 {
+				ids = append(ids, id)
+			}
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			return id, true
+		}
+		return 0, false
+	}
+	return bestID, true
+}
+
+// lightestIntraEdge recomputes w over the maintained partition.
+func (m *Maintainer) lightestIntraEdge() float64 {
+	lightest := math.Inf(1)
+	for _, e := range m.edges() {
+		cu, uok := m.p.Assign[e.U]
+		cv, vok := m.p.Assign[e.V]
+		if uok && vok && cu == cv && e.W < lightest {
+			lightest = e.W
+		}
+	}
+	return lightest
+}
+
+// edges returns the pass-local edge cache, falling back to a fresh listing
+// outside ApplyConnections.
+func (m *Maintainer) edges() []Edge {
+	if m.edgeCache != nil {
+		return m.edgeCache
+	}
+	return m.g.Edges()
+}
+
+// liveCount is the number of sub-community ids currently in use.
+func (m *Maintainer) liveCount() int {
+	seen := map[int]bool{}
+	for _, c := range m.p.Assign {
+		seen[c] = true
+	}
+	return len(seen)
+}
+
+func (m *Maintainer) sizesByID() map[int]int {
+	sizes := map[int]int{}
+	for _, c := range m.p.Assign {
+		sizes[c]++
+	}
+	return sizes
+}
+
+func (m *Maintainer) members(id int) []string {
+	var out []string
+	for u, c := range m.p.Assign {
+		if c == id {
+			out = append(out, u)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// takeID reuses an id freed by a union, or mints a fresh dimension.
+func (m *Maintainer) takeID() int {
+	if n := len(m.free); n > 0 {
+		id := m.free[n-1]
+		m.free = m.free[:n-1]
+		return id
+	}
+	id := m.p.Dim
+	m.p.Dim++
+	return id
+}
+
+// CostConstants are the constants c_h, t_1, t_2, t_3 of Equation 8: the cost
+// of one hash mapping, one index update, one descriptor-dimension update and
+// one element check during partitioning.
+type CostConstants struct {
+	Ch, T1, T2, T3 float64
+}
+
+// EstimateCost evaluates Equation 8 for a maintenance pass:
+//
+//	|E|·c_h + Σ_unions (|g_ui|·t1 + N_ui·t2) + Σ_splits (|g_si|·(t1+t3) + N_si·t2)
+//
+// unionVideos[i] and splitVideos[i] are the per-community video counts N_ui
+// and N_si; they must be parallel to st.UnionSizes and st.SplitSizes.
+func EstimateCost(c CostConstants, st Stats, unionVideos, splitVideos []int) float64 {
+	total := float64(st.NewConnections) * c.Ch
+	for i, sz := range st.UnionSizes {
+		nv := 0
+		if i < len(unionVideos) {
+			nv = unionVideos[i]
+		}
+		total += float64(sz)*c.T1 + float64(nv)*c.T2
+	}
+	for i, sz := range st.SplitSizes {
+		nv := 0
+		if i < len(splitVideos) {
+			nv = splitVideos[i]
+		}
+		total += float64(sz)*(c.T1+c.T3) + float64(nv)*c.T2
+	}
+	return total
+}

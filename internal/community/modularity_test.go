@@ -1,0 +1,88 @@
+package community
+
+import (
+	"math"
+	"testing"
+)
+
+func cliquePair() *Graph {
+	g := NewGraph()
+	clique := func(names []string) {
+		for i := 0; i < len(names); i++ {
+			for j := i + 1; j < len(names); j++ {
+				g.AddEdgeWeight(names[i], names[j], 1)
+			}
+		}
+	}
+	clique([]string{"a1", "a2", "a3", "a4"})
+	clique([]string{"b1", "b2", "b3", "b4"})
+	g.AddEdgeWeight("a1", "b1", 1)
+	return g
+}
+
+func TestModularityGoodVsBadPartition(t *testing.T) {
+	g := cliquePair()
+	good := map[string]int{
+		"a1": 0, "a2": 0, "a3": 0, "a4": 0,
+		"b1": 1, "b2": 1, "b3": 1, "b4": 1,
+	}
+	bad := map[string]int{
+		"a1": 0, "a2": 1, "a3": 0, "a4": 1,
+		"b1": 0, "b2": 1, "b3": 0, "b4": 1,
+	}
+	qGood := Modularity(g, good)
+	qBad := Modularity(g, bad)
+	if qGood <= qBad {
+		t.Errorf("good partition Q=%.3f not above bad Q=%.3f", qGood, qBad)
+	}
+	if qGood < 0.3 {
+		t.Errorf("good partition Q=%.3f unexpectedly low", qGood)
+	}
+}
+
+func TestModularitySingleCommunityIsZero(t *testing.T) {
+	g := cliquePair()
+	all := map[string]int{}
+	for _, u := range g.Users() {
+		all[u] = 0
+	}
+	if q := Modularity(g, all); math.Abs(q) > 1e-12 {
+		t.Errorf("single-community Q = %g, want 0", q)
+	}
+}
+
+func TestModularityEdgeCases(t *testing.T) {
+	empty := NewGraph()
+	if q := Modularity(empty, map[string]int{}); q != 0 {
+		t.Errorf("empty graph Q = %g", q)
+	}
+	// Unassigned users are ignored.
+	g := cliquePair()
+	partial := map[string]int{"a1": 0, "a2": 0}
+	q := Modularity(g, partial)
+	if q < -1 || q > 1 {
+		t.Errorf("partial assignment Q = %g out of [-1,1]", q)
+	}
+}
+
+func TestModularityOfExtraction(t *testing.T) {
+	// With intra-clique weights clearly above the bridge, the extraction
+	// finds the two cliques at k=2 and scores well. (With uniform weights
+	// the removal order among ties is arbitrary and the split is not the
+	// clique cut — single-linkage needs a weight signal.)
+	g := NewGraph()
+	clique := func(names []string) {
+		for i := 0; i < len(names); i++ {
+			for j := i + 1; j < len(names); j++ {
+				g.AddEdgeWeight(names[i], names[j], 3)
+			}
+		}
+	}
+	clique([]string{"a1", "a2", "a3", "a4"})
+	clique([]string{"b1", "b2", "b3", "b4"})
+	g.AddEdgeWeight("a1", "b1", 1)
+	p := ExtractSubCommunities(g, 2)
+	if q := Modularity(g, p.Assign); q < 0.3 {
+		t.Errorf("extracted partition Q = %.3f, want >= 0.3", q)
+	}
+}

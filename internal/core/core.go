@@ -1,0 +1,410 @@
+// Package core assembles the paper's contribution: the multiple
+// feature-based recommender of §4 — cuboid-signature content relevance (κJ),
+// social relevance (sJ / s̃J), the fusion FJ = (1−ω)·κJ + ω·sJ (Equation 9),
+// the SAR and chained-hash optimizations, the KNN search of Figure 6, and
+// the incremental social-updates path of Figure 5.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"videorec/internal/community"
+	"videorec/internal/hashing"
+	"videorec/internal/index"
+	"videorec/internal/signature"
+	"videorec/internal/social"
+	"videorec/internal/video"
+)
+
+// Mode selects the social-relevance strategy — the three efficiency variants
+// of Figure 12(a).
+type Mode int
+
+const (
+	// ModeExact is the unoptimized CSF: exact sJ computed by the naive
+	// quadratic set comparison over every video in the collection.
+	ModeExact Mode = iota
+	// ModeSAR approximates sJ with sub-community histograms (s̃J); user →
+	// sub-community mapping goes through a linear dictionary scan.
+	ModeSAR
+	// ModeSARHash is ModeSAR with the chained shift-add-xor hash table
+	// doing the user → sub-community mapping (CSF-SAR-H).
+	ModeSARHash
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeExact:
+		return "CSF"
+	case ModeSAR:
+		return "CSF-SAR"
+	case ModeSARHash:
+		return "CSF-SAR-H"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Options configures a Recommender.
+type Options struct {
+	Omega             float64 // ω of Equation 9; the paper's optimum is 0.7
+	K                 int     // number of sub-communities; the paper's optimum is 60
+	Mode              Mode
+	MatchThreshold    float64 // SimC level for κJ pair matching
+	ContentWeightOnly bool    // CR baseline: skip the social side entirely
+	SocialOnly        bool    // SR baseline: skip the content side entirely
+	FullScan          bool    // refine every stored video (effectiveness runs), skipping the index probes
+
+	Sig signature.Options
+	LSB index.LSBOptions
+
+	HashBuckets    int // chained hash table size
+	UIGMaxAudience int // cap on per-video audience during UIG construction
+	MinUserVideos  int // UIG dictionary ignores users seen on fewer videos
+	ContentProbe   int // LCP walker pops per recommendation
+	CandidateLimit int // refinement budget per recommendation
+}
+
+// DefaultOptions uses the paper's tuned parameters (ω=0.7, k=60).
+func DefaultOptions() Options {
+	return Options{
+		Omega:          0.7,
+		K:              60,
+		Mode:           ModeSARHash,
+		MatchThreshold: signature.DefaultMatchThreshold,
+		Sig:            signature.DefaultOptions(),
+		LSB:            index.DefaultLSBOptions(),
+		HashBuckets:    1 << 12,
+		UIGMaxAudience: 50,
+		MinUserVideos:  2,
+		ContentProbe:   512,
+		CandidateLimit: 400,
+	}
+}
+
+// Record is everything the recommender keeps per ingested video: the compact
+// signature series, the social descriptor, and (after BuildSocial) the SAR
+// descriptor vector. Frames are never retained.
+type Record struct {
+	ID     string
+	Series signature.Series
+	Desc   social.Descriptor
+	Vec    social.Vector
+}
+
+// Query is a recommendation input: the user-selected clip's signature series
+// and social descriptor (Q = (q_f, q_s) in §3).
+type Query struct {
+	Series signature.Series
+	Desc   social.Descriptor
+}
+
+// Result is one recommended video with its fused score and the two
+// component relevances.
+type Result struct {
+	VideoID string
+	Score   float64
+	Content float64
+	Social  float64
+}
+
+// Recommender is the content-social video recommender.
+type Recommender struct {
+	opts    Options
+	records map[string]*Record
+	order   []string // ingestion order: deterministic full scans
+
+	lsb   *index.LSB
+	inv   *index.Inverted
+	table *hashing.Table
+	dict  []dictEntry // linear-scan dictionary for ModeSAR
+	part  *community.Partition
+	graph *community.Graph
+	maint *community.Maintainer
+
+	touched    map[int]bool    // dimensions changed by the latest maintenance pass
+	tombstones map[string]bool // removed videos with LSB entries pending compaction
+	built      bool
+}
+
+// newLSBFor builds the content index for the given options (shared by the
+// constructor and compaction).
+func newLSBFor(opts Options) *index.LSB {
+	return index.NewLSB(opts.LSB)
+}
+
+type dictEntry struct {
+	user string
+	cno  int
+}
+
+// NewRecommender creates an empty recommender.
+func NewRecommender(opts Options) *Recommender {
+	if opts.K < 1 {
+		opts.K = 60
+	}
+	if opts.Omega < 0 {
+		opts.Omega = 0
+	}
+	if opts.Omega > 1 {
+		opts.Omega = 1
+	}
+	if opts.HashBuckets < 1 {
+		opts.HashBuckets = 1 << 12
+	}
+	if opts.UIGMaxAudience < 2 {
+		opts.UIGMaxAudience = 50
+	}
+	if opts.ContentProbe < 1 {
+		opts.ContentProbe = 512
+	}
+	if opts.CandidateLimit < 1 {
+		opts.CandidateLimit = 400
+	}
+	if opts.Sig.Grid == 0 {
+		opts.Sig = signature.DefaultOptions()
+	}
+	if opts.MatchThreshold == 0 {
+		opts.MatchThreshold = signature.DefaultMatchThreshold
+	}
+	return &Recommender{
+		opts:    opts,
+		records: make(map[string]*Record),
+		lsb:     newLSBFor(opts),
+	}
+}
+
+// Options returns the recommender's configuration.
+func (r *Recommender) Options() Options { return r.opts }
+
+// Len returns the number of ingested videos.
+func (r *Recommender) Len() int { return len(r.records) }
+
+// IngestVideo extracts the signature series from the clip, stores it with
+// the social descriptor and indexes the signatures. The clip's frames are
+// not retained. Re-ingesting an id replaces its record (the LSB entries of
+// the old version remain; call BuildSocial to rebuild cleanly if that
+// matters).
+func (r *Recommender) IngestVideo(id string, v *video.Video, desc social.Descriptor) {
+	series := signature.Extract(v, r.opts.Sig)
+	r.IngestSeries(id, series, desc)
+}
+
+// IngestSeries stores a pre-extracted signature series (useful when the
+// caller already ran extraction, e.g. the benchmark harness).
+func (r *Recommender) IngestSeries(id string, series signature.Series, desc social.Descriptor) {
+	if _, exists := r.records[id]; !exists {
+		r.order = append(r.order, id)
+	}
+	r.records[id] = &Record{ID: id, Series: series, Desc: desc}
+	r.lsb.Add(id, series)
+	r.built = false
+}
+
+// Record returns the stored record for a video id.
+func (r *Recommender) Record(id string) (*Record, bool) {
+	rec, ok := r.records[id]
+	return rec, ok
+}
+
+// Partition exposes the current sub-community partition (nil before
+// BuildSocial).
+func (r *Recommender) Partition() *community.Partition { return r.part }
+
+// BuildSocial constructs the social machinery over everything ingested:
+// the user interest graph, the k sub-communities (Figure 3), the chained
+// hash dictionary, per-video descriptor vectors, and the inverted files.
+// It must be called before Recommend in the SAR modes and before
+// ApplyUpdates.
+func (r *Recommender) BuildSocial() {
+	r.compactLSB()
+	audiences := make(map[string][]string, len(r.records))
+	for _, id := range r.order {
+		audiences[id] = capAudience(r.records[id].Desc.Users(), r.opts.UIGMaxAudience)
+	}
+	audiences = FilterAudiences(audiences, r.opts.MinUserVideos)
+	r.graph = community.BuildUIG(audiences)
+	r.part = community.ExtractSubCommunities(r.graph, r.opts.K)
+	r.installSocial()
+}
+
+// FilterAudiences drops users appearing in fewer than min videos from every
+// audience. One-shot commenters carry no community signal — every edge they
+// contribute has weight 1 — yet they dominate the node population and make
+// the k of Figure 3 peel singletons instead of separating fandoms, so the
+// dictionary is built over recurring users only.
+func FilterAudiences(audiences map[string][]string, min int) map[string][]string {
+	if min <= 1 {
+		return audiences
+	}
+	seen := map[string]int{}
+	for _, users := range audiences {
+		uniq := map[string]bool{}
+		for _, u := range users {
+			uniq[u] = true
+		}
+		for u := range uniq {
+			seen[u]++
+		}
+	}
+	out := make(map[string][]string, len(audiences))
+	for vid, users := range audiences {
+		kept := make([]string, 0, len(users))
+		for _, u := range users {
+			if seen[u] >= min {
+				kept = append(kept, u)
+			}
+		}
+		out[vid] = kept
+	}
+	return out
+}
+
+// capAudience deterministically samples at most max users (evenly strided
+// over the sorted list) for UIG construction; very popular videos would
+// otherwise contribute quadratic pair counts.
+func capAudience(users []string, max int) []string {
+	if len(users) <= max {
+		return users
+	}
+	out := make([]string, 0, max)
+	for i := 0; i < max; i++ {
+		out = append(out, users[i*len(users)/max])
+	}
+	return out
+}
+
+// rebuildDictionaries refreshes the hash table and the linear dictionary
+// from the current partition.
+func (r *Recommender) rebuildDictionaries() {
+	r.table = hashing.NewTable(r.opts.HashBuckets, 17)
+	r.dict = r.dict[:0]
+	users := make([]string, 0, len(r.part.Assign))
+	for u := range r.part.Assign {
+		users = append(users, u)
+	}
+	sort.Strings(users)
+	for _, u := range users {
+		cno := r.part.Assign[u]
+		r.table.Insert(u, cno)
+		r.dict = append(r.dict, dictEntry{user: u, cno: cno})
+	}
+}
+
+// vectorizeAll recomputes every video's descriptor vector and rebuilds the
+// inverted files.
+func (r *Recommender) vectorizeAll() {
+	r.inv = index.NewInverted(r.part.Dim)
+	for _, id := range r.order {
+		rec := r.records[id]
+		rec.Vec = social.Vectorize(rec.Desc, r.lookupFunc(), r.part.Dim)
+		r.inv.Add(id, rec.Vec)
+	}
+}
+
+// lookupFunc returns the user → sub-community mapping for the active mode:
+// the chained hash table for ModeSARHash, the deliberately linear dictionary
+// scan for ModeSAR (the unoptimized vectorization the paper's hash scheme
+// speeds up), and the partition map otherwise.
+func (r *Recommender) lookupFunc() social.Lookup {
+	switch r.opts.Mode {
+	case ModeSARHash:
+		return r.table.Lookup
+	case ModeSAR:
+		return func(u string) (int, bool) {
+			for _, e := range r.dict {
+				if e.user == u {
+					return e.cno, true
+				}
+			}
+			return 0, false
+		}
+	default:
+		return func(u string) (int, bool) {
+			c, ok := r.part.Assign[u]
+			return c, ok
+		}
+	}
+}
+
+// ExtractSeries runs cuboid-signature extraction with the recommender's
+// configured parameters. It touches no recommender state and is safe to call
+// from many goroutines — batch ingest parallelizes extraction this way.
+func (r *Recommender) ExtractSeries(v *video.Video) signature.Series {
+	return signature.Extract(v, r.opts.Sig)
+}
+
+// AdHocQuery builds a Query from a clip that is not part of the collection
+// — the anonymous visitor's currently-watched video.
+func (r *Recommender) AdHocQuery(v *video.Video, desc social.Descriptor) Query {
+	return Query{Series: signature.Extract(v, r.opts.Sig), Desc: desc}
+}
+
+// QueryFor builds a Query from a stored video id.
+func (r *Recommender) QueryFor(id string) (Query, bool) {
+	rec, ok := r.records[id]
+	if !ok {
+		return Query{}, false
+	}
+	return Query{Series: rec.Series, Desc: rec.Desc}, true
+}
+
+// ContentRelevance is κJ between the query and a stored video.
+func (r *Recommender) ContentRelevance(q Query, id string) float64 {
+	rec, ok := r.records[id]
+	if !ok {
+		return 0
+	}
+	return signature.KJ(q.Series, rec.Series, r.opts.MatchThreshold)
+}
+
+// SocialRelevance is the mode-dependent social relevance between the query
+// and a stored video: exact sJ (naive quadratic, as the unoptimized system
+// the paper starts from) in ModeExact, s̃J over SAR vectors otherwise.
+func (r *Recommender) SocialRelevance(q Query, qvec social.Vector, id string) float64 {
+	rec, ok := r.records[id]
+	if !ok {
+		return 0
+	}
+	if r.opts.Mode == ModeExact {
+		return naiveJaccard(q.Desc, rec.Desc)
+	}
+	return social.ApproxJaccard(qvec, rec.Vec)
+}
+
+// naiveJaccard is the quadratic set comparison the paper attributes to the
+// unoptimized sJ computation ("the computation complexity of the measure is
+// quadratic to the number of elements", §4.2.1). It exists so the CSF /
+// CSF-SAR / CSF-SAR-H efficiency comparison of Figure 12(a) measures what
+// the paper measured; social.Jaccard is the linear merge used elsewhere.
+func naiveJaccard(a, b social.Descriptor) float64 {
+	au, bu := a.Users(), b.Users()
+	if len(au) == 0 && len(bu) == 0 {
+		return 0
+	}
+	inter := 0
+	for _, x := range au {
+		for _, y := range bu {
+			if x == y {
+				inter++
+				break
+			}
+		}
+	}
+	union := len(au) + len(bu) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// fuse is Equation 9.
+func (r *Recommender) fuse(content, soc float64) float64 {
+	if r.opts.ContentWeightOnly {
+		return content
+	}
+	if r.opts.SocialOnly {
+		return soc
+	}
+	return (1-r.opts.Omega)*content + r.opts.Omega*soc
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"sort"
+
+	"videorec/internal/social"
+)
+
+// Recommend returns the topK highest-FJ videos for the query, excluding the
+// ids in exclude (normally the query video itself). It implements the KNN
+// search of Figure 6:
+//
+//  1. vectorize the query's social descriptor and rank the inverted-file
+//     candidates by s̃J (SAR modes), or schedule a full exact-sJ scan
+//     (ModeExact — the unoptimized CSF the paper starts from);
+//  2. expand content candidates from the LSB-tree in next-longest-common-
+//     prefix order;
+//  3. refine candidates with the fused FJ relevance, keeping the top K.
+//
+// The repeat-until-K loop of Figure 6 has no tight termination bound under
+// LSH, so the implementation uses the explicit probe budgets of Options
+// (ContentProbe walker pops, CandidateLimit refinements), which plays the
+// role of the paper's stopping rule.
+func (r *Recommender) Recommend(q Query, topK int, exclude ...string) []Result {
+	if topK <= 0 {
+		return nil
+	}
+	skip := make(map[string]bool, len(exclude))
+	for _, id := range exclude {
+		skip[id] = true
+	}
+
+	var qvec social.Vector
+	useSocial := !r.opts.ContentWeightOnly
+	useContent := !r.opts.SocialOnly
+	if useSocial && r.opts.Mode != ModeExact {
+		r.mustBuild()
+		qvec = social.Vectorize(q.Desc, r.lookupFunc(), r.part.Dim)
+	}
+
+	// Candidate gathering.
+	candidates := make(map[string]bool)
+	switch {
+	case r.opts.FullScan || (r.opts.Mode == ModeExact && useSocial):
+		// Unoptimized CSF (or an effectiveness run that wants exhaustive
+		// ranking): every stored video is refined.
+		for _, id := range r.order {
+			candidates[id] = true
+		}
+	default:
+		if useSocial {
+			// Step 1: social candidates ranked by s̃J; keep the budgeted top.
+			socCands := r.inv.Candidates(qvec)
+			type scored struct {
+				id string
+				s  float64
+			}
+			ranked := make([]scored, 0, len(socCands))
+			for _, id := range socCands {
+				ranked = append(ranked, scored{id, social.ApproxJaccard(qvec, r.records[id].Vec)})
+			}
+			sort.Slice(ranked, func(a, b int) bool {
+				if ranked[a].s != ranked[b].s {
+					return ranked[a].s > ranked[b].s
+				}
+				return ranked[a].id < ranked[b].id
+			})
+			budget := r.opts.CandidateLimit
+			for i, sc := range ranked {
+				if i >= budget {
+					break
+				}
+				candidates[sc.id] = true
+			}
+		}
+		if useContent {
+			// Step 2: content candidates in LCP order.
+			w := r.lsb.NewWalker(q.Series)
+			for pops := 0; pops < r.opts.ContentProbe; pops++ {
+				e, _, ok := w.Next()
+				if !ok {
+					break
+				}
+				if r.tombstones[e.VideoID] {
+					continue
+				}
+				candidates[e.VideoID] = true
+				if len(candidates) >= 2*r.opts.CandidateLimit {
+					break
+				}
+			}
+		}
+	}
+
+	// Step 3: FJ refinement.
+	results := make([]Result, 0, len(candidates))
+	ids := make([]string, 0, len(candidates))
+	for id := range candidates {
+		if !skip[id] {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		var content, soc float64
+		if useContent {
+			content = r.ContentRelevance(q, id)
+		}
+		if useSocial {
+			soc = r.SocialRelevance(q, qvec, id)
+		}
+		results = append(results, Result{
+			VideoID: id,
+			Score:   r.fuse(content, soc),
+			Content: content,
+			Social:  soc,
+		})
+	}
+	sort.Slice(results, func(a, b int) bool {
+		if results[a].Score != results[b].Score {
+			return results[a].Score > results[b].Score
+		}
+		return results[a].VideoID < results[b].VideoID
+	})
+	if len(results) > topK {
+		results = results[:topK]
+	}
+	return results
+}
+
+// RecommendID recommends for a stored video, excluding the video itself.
+func (r *Recommender) RecommendID(id string, topK int) []Result {
+	q, ok := r.QueryFor(id)
+	if !ok {
+		return nil
+	}
+	return r.Recommend(q, topK, id)
+}
+
+// mustBuild panics if BuildSocial has not been run — calling the SAR paths
+// without a partition is a programming error, not a runtime condition.
+func (r *Recommender) mustBuild() {
+	if !r.built || r.part == nil {
+		panic("core: BuildSocial must be called before SAR-mode recommendation")
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+
+	"videorec/internal/social"
+)
+
+func TestFilterAudiences(t *testing.T) {
+	aud := map[string][]string{
+		"v1": {"recurring", "oneshot-a"},
+		"v2": {"recurring", "oneshot-b"},
+	}
+	got := FilterAudiences(aud, 2)
+	for vid, users := range got {
+		if len(users) != 1 || users[0] != "recurring" {
+			t.Errorf("%s filtered to %v, want [recurring]", vid, users)
+		}
+	}
+	// min <= 1 is the identity.
+	same := FilterAudiences(aud, 1)
+	if len(same["v1"]) != 2 {
+		t.Error("min=1 should not filter")
+	}
+	// Duplicate appearances within one video count once.
+	dup := map[string][]string{"v1": {"x", "x"}, "v2": {"y"}}
+	if got := FilterAudiences(dup, 2); len(got["v1"]) != 0 {
+		t.Errorf("duplicate-in-one-video user survived: %v", got["v1"])
+	}
+}
+
+func TestCapAudience(t *testing.T) {
+	users := []string{"a", "b", "c", "d", "e", "f"}
+	if got := capAudience(users, 10); len(got) != 6 {
+		t.Errorf("under cap: %v", got)
+	}
+	got := capAudience(users, 3)
+	if len(got) != 3 {
+		t.Fatalf("capped to %d, want 3", len(got))
+	}
+	// Strided sample stays deterministic and sorted-source-ordered.
+	if got[0] != "a" {
+		t.Errorf("first sample = %s", got[0])
+	}
+}
+
+func TestAdHocQueryMatchesStored(t *testing.T) {
+	r, c := buildSmall(t, ModeSARHash)
+	it := c.Items[0]
+	v := it.Render(c.Opts.Synth)
+	rec, _ := r.Record(it.ID)
+	q := r.AdHocQuery(v, rec.Desc)
+	if len(q.Series) != len(rec.Series) {
+		t.Fatalf("ad-hoc series %d signatures, stored %d", len(q.Series), len(rec.Series))
+	}
+	// Same clip, same options → identical signatures.
+	for i := range q.Series {
+		if len(q.Series[i].Cuboids) != len(rec.Series[i].Cuboids) {
+			t.Fatalf("signature %d cuboid counts differ", i)
+		}
+	}
+}
+
+func TestContentProbeBudgetBinds(t *testing.T) {
+	o := DefaultOptions()
+	o.ContentProbe = 1
+	o.CandidateLimit = 1
+	o.ContentWeightOnly = true
+	r := NewRecommender(o)
+	// Reuse the small collection fixture pipeline.
+	r2, c := buildSmall(t, ModeSARHash)
+	for _, id := range r2.SortedIDs() {
+		rec, _ := r2.Record(id)
+		r.IngestSeries(id, rec.Series, rec.Desc)
+	}
+	r.BuildSocial()
+	src := c.Queries[0].Sources[0]
+	q, _ := r.QueryFor(src)
+	res := r.Recommend(q, 50, src)
+	// With a 1-entry probe budget at most a couple of candidates appear.
+	if len(res) > 3 {
+		t.Errorf("probe budget did not bind: %d candidates refined", len(res))
+	}
+}
+
+func TestSocialRelevanceUnknownVideo(t *testing.T) {
+	r, _ := buildSmall(t, ModeSARHash)
+	q, _ := r.QueryFor(r.SortedIDs()[0])
+	if got := r.SocialRelevance(q, social.Vector{1}, "ghost"); got != 0 {
+		t.Errorf("unknown video social relevance = %g", got)
+	}
+	if got := r.ContentRelevance(q, "ghost"); got != 0 {
+		t.Errorf("unknown video content relevance = %g", got)
+	}
+}
+
+func TestNaiveJaccardEdgeCases(t *testing.T) {
+	empty := social.NewDescriptor("")
+	if got := naiveJaccard(empty, empty); got != 0 {
+		t.Errorf("empty naive = %g", got)
+	}
+	a := social.NewDescriptor("", "x")
+	if got := naiveJaccard(a, a); got != 1 {
+		t.Errorf("self naive = %g", got)
+	}
+}
+
+func TestOptionsClamping(t *testing.T) {
+	r := NewRecommender(Options{Omega: -2, K: -1, HashBuckets: -1})
+	o := r.Options()
+	if o.Omega != 0 {
+		t.Errorf("Omega = %g, want clamped to 0", o.Omega)
+	}
+	if o.K != 60 {
+		t.Errorf("K = %d, want defaulted to 60", o.K)
+	}
+	r2 := NewRecommender(Options{Omega: 2})
+	if r2.Options().Omega != 1 {
+		t.Errorf("Omega = %g, want clamped to 1", r2.Options().Omega)
+	}
+}

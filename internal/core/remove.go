@@ -1,0 +1,45 @@
+package core
+
+// RemoveVideo deletes a video from the collection: its record and inverted
+// postings go immediately; its LSB-tree entries are tombstoned and filtered
+// out of walks until the next BuildSocial (which rebuilds the tree without
+// them). It reports whether the id existed.
+func (r *Recommender) RemoveVideo(id string) bool {
+	rec, ok := r.records[id]
+	if !ok {
+		return false
+	}
+	delete(r.records, id)
+	for i, o := range r.order {
+		if o == id {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+	if r.inv != nil && rec.Vec != nil {
+		r.inv.Remove(id, rec.Vec)
+	}
+	if r.tombstones == nil {
+		r.tombstones = map[string]bool{}
+	}
+	r.tombstones[id] = true
+	return true
+}
+
+// Tombstones returns the number of removed videos whose index entries are
+// pending compaction.
+func (r *Recommender) Tombstones() int { return len(r.tombstones) }
+
+// compactLSB rebuilds the content index from live records, dropping
+// tombstoned entries. Called from BuildSocial.
+func (r *Recommender) compactLSB() {
+	if len(r.tombstones) == 0 {
+		return
+	}
+	fresh := newLSBFor(r.opts)
+	for _, id := range r.order {
+		fresh.Add(id, r.records[id].Series)
+	}
+	r.lsb = fresh
+	r.tombstones = nil
+}

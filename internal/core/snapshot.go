@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"videorec/internal/community"
+	"videorec/internal/signature"
+	"videorec/internal/social"
+)
+
+// Snapshot is the recommender's complete persistent state: everything needed
+// to rebuild the indexes deterministically and to keep applying incremental
+// social updates after a reload. The LSB tree, hash table, descriptor
+// vectors and inverted files are all derived state and are reconstructed on
+// load rather than stored.
+type Snapshot struct {
+	Options Options
+	Records []RecordSnapshot
+	Order   []string
+
+	// Social machinery (present when BuildSocial had run).
+	Built         bool
+	Assign        map[string]int
+	Dim           int
+	K             int
+	LightestIntra float64
+	GraphEdges    []community.Edge
+	GraphUsers    []string // preserves isolated users
+}
+
+// RecordSnapshot is one video's persistent state.
+type RecordSnapshot struct {
+	ID     string
+	Series signature.Series
+	Users  []string // social descriptor members
+}
+
+// Snapshot captures the recommender's state. The result shares no mutable
+// structure with the recommender and is safe to serialize.
+func (r *Recommender) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Options: r.opts,
+		Order:   append([]string(nil), r.order...),
+		Built:   r.built,
+	}
+	for _, id := range r.order {
+		rec := r.records[id]
+		series := make(signature.Series, len(rec.Series))
+		for i, sig := range rec.Series {
+			series[i] = signature.Signature{Cuboids: append([]signature.Cuboid(nil), sig.Cuboids...)}
+		}
+		s.Records = append(s.Records, RecordSnapshot{
+			ID:     id,
+			Series: series,
+			Users:  append([]string(nil), rec.Desc.Users()...),
+		})
+	}
+	if r.built && r.part != nil {
+		s.Assign = make(map[string]int, len(r.part.Assign))
+		for u, c := range r.part.Assign {
+			s.Assign[u] = c
+		}
+		s.Dim = r.part.Dim
+		s.K = r.part.K
+		s.LightestIntra = r.part.LightestIntra
+		s.GraphEdges = r.graph.Edges()
+		s.GraphUsers = append([]string(nil), r.graph.Users()...)
+	}
+	return s
+}
+
+// FromSnapshot reconstructs a recommender: signatures are re-indexed into a
+// fresh LSB tree (deterministic given Options), and when the snapshot was
+// built, the partition and UIG are restored verbatim so incremental updates
+// continue where they left off.
+func FromSnapshot(s *Snapshot) (*Recommender, error) {
+	if s == nil {
+		return nil, fmt.Errorf("core: nil snapshot")
+	}
+	r := NewRecommender(s.Options)
+	byID := make(map[string]RecordSnapshot, len(s.Records))
+	for _, rec := range s.Records {
+		byID[rec.ID] = rec
+	}
+	for _, id := range s.Order {
+		rec, ok := byID[id]
+		if !ok {
+			return nil, fmt.Errorf("core: snapshot order references unknown id %q", id)
+		}
+		r.IngestSeries(id, rec.Series, social.NewDescriptor("", rec.Users...))
+	}
+	if len(s.Order) != len(s.Records) {
+		return nil, fmt.Errorf("core: snapshot order (%d) and records (%d) disagree", len(s.Order), len(s.Records))
+	}
+	if !s.Built {
+		return r, nil
+	}
+
+	// Restore the UIG and partition, then rebuild derived structures the
+	// same way BuildSocial does.
+	r.graph = community.NewGraph()
+	for _, u := range s.GraphUsers {
+		r.graph.AddUser(u)
+	}
+	for _, e := range s.GraphEdges {
+		r.graph.AddEdgeWeight(e.U, e.V, e.W)
+	}
+	assign := make(map[string]int, len(s.Assign))
+	for u, c := range s.Assign {
+		if c < 0 || c >= s.Dim {
+			return nil, fmt.Errorf("core: snapshot assigns %q to invalid sub-community %d (dim %d)", u, c, s.Dim)
+		}
+		assign[u] = c
+	}
+	r.part = &community.Partition{
+		K:             s.K,
+		Dim:           s.Dim,
+		Assign:        assign,
+		LightestIntra: s.LightestIntra,
+	}
+	r.installSocial()
+	return r, nil
+}
+
+// installSocial wires the derived social structures (hash table, linear
+// dictionary, maintainer hooks, vectors, inverted files) around the current
+// graph and partition. BuildSocial and FromSnapshot share it.
+func (r *Recommender) installSocial() {
+	r.rebuildDictionaries()
+	r.touched = map[int]bool{}
+	r.maint = community.NewMaintainer(r.graph, r.part, community.Hooks{
+		AssignUser: func(u string, cno int) {
+			r.table.Insert(u, cno)
+			r.dict = append(r.dict, dictEntry{user: u, cno: cno})
+			r.touched[cno] = true
+		},
+		ReplaceCommunity: func(old, new int) {
+			r.table.ReplaceCno(old, new)
+			for i := range r.dict {
+				if r.dict[i].cno == old {
+					r.dict[i].cno = new
+				}
+			}
+		},
+		TouchDimensions: func(ids ...int) {
+			for _, d := range ids {
+				r.touched[d] = true
+			}
+		},
+	})
+	r.vectorizeAll()
+	r.built = true
+}
+
+// SortedIDs returns the ingested video ids in a stable order (useful for
+// deterministic dumps and diffing snapshots).
+func (r *Recommender) SortedIDs() []string {
+	ids := append([]string(nil), r.order...)
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"sort"
+
+	"videorec/internal/community"
+	"videorec/internal/social"
+)
+
+// UpdateReport summarizes one ApplyUpdates pass: the maintenance statistics
+// of Figure 5 plus the descriptor re-vectorization work, the quantities of
+// the Equation 8 cost model.
+type UpdateReport struct {
+	Maintenance        community.Stats
+	VideosRevectorized int
+	DimensionsTouched  int
+}
+
+// ApplyUpdates ingests a batch of new comments (video id → new commenting
+// users) arriving in the current period and runs the Figure 5 maintenance:
+//
+//  1. new social connections are derived exactly as the UIG defines them
+//     (each video's new commenters connect to its prior audience and to each
+//     other, one unit of weight per shared video);
+//  2. the sub-communities are maintained (union / split) with the hash
+//     table and linear dictionary patched through the maintenance hooks;
+//  3. descriptors of commented videos grow, and every video whose vector
+//     touches a changed dimension — or whose descriptor changed — is
+//     re-vectorized and re-posted in the inverted files.
+func (r *Recommender) ApplyUpdates(newComments map[string][]string) UpdateReport {
+	r.mustBuild()
+
+	// Step 1: derive connections.
+	var edges []community.Edge
+	acc := map[[2]string]float64{}
+	vids := make([]string, 0, len(newComments))
+	for vid := range newComments {
+		vids = append(vids, vid)
+	}
+	sort.Strings(vids)
+	for _, vid := range vids {
+		rec, ok := r.records[vid]
+		if !ok {
+			continue
+		}
+		fresh := dedupeUsers(newComments[vid])
+		old := capAudience(rec.Desc.Users(), r.opts.UIGMaxAudience)
+		for i, u := range fresh {
+			for _, v := range old {
+				pairAdd(acc, u, v)
+			}
+			for _, v := range fresh[i+1:] {
+				pairAdd(acc, u, v)
+			}
+		}
+	}
+	keys := make([][2]string, 0, len(acc))
+	for k := range acc {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a][0] != keys[b][0] {
+			return keys[a][0] < keys[b][0]
+		}
+		return keys[a][1] < keys[b][1]
+	})
+	for _, k := range keys {
+		edges = append(edges, community.Edge{U: k[0], V: k[1], W: acc[k]})
+	}
+
+	// Step 2: maintenance with dimension tracking (the BuildSocial hooks
+	// record every changed dimension into r.touched).
+	r.touched = map[int]bool{}
+	st := r.maint.ApplyConnections(edges)
+	touched := r.touched
+
+	// Step 3: grow descriptors and re-vectorize affected videos.
+	dirty := map[string]bool{}
+	for _, vid := range vids {
+		if rec, ok := r.records[vid]; ok {
+			rec.Desc = rec.Desc.Add(newComments[vid]...)
+			dirty[vid] = true
+		}
+	}
+	if len(touched) > 0 {
+		for _, id := range r.order {
+			vec := r.records[id].Vec
+			for d := range touched {
+				if d < len(vec) && vec[d] > 0 {
+					dirty[id] = true
+					break
+				}
+			}
+		}
+	}
+	r.inv.Grow(r.part.Dim)
+	dirtyIDs := make([]string, 0, len(dirty))
+	for id := range dirty {
+		dirtyIDs = append(dirtyIDs, id)
+	}
+	sort.Strings(dirtyIDs)
+	lookup := r.lookupFunc()
+	for _, id := range dirtyIDs {
+		rec := r.records[id]
+		r.inv.Remove(id, rec.Vec)
+		rec.Vec = social.Vectorize(rec.Desc, lookup, r.part.Dim)
+		r.inv.Add(id, rec.Vec)
+	}
+	return UpdateReport{
+		Maintenance:        st,
+		VideosRevectorized: len(dirtyIDs),
+		DimensionsTouched:  len(touched),
+	}
+}
+
+// VideosPerDim reports how many videos each inverted-file dimension holds —
+// the N_ui / N_si inputs of the Equation 8 cost model.
+func (r *Recommender) VideosPerDim() []int {
+	if r.inv == nil {
+		return nil
+	}
+	out := make([]int, r.inv.Dims())
+	for d := range out {
+		out[d] = len(r.inv.VideosForDim(d))
+	}
+	return out
+}
+
+func dedupeUsers(in []string) []string {
+	out := append([]string(nil), in...)
+	sort.Strings(out)
+	w := 0
+	for _, u := range out {
+		if u == "" {
+			continue
+		}
+		if w > 0 && out[w-1] == u {
+			continue
+		}
+		out[w] = u
+		w++
+	}
+	return out[:w]
+}
+
+func pairAdd(acc map[[2]string]float64, a, b string) {
+	if a == b || a == "" || b == "" {
+		return
+	}
+	if a > b {
+		a, b = b, a
+	}
+	acc[[2]string{a, b}]++
+}

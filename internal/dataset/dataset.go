@@ -1,0 +1,609 @@
+// Package dataset generates the synthetic sharing community that stands in
+// for the paper's 200-hour YouTube crawl (§5.1): topic-driven videos with
+// controlled near-duplicates, users with latent interests, timestamped
+// comments spanning a 12-month source period plus a 4-month test period, and
+// the five popular queries of Table 2 with their top-2 source videos.
+//
+// Ground truth is known by construction (topic structure), which is what
+// lets the simulated evaluator panel in internal/metrics reproduce the
+// paper's subjective study: see DESIGN.md §1 for the substitution argument.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"videorec/internal/community"
+	"videorec/internal/video"
+)
+
+// Table2Queries are the five most popular YouTube queries of Table 2.
+var Table2Queries = []string{"youtube", "mariah carey", "miley cyrus", "american idol", "wwe"}
+
+// Comment is one social interaction: a user commenting on a video during a
+// timeline month (0-based; months [0, MonthsSource) are the source period,
+// the rest the test period).
+type Comment struct {
+	User    string
+	VideoID string
+	Month   int
+}
+
+// Item is one video of the collection together with its community metadata.
+// Frames are rendered lazily (Render) so a 200-hour collection never holds
+// all pixels at once.
+type Item struct {
+	ID             string
+	Topic          int // content topic (drives rendering and relevance)
+	AudienceTopic  int // fandom the comments come from (== Topic unless mislabeled)
+	Owner          string
+	NominalSeconds float64
+	Comments       []Comment // sorted by month
+
+	seed  int64            // instance seed (edit chain randomness)
+	dupOf string           // id of the original when this is a near-duplicate
+	specs []video.ShotSpec // the clip's shot list; shared specs = shared footage
+	edits []uint8          // transformation codes applied after synthesis
+}
+
+// DupOf returns the id of the clip this item is a near-duplicate of, or ""
+// when the item is original footage.
+func (it *Item) DupOf() string { return it.dupOf }
+
+// SharedShots counts the shot specs two items have in common — the amount of
+// footage they share. Same-query clips on YouTube routinely share material;
+// the generator models that with per-topic shot pools.
+func (it *Item) SharedShots(other *Item) int {
+	n := 0
+	for _, a := range it.specs {
+		for _, b := range other.specs {
+			if a == b {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// Render synthesizes the item's frames from its shot list and applies its
+// recorded edit chain, so the whole collection is reproducible from seeds
+// alone. Near-duplicates carry their original's shot list.
+func (it *Item) Render(opts video.SynthOptions) *video.Video {
+	v := video.SynthesizeFromShots(it.ID, it.specs, opts)
+	v.NominalSeconds = it.NominalSeconds
+	v.Topic = it.Topic
+	erng := rand.New(rand.NewSource(it.seed ^ 0x5eed))
+	for _, e := range it.edits {
+		v = applyEdit(v, e, erng)
+	}
+	v.ID = it.ID
+	return v
+}
+
+// Edit codes recorded on near-duplicate items.
+const (
+	editBrighten = iota
+	editContrast
+	editNoise
+	editCropShift
+	editDropFrames
+	editReorder
+	numEdits
+)
+
+func applyEdit(v *video.Video, code uint8, rng *rand.Rand) *video.Video {
+	switch code {
+	case editBrighten:
+		return video.Brighten(v, 10+rng.Float64()*25)
+	case editContrast:
+		return video.Contrast(v, 0.85+rng.Float64()*0.3)
+	case editNoise:
+		return video.AddNoise(v, 2+rng.Float64()*3, rng)
+	case editCropShift:
+		return video.CropShift(v, 1+rng.Intn(2), 1+rng.Intn(2))
+	case editDropFrames:
+		return video.DropFrames(v, 6+rng.Intn(4))
+	case editReorder:
+		return video.ReorderShots(v, rng)
+	}
+	return v
+}
+
+// Query is one Table 2 query: its text, the theme topic it maps to, and the
+// ids of its top-2 most-commented videos (the recommendation sources, §5.1).
+type Query struct {
+	ID      string
+	Text    string
+	Topic   int
+	Sources []string
+}
+
+// Options controls collection generation.
+type Options struct {
+	Hours          float64 // nominal dataset size; the paper uses 50–200
+	Topics         int     // latent topics; the first 5 are the query themes
+	Users          int     // community size
+	CommentMean    float64 // mean comments per video (query-theme videos get ~2x)
+	DupFraction    float64 // fraction of videos that are edited near-duplicates
+	MonthsSource   int     // length of the source period (the paper: 12)
+	MonthsTest     int     // length of the test period (the paper: 4)
+	Seed           int64
+	Synth          video.SynthOptions
+	SecondInterest float64 // probability a user follows a second topic
+	ShotPool       int     // canonical shots per topic (shared-footage pool)
+	PoolShare      float64 // probability a shot is drawn from the topic pool
+
+	// Comment traffic is heavy-tailed, as on real sharing sites: a small
+	// power-fan core per topic comments on most of the topic's videos
+	// (their co-comment edges are the heavy intra-community edges the
+	// Figure 3 partition keys on), regular fans comment occasionally, and
+	// anyone may drop a casual comment (light cross-community noise).
+	PowerFans   int     // power-fan core size per topic
+	PowerShare  float64 // fraction of a video's comments from the power core
+	FanShare    float64 // fraction from the topic's regular fans
+	CasualShare float64 // fraction from arbitrary users
+
+	// Mislabel is the fraction of clips whose audience belongs to a
+	// different topic than their content (cross-posts, clickbait, mis-tagged
+	// uploads). Pure social relevance ranks these highly for the wrong
+	// queries; content fusion demotes them — they are why ω=1 underperforms
+	// ω≈0.7 in Figure 8 ("videos with relevant content are replaced by
+	// those irrelevant ones with common social connections").
+	Mislabel float64
+}
+
+// DefaultOptions mirrors the paper's setup at full scale: 200 nominal hours,
+// a 12-month source period and 4 months of update traffic. Most users follow
+// a single topic — focused fandoms are what make the UIG separable by
+// lightest-edge removal, mirroring the community structure the paper's
+// algorithm presupposes.
+func DefaultOptions() Options {
+	return Options{
+		Hours:          200,
+		Topics:         20,
+		Users:          800,
+		CommentMean:    14,
+		DupFraction:    0.25,
+		MonthsSource:   12,
+		MonthsTest:     4,
+		Seed:           1,
+		Synth:          video.DefaultSynthOptions(),
+		SecondInterest: 0.25,
+		ShotPool:       10,
+		PoolShare:      0.7,
+		PowerFans:      10,
+		PowerShare:     0.5,
+		FanShare:       0.4,
+		CasualShare:    0.1,
+		Mislabel:       0.15,
+	}
+}
+
+// Collection is a generated sharing community.
+type Collection struct {
+	Opts    Options
+	Items   []*Item
+	ByID    map[string]*Item
+	Queries []Query
+	Users   []string
+}
+
+// Hours returns the nominal duration of the collection in hours.
+func (c *Collection) Hours() float64 {
+	var s float64
+	for _, it := range c.Items {
+		s += it.NominalSeconds
+	}
+	return s / 3600
+}
+
+// Generate builds a collection deterministically from opts.Seed.
+func Generate(opts Options) *Collection {
+	if opts.Topics < 5 {
+		opts.Topics = 5
+	}
+	if opts.Users < 10 {
+		opts.Users = 10
+	}
+	if opts.MonthsSource < 1 {
+		opts.MonthsSource = 1
+	}
+	if opts.Synth.Width == 0 {
+		opts.Synth = video.DefaultSynthOptions()
+	}
+	if opts.ShotPool < 1 {
+		opts.ShotPool = 10
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	c := &Collection{Opts: opts, ByID: make(map[string]*Item)}
+
+	// Users with latent interests: one focused topic, sometimes a second.
+	pickTopic := func() int {
+		// Bias interests toward the query themes so those communities are
+		// dense, like real fandoms.
+		if rng.Float64() < 0.6 {
+			return rng.Intn(5)
+		}
+		return rng.Intn(opts.Topics)
+	}
+	interests := make([][]int, opts.Users)
+	for u := 0; u < opts.Users; u++ {
+		name := fmt.Sprintf("user%04d", u)
+		c.Users = append(c.Users, name)
+		seen := map[int]bool{pickTopic(): true}
+		if rng.Float64() < opts.SecondInterest {
+			seen[pickTopic()] = true
+		}
+		for t := range seen {
+			interests[u] = append(interests[u], t)
+		}
+		sort.Ints(interests[u])
+	}
+
+	// Fan rosters are built from single-interest users only: a high-activity
+	// user with split loyalties would put heavy edges into two fandoms and
+	// chain them together under the paper's single-linkage partition (the
+	// classic giant-component pathology). Dual-interest users still comment
+	// through the casual channel, so light cross-community edges — the ones
+	// the Figure 3 removal loop is designed to cut — exist in the UIG.
+	fansOf := make([][]int, opts.Topics)
+	powerOf := make([][]int, opts.Topics)
+	for u, ts := range interests {
+		if len(ts) != 1 {
+			continue
+		}
+		t := ts[0]
+		fansOf[t] = append(fansOf[t], u)
+		if len(powerOf[t]) < opts.PowerFans {
+			powerOf[t] = append(powerOf[t], u)
+		}
+	}
+	sampler := fanSampler{users: c.Users, fansOf: fansOf, powerOf: powerOf, opts: opts}
+
+	// Per-topic canonical shot pools: same-topic clips draw shots from the
+	// pool, so clips answering one query genuinely share footage.
+	pools := make([][]video.ShotSpec, opts.Topics)
+	for t := range pools {
+		pools[t] = make([]video.ShotSpec, opts.ShotPool)
+		for j := range pools[t] {
+			pools[t][j] = video.ShotSpec{Topic: t, Seed: opts.Seed*7_368_787 + int64(t)*1_000_000 + int64(j)}
+		}
+	}
+
+	// Videos. Count from nominal hours.
+	nominal := opts.Synth.NominalSeconds
+	if nominal <= 0 {
+		nominal = 420
+	}
+	n := int(math.Round(opts.Hours * 3600 / nominal))
+	if n < 1 {
+		n = 1
+	}
+	perTopic := make(map[int][]*Item)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("v%05d", i)
+		// Query themes are hot: they receive half the uploads. The first ten
+		// clips cycle the five themes so every Table 2 query has its two
+		// source videos even in tiny collections.
+		var topic int
+		switch {
+		case i < 10:
+			topic = i % 5
+		case rng.Float64() < 0.5:
+			topic = rng.Intn(5)
+		default:
+			topic = rng.Intn(opts.Topics)
+		}
+		it := &Item{
+			ID:             id,
+			Topic:          topic,
+			AudienceTopic:  topic,
+			NominalSeconds: nominal * (0.6 + 0.8*rng.Float64()),
+			seed:           opts.Seed*1_000_003 + int64(i),
+		}
+		if opts.Mislabel > 0 && rng.Float64() < opts.Mislabel {
+			it.AudienceTopic = rng.Intn(opts.Topics)
+		}
+		// Near-duplicate injection: re-edit an earlier clip of the topic.
+		if prev := perTopic[topic]; len(prev) > 0 && rng.Float64() < opts.DupFraction {
+			orig := prev[rng.Intn(len(prev))]
+			for orig.dupOf != "" { // chain back to true footage
+				orig = c.ByID[orig.dupOf]
+			}
+			it.dupOf = orig.ID
+			it.specs = append([]video.ShotSpec(nil), orig.specs...)
+			nEdits := 1 + rng.Intn(2)
+			for e := 0; e < nEdits; e++ {
+				it.edits = append(it.edits, uint8(rng.Intn(numEdits)))
+			}
+		} else {
+			// Original footage: a mix of pool shots (shared with other clips
+			// of the topic) and fresh shots unique to this clip.
+			nShots := opts.Synth.Shots
+			if nShots < 1 {
+				nShots = 4
+			}
+			it.specs = make([]video.ShotSpec, 0, nShots)
+			for s := 0; s < nShots; s++ {
+				if rng.Float64() < opts.PoolShare {
+					it.specs = append(it.specs, pools[topic][rng.Intn(len(pools[topic]))])
+				} else {
+					it.specs = append(it.specs, video.ShotSpec{Topic: topic, Seed: rng.Int63()})
+				}
+			}
+		}
+		// Owner prefers the fandom the clip circulates in.
+		it.Owner = sampler.owner(rng, it.AudienceTopic)
+		c.Items = append(c.Items, it)
+		c.ByID[id] = it
+		perTopic[topic] = append(perTopic[topic], it)
+	}
+
+	// Comments over the full timeline.
+	months := opts.MonthsSource + opts.MonthsTest
+	for _, it := range c.Items {
+		mean := opts.CommentMean
+		if it.Topic < 5 {
+			mean *= 2 // query themes are popular
+		}
+		nCom := poissonish(rng, mean)
+		for k := 0; k < nCom; k++ {
+			it.Comments = append(it.Comments, Comment{
+				User:    sampler.pick(rng, it.AudienceTopic),
+				VideoID: it.ID,
+				Month:   rng.Intn(months),
+			})
+		}
+		sort.Slice(it.Comments, func(a, b int) bool { return it.Comments[a].Month < it.Comments[b].Month })
+	}
+
+	// Queries: theme t's top-2 most commented originals are the sources.
+	for qi, text := range Table2Queries {
+		cands := append([]*Item(nil), perTopic[qi]...)
+		sort.Slice(cands, func(a, b int) bool {
+			if len(cands[a].Comments) != len(cands[b].Comments) {
+				return len(cands[a].Comments) > len(cands[b].Comments)
+			}
+			return cands[a].ID < cands[b].ID
+		})
+		q := Query{ID: fmt.Sprintf("q%d", qi+1), Text: text, Topic: qi}
+		for _, cand := range cands {
+			if len(q.Sources) == 2 {
+				break
+			}
+			if cand.AudienceTopic != cand.Topic {
+				continue // a mis-audienced source would misrepresent the query
+			}
+			q.Sources = append(q.Sources, cand.ID)
+		}
+		c.Queries = append(c.Queries, q)
+	}
+	return c
+}
+
+// fanSampler draws commenters for a video with the heavy-tailed mix of
+// Options: power core, regular fans, casual passers-by. A casual comments on
+// at most one video per topic: repeat drive-by comments on a topic would
+// build medium-weight edges to that topic's power fans (who blanket the
+// topic's videos) and chain fandoms together in the UIG.
+type fanSampler struct {
+	users      []string
+	fansOf     [][]int
+	powerOf    [][]int
+	opts       Options
+	casualSeen []map[int]bool // user idx → topics already casually commented
+}
+
+func (s *fanSampler) pick(rng *rand.Rand, topic int) string {
+	r := rng.Float64()
+	switch {
+	case r < s.opts.PowerShare && len(s.powerOf[topic]) > 0:
+		return s.users[s.powerOf[topic][rng.Intn(len(s.powerOf[topic]))]]
+	case r < s.opts.PowerShare+s.opts.FanShare && len(s.fansOf[topic]) > 0:
+		return s.users[s.fansOf[topic][rng.Intn(len(s.fansOf[topic]))]]
+	default:
+		if s.casualSeen == nil {
+			s.casualSeen = make([]map[int]bool, len(s.users))
+		}
+		for tries := 0; tries < 32; tries++ {
+			u := rng.Intn(len(s.users))
+			if s.casualSeen[u] == nil {
+				s.casualSeen[u] = map[int]bool{}
+			}
+			if !s.casualSeen[u][topic] {
+				s.casualSeen[u][topic] = true
+				return s.users[u]
+			}
+		}
+		return s.users[rng.Intn(len(s.users))]
+	}
+}
+
+// owner picks an uploader: a fan of the topic when one exists.
+func (s *fanSampler) owner(rng *rand.Rand, topic int) string {
+	if fans := s.fansOf[topic]; len(fans) > 0 {
+		return s.users[fans[rng.Intn(len(fans))]]
+	}
+	return s.users[rng.Intn(len(s.users))]
+}
+
+func poissonish(rng *rand.Rand, mean float64) int {
+	// Knuth's method is fine for the small means used here.
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > int(mean*6+20) {
+			return k
+		}
+	}
+}
+
+// Relevance is the ground-truth topical relevance in [0, 1] between two
+// videos, used by the simulated evaluator panel: near-duplicates of the same
+// footage are fully relevant, same-topic clips strongly relevant, same-theme
+// clips moderately relevant, everything else background noise.
+func (c *Collection) Relevance(aID, bID string) float64 {
+	a, okA := c.ByID[aID]
+	b, okB := c.ByID[bID]
+	if !okA || !okB {
+		return 0
+	}
+	if aID == bID {
+		return 1
+	}
+	rootA, rootB := a, b
+	if rootA.dupOf != "" {
+		rootA = c.ByID[rootA.dupOf]
+	}
+	if rootB.dupOf != "" {
+		rootB = c.ByID[rootB.dupOf]
+	}
+	switch {
+	case rootA.ID == rootB.ID:
+		return 1
+	case a.Topic == b.Topic:
+		return 0.8
+	case theme(a.Topic) == theme(b.Topic):
+		return 0.45
+	default:
+		return 0.05
+	}
+}
+
+// theme folds background topics onto the five query themes.
+func theme(topic int) int { return topic % 5 }
+
+// AudiencesUpTo returns, for every video, its audience (owner plus
+// commenters) restricted to comments strictly before the given month. It is
+// the input to BuildUIG at index-construction time.
+func (c *Collection) AudiencesUpTo(month int) map[string][]string {
+	out := make(map[string][]string, len(c.Items))
+	for _, it := range c.Items {
+		users := []string{it.Owner}
+		for _, cm := range it.Comments {
+			if cm.Month < month {
+				users = append(users, cm.User)
+			}
+		}
+		out[it.ID] = users
+	}
+	return out
+}
+
+// ConnectionsBetween derives the new social connections formed by comments
+// in months [from, to): for each video, every pair among (new commenters ×
+// audience so far) gains one unit of weight. This is the {e_i} input of the
+// Figure 5 maintenance algorithm.
+func (c *Collection) ConnectionsBetween(from, to int) []community.Edge {
+	acc := map[userPair]float64{}
+	for _, it := range c.Items {
+		var old []string
+		old = append(old, it.Owner)
+		var fresh []string
+		for _, cm := range it.Comments {
+			switch {
+			case cm.Month < from:
+				old = append(old, cm.User)
+			case cm.Month < to:
+				fresh = append(fresh, cm.User)
+			}
+		}
+		seen := map[string]bool{}
+		for _, u := range append(old, fresh...) {
+			seen[u] = true
+		}
+		for i, u := range fresh {
+			for _, v := range old {
+				addPair(acc, u, v)
+			}
+			for _, v := range fresh[i+1:] {
+				addPair(acc, u, v)
+			}
+		}
+		_ = seen
+	}
+	edges := make([]community.Edge, 0, len(acc))
+	for k, w := range acc {
+		edges = append(edges, community.Edge{U: k.u, V: k.v, W: w})
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].U != edges[b].U {
+			return edges[a].U < edges[b].U
+		}
+		return edges[a].V < edges[b].V
+	})
+	return edges
+}
+
+type userPair struct{ u, v string }
+
+func addPair(acc map[userPair]float64, a, b string) {
+	if a == b {
+		return
+	}
+	if a > b {
+		a, b = b, a
+	}
+	acc[userPair{a, b}]++
+}
+
+// SliceHours returns a sub-collection containing a prefix of the items
+// summing to roughly the requested nominal hours (the 50/100/150/200-hour
+// sweeps of Figure 12). Queries are rebuilt over the subset.
+func (c *Collection) SliceHours(hours float64) *Collection {
+	sub := &Collection{Opts: c.Opts, ByID: make(map[string]*Item), Users: c.Users}
+	sub.Opts.Hours = hours
+	var acc float64
+	for _, it := range c.Items {
+		if acc >= hours*3600 {
+			break
+		}
+		// Near-duplicates of clips outside the subset become originals of
+		// their own footage; Render handles that via baseSeed, but the
+		// relevance chain needs the dup pointer dropped.
+		cp := *it
+		if cp.dupOf != "" {
+			if _, ok := sub.ByID[cp.dupOf]; !ok {
+				cp.dupOf = ""
+			}
+		}
+		sub.Items = append(sub.Items, &cp)
+		sub.ByID[cp.ID] = &cp
+		acc += cp.NominalSeconds
+	}
+	// Rebuild queries over the subset.
+	perTopic := map[int][]*Item{}
+	for _, it := range sub.Items {
+		perTopic[it.Topic] = append(perTopic[it.Topic], it)
+	}
+	for qi, text := range Table2Queries {
+		cands := append([]*Item(nil), perTopic[qi]...)
+		sort.Slice(cands, func(a, b int) bool {
+			if len(cands[a].Comments) != len(cands[b].Comments) {
+				return len(cands[a].Comments) > len(cands[b].Comments)
+			}
+			return cands[a].ID < cands[b].ID
+		})
+		q := Query{ID: fmt.Sprintf("q%d", qi+1), Text: text, Topic: qi}
+		for _, cand := range cands {
+			if len(q.Sources) == 2 {
+				break
+			}
+			if cand.AudienceTopic != cand.Topic {
+				continue // a mis-audienced source would misrepresent the query
+			}
+			q.Sources = append(q.Sources, cand.ID)
+		}
+		sub.Queries = append(sub.Queries, q)
+	}
+	return sub
+}

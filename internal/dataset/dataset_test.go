@@ -1,0 +1,366 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"videorec/internal/video"
+)
+
+// smallOptions keeps generation fast in unit tests.
+func smallOptions() Options {
+	o := DefaultOptions()
+	o.Hours = 4
+	o.Users = 120
+	o.Seed = 7
+	return o
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(smallOptions())
+	b := Generate(smallOptions())
+	if len(a.Items) != len(b.Items) {
+		t.Fatalf("item counts differ: %d vs %d", len(a.Items), len(b.Items))
+	}
+	for i := range a.Items {
+		x, y := a.Items[i], b.Items[i]
+		if x.ID != y.ID || x.Topic != y.Topic || x.Owner != y.Owner ||
+			len(x.Comments) != len(y.Comments) || x.dupOf != y.dupOf {
+			t.Fatalf("item %d differs: %+v vs %+v", i, x, y)
+		}
+	}
+}
+
+func TestGenerateHoursAccounting(t *testing.T) {
+	c := Generate(smallOptions())
+	if got := c.Hours(); math.Abs(got-4) > 1.5 {
+		t.Errorf("Hours = %g, want ~4", got)
+	}
+	if len(c.Items) < 20 {
+		t.Errorf("only %d items for 4 nominal hours", len(c.Items))
+	}
+}
+
+func TestGenerateQueries(t *testing.T) {
+	c := Generate(smallOptions())
+	if len(c.Queries) != 5 {
+		t.Fatalf("queries = %d, want 5", len(c.Queries))
+	}
+	for qi, q := range c.Queries {
+		if q.Text != Table2Queries[qi] {
+			t.Errorf("query %d text = %q", qi, q.Text)
+		}
+		if len(q.Sources) != 2 {
+			t.Errorf("query %q has %d sources, want 2", q.Text, len(q.Sources))
+		}
+		for _, src := range q.Sources {
+			it, ok := c.ByID[src]
+			if !ok {
+				t.Fatalf("source %s missing", src)
+			}
+			if it.Topic != q.Topic {
+				t.Errorf("source %s topic %d, want %d", src, it.Topic, q.Topic)
+			}
+		}
+	}
+}
+
+func TestNearDuplicateChainsResolved(t *testing.T) {
+	c := Generate(smallOptions())
+	dups := 0
+	for _, it := range c.Items {
+		if it.DupOf() == "" {
+			continue
+		}
+		dups++
+		orig, ok := c.ByID[it.DupOf()]
+		if !ok {
+			t.Fatalf("dup %s points at missing original %s", it.ID, it.DupOf())
+		}
+		if orig.DupOf() != "" {
+			t.Errorf("dup %s points at another dup %s (chains must resolve)", it.ID, orig.ID)
+		}
+		if orig.Topic != it.Topic {
+			t.Errorf("dup %s changed topic", it.ID)
+		}
+		if len(it.edits) == 0 {
+			t.Errorf("dup %s has no edits", it.ID)
+		}
+	}
+	if dups == 0 {
+		t.Error("no near-duplicates generated")
+	}
+}
+
+func TestRenderDeterministicAndDupSimilarity(t *testing.T) {
+	c := Generate(smallOptions())
+	opts := c.Opts.Synth
+	var dup *Item
+	for _, it := range c.Items {
+		if it.DupOf() != "" {
+			dup = it
+			break
+		}
+	}
+	if dup == nil {
+		t.Fatal("no dup found")
+	}
+	v1 := dup.Render(opts)
+	v2 := dup.Render(opts)
+	if len(v1.Frames) != len(v2.Frames) {
+		t.Fatal("render not deterministic in frame count")
+	}
+	for i := range v1.Frames {
+		for p := range v1.Frames[i].Pix {
+			if v1.Frames[i].Pix[p] != v2.Frames[i].Pix[p] {
+				t.Fatal("render not deterministic in pixels")
+			}
+		}
+	}
+	// A dup's footage must be closer to its original than to a clip of a
+	// different theme (coarse mean-intensity check; the signature-level
+	// check lives in internal/signature tests).
+	orig := c.ByID[dup.DupOf()].Render(opts)
+	var other *Item
+	for _, it := range c.Items {
+		if theme(it.Topic) != theme(dup.Topic) && it.DupOf() == "" {
+			other = it
+			break
+		}
+	}
+	if other == nil {
+		t.Skip("no cross-theme item in small collection")
+	}
+	ov := other.Render(opts)
+	if d1, d2 := meanDiff(v1, orig), meanDiff(v1, ov); d1 >= d2 {
+		t.Errorf("dup not closer to original: %g vs %g", d1, d2)
+	}
+}
+
+func meanDiff(a, b *video.Video) float64 {
+	n := len(a.Frames)
+	if len(b.Frames) < n {
+		n = len(b.Frames)
+	}
+	var s float64
+	for i := 0; i < n; i++ {
+		s += math.Abs(a.Frames[i].Mean() - b.Frames[i].Mean())
+	}
+	return s / float64(n)
+}
+
+func TestRelevanceRules(t *testing.T) {
+	c := Generate(smallOptions())
+	var dup *Item
+	for _, it := range c.Items {
+		if it.DupOf() != "" {
+			dup = it
+			break
+		}
+	}
+	if dup == nil {
+		t.Fatal("no dup")
+	}
+	if got := c.Relevance(dup.ID, dup.DupOf()); got != 1 {
+		t.Errorf("dup relevance = %g, want 1", got)
+	}
+	if got := c.Relevance("v00000", "v00000"); got != 1 {
+		t.Errorf("self relevance = %g, want 1", got)
+	}
+	if got := c.Relevance("v00000", "nope"); got != 0 {
+		t.Errorf("missing id relevance = %g, want 0", got)
+	}
+	// Same topic beats different theme.
+	var same, diff string
+	a := c.Items[0]
+	for _, it := range c.Items[1:] {
+		if it.Topic == a.Topic && same == "" && it.DupOf() == "" && a.DupOf() == "" {
+			same = it.ID
+		}
+		if theme(it.Topic) != theme(a.Topic) && diff == "" {
+			diff = it.ID
+		}
+	}
+	if same != "" && diff != "" {
+		if c.Relevance(a.ID, same) <= c.Relevance(a.ID, diff) {
+			t.Error("same-topic relevance should beat cross-theme")
+		}
+	}
+}
+
+func TestCommentsSortedAndInRange(t *testing.T) {
+	c := Generate(smallOptions())
+	months := c.Opts.MonthsSource + c.Opts.MonthsTest
+	total := 0
+	for _, it := range c.Items {
+		for i, cm := range it.Comments {
+			total++
+			if cm.Month < 0 || cm.Month >= months {
+				t.Fatalf("comment month %d out of range", cm.Month)
+			}
+			if i > 0 && cm.Month < it.Comments[i-1].Month {
+				t.Fatalf("comments not sorted on %s", it.ID)
+			}
+			if cm.VideoID != it.ID {
+				t.Fatalf("comment carries wrong video id")
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no comments generated")
+	}
+}
+
+func TestAudiencesUpTo(t *testing.T) {
+	c := Generate(smallOptions())
+	aud := c.AudiencesUpTo(c.Opts.MonthsSource)
+	if len(aud) != len(c.Items) {
+		t.Fatalf("audiences for %d videos, want %d", len(aud), len(c.Items))
+	}
+	for _, it := range c.Items {
+		users := aud[it.ID]
+		if len(users) == 0 || users[0] != it.Owner {
+			t.Fatalf("audience of %s must start with owner", it.ID)
+		}
+	}
+	// Month 0 audiences contain only owners.
+	aud0 := c.AudiencesUpTo(0)
+	for id, users := range aud0 {
+		if len(users) != 1 {
+			t.Fatalf("month-0 audience of %s = %v", id, users)
+		}
+	}
+}
+
+func TestConnectionsBetween(t *testing.T) {
+	c := Generate(smallOptions())
+	edges := c.ConnectionsBetween(c.Opts.MonthsSource, c.Opts.MonthsSource+2)
+	if len(edges) == 0 {
+		t.Fatal("no connections in test period")
+	}
+	for _, e := range edges {
+		if e.U >= e.V {
+			t.Fatalf("edge endpoints not ordered: %+v", e)
+		}
+		if e.W <= 0 {
+			t.Fatalf("non-positive weight: %+v", e)
+		}
+	}
+	// More months → at least as many connections.
+	e1 := c.ConnectionsBetween(c.Opts.MonthsSource, c.Opts.MonthsSource+1)
+	if len(e1) > len(edges) {
+		t.Errorf("1 month has %d edges but 2 months only %d", len(e1), len(edges))
+	}
+}
+
+func TestSliceHours(t *testing.T) {
+	o := smallOptions()
+	o.Hours = 8
+	c := Generate(o)
+	sub := c.SliceHours(3)
+	if got := sub.Hours(); got > 3.8 || got < 2 {
+		t.Errorf("sliced Hours = %g, want ~3", got)
+	}
+	if len(sub.Queries) != 5 {
+		t.Errorf("sliced queries = %d", len(sub.Queries))
+	}
+	for _, it := range sub.Items {
+		if it.DupOf() != "" {
+			if _, ok := sub.ByID[it.DupOf()]; !ok {
+				t.Errorf("dup %s points outside the slice", it.ID)
+			}
+		}
+	}
+	// Source videos must exist in the subset.
+	for _, q := range sub.Queries {
+		for _, s := range q.Sources {
+			if _, ok := sub.ByID[s]; !ok {
+				t.Errorf("query source %s missing from slice", s)
+			}
+		}
+	}
+}
+
+func TestPropertyGenerateWellFormed(t *testing.T) {
+	f := func(seed int64) bool {
+		o := smallOptions()
+		o.Seed = seed
+		o.Hours = 2
+		c := Generate(o)
+		if len(c.Items) == 0 || len(c.Users) != o.Users {
+			return false
+		}
+		for _, it := range c.Items {
+			if _, ok := c.ByID[it.ID]; !ok {
+				return false
+			}
+			if it.Topic < 0 || it.Topic >= o.Topics {
+				return false
+			}
+			if it.Owner == "" {
+				return false
+			}
+		}
+		return len(c.Queries) == 5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	o := smallOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Generate(o)
+	}
+}
+
+func BenchmarkRender(b *testing.B) {
+	c := Generate(smallOptions())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Items[i%len(c.Items)].Render(c.Opts.Synth)
+	}
+}
+
+func TestSharedShotsWithinTopic(t *testing.T) {
+	c := Generate(smallOptions())
+	// Two originals of the same topic drawing from the pool should share at
+	// least one shot somewhere in the collection; cross-topic never share.
+	maxSame, maxCross := 0, 0
+	for i, a := range c.Items {
+		for _, b := range c.Items[i+1:] {
+			if a.DupOf() != "" || b.DupOf() != "" {
+				continue
+			}
+			n := a.SharedShots(b)
+			if a.Topic == b.Topic && n > maxSame {
+				maxSame = n
+			}
+			if a.Topic != b.Topic && n > maxCross {
+				maxCross = n
+			}
+		}
+	}
+	if maxSame == 0 {
+		t.Error("no same-topic originals share pool footage")
+	}
+	if maxCross != 0 {
+		t.Errorf("cross-topic clips share %d shots, want 0", maxCross)
+	}
+}
+
+func TestDupSharesAllShotsWithOriginal(t *testing.T) {
+	c := Generate(smallOptions())
+	for _, it := range c.Items {
+		if it.DupOf() == "" {
+			continue
+		}
+		orig := c.ByID[it.DupOf()]
+		if got := it.SharedShots(orig); got != len(orig.specs) {
+			t.Errorf("dup %s shares %d/%d shots with original", it.ID, got, len(orig.specs))
+		}
+	}
+}

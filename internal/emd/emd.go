@@ -1,0 +1,399 @@
+// Package emd implements exact Earth Mover's Distance (EMD) solvers used to
+// compare video cuboid signatures (Definition 1 of the paper).
+//
+// Two solvers are provided:
+//
+//   - Solve: the general transportation simplex, accepting an arbitrary
+//     ground-cost matrix. It is the literal implementation of Definition 1
+//     (minimize Σ c_ij f_ij subject to CPos, CSource and CTarget).
+//   - Distance1D: a closed-form O(n log n) fast path for the one-dimensional
+//     case with |x−y| ground distance, which is exactly the shape of video
+//     cuboid signatures (each cuboid value v is a single scalar).
+//
+// Both solvers require the two inputs to carry equal total mass; the paper
+// normalizes every signature to total mass 1 (Definition 1), and Normalize
+// is provided for that purpose.
+package emd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Tolerance bounds below which masses and reduced costs are treated as zero.
+const (
+	massEps = 1e-9
+	costEps = 1e-10
+)
+
+// Errors returned by the solvers.
+var (
+	ErrEmpty        = errors.New("emd: empty histogram")
+	ErrNegative     = errors.New("emd: negative weight")
+	ErrZeroMass     = errors.New("emd: zero total mass")
+	ErrMassMismatch = errors.New("emd: total masses differ")
+	ErrShape        = errors.New("emd: cost matrix shape does not match supplies/demands")
+	ErrNoConverge   = errors.New("emd: simplex failed to converge")
+)
+
+// Normalize scales weights in place so they sum to one. It returns an error
+// if the slice is empty, contains a negative weight, or sums to zero.
+func Normalize(weights []float64) error {
+	if len(weights) == 0 {
+		return ErrEmpty
+	}
+	var sum float64
+	for _, w := range weights {
+		if w < 0 {
+			return ErrNegative
+		}
+		sum += w
+	}
+	if sum <= massEps {
+		return ErrZeroMass
+	}
+	for i := range weights {
+		weights[i] /= sum
+	}
+	return nil
+}
+
+// Similarity converts an EMD value into the similarity score of Equation 3:
+// SimC = 1 / (1 + EMD).
+func Similarity(dist float64) float64 {
+	if dist < 0 {
+		dist = 0
+	}
+	return 1 / (1 + dist)
+}
+
+// GroundL1Cost builds the |v1_i − v2_j| ground-cost matrix used when cuboid
+// values are scalars.
+func GroundL1Cost(v1, v2 []float64) [][]float64 {
+	cost := make([][]float64, len(v1))
+	for i, a := range v1 {
+		row := make([]float64, len(v2))
+		for j, b := range v2 {
+			row[j] = math.Abs(a - b)
+		}
+		cost[i] = row
+	}
+	return cost
+}
+
+// Flow is an optimal transportation plan: Flow[i][j] is the mass moved from
+// supply i to demand j.
+type Flow [][]float64
+
+// Solve computes the exact EMD between a supply histogram and a demand
+// histogram under the given ground-cost matrix using the transportation
+// simplex (northwest-corner start, MODI pivoting). cost[i][j] is the cost of
+// moving one unit of mass from supply i to demand j. Supplies and demands
+// must be non-negative and carry equal (non-zero) total mass.
+//
+// The returned Flow satisfies the CPos/CSource/CTarget constraints of
+// Definition 1 up to floating-point tolerance.
+func Solve(cost [][]float64, supply, demand []float64) (float64, Flow, error) {
+	m, n := len(supply), len(demand)
+	if m == 0 || n == 0 {
+		return 0, nil, ErrEmpty
+	}
+	if len(cost) != m {
+		return 0, nil, ErrShape
+	}
+	for _, row := range cost {
+		if len(row) != n {
+			return 0, nil, ErrShape
+		}
+	}
+	var sa, sb float64
+	for _, a := range supply {
+		if a < 0 {
+			return 0, nil, ErrNegative
+		}
+		sa += a
+	}
+	for _, b := range demand {
+		if b < 0 {
+			return 0, nil, ErrNegative
+		}
+		sb += b
+	}
+	if sa <= massEps || sb <= massEps {
+		return 0, nil, ErrZeroMass
+	}
+	if math.Abs(sa-sb) > 1e-6*math.Max(sa, sb) {
+		return 0, nil, fmt.Errorf("%w: %g vs %g", ErrMassMismatch, sa, sb)
+	}
+
+	// Copy and perturb supplies deterministically to break degeneracy; the
+	// perturbation is orders of magnitude below massEps so the reported cost
+	// is unaffected at the tolerance we guarantee.
+	a := make([]float64, m)
+	b := make([]float64, n)
+	const pert = 1e-13
+	var added float64
+	for i := range supply {
+		a[i] = supply[i] + pert*float64(i+1)
+		added += pert * float64(i+1)
+	}
+	copy(b, demand)
+	b[n-1] += added + (sa - sb) // re-balance exactly
+
+	t := newTransport(cost, a, b)
+	if err := t.run(); err != nil {
+		return 0, nil, err
+	}
+	flow := make(Flow, m)
+	for i := range flow {
+		flow[i] = make([]float64, n)
+	}
+	var total float64
+	for _, c := range t.basis {
+		f := t.flow[c]
+		if f < 0 {
+			f = 0
+		}
+		flow[c.i][c.j] = f
+		total += f * cost[c.i][c.j]
+	}
+	return total, flow, nil
+}
+
+type cell struct{ i, j int }
+
+// transport carries the state of one transportation-simplex run.
+type transport struct {
+	cost  [][]float64
+	a, b  []float64
+	m, n  int
+	basis []cell
+	flow  map[cell]float64
+	u     []float64
+	v     []float64
+	uSet  []bool
+	vSet  []bool
+}
+
+func newTransport(cost [][]float64, a, b []float64) *transport {
+	return &transport{
+		cost: cost,
+		a:    a,
+		b:    b,
+		m:    len(a),
+		n:    len(b),
+		flow: make(map[cell]float64),
+		u:    make([]float64, len(a)),
+		v:    make([]float64, len(b)),
+		uSet: make([]bool, len(a)),
+		vSet: make([]bool, len(b)),
+	}
+}
+
+func (t *transport) run() error {
+	t.northwest()
+	maxIter := 50 * (t.m*t.n + 10)
+	for iter := 0; iter < maxIter; iter++ {
+		t.potentials()
+		ei, ej, found := t.entering()
+		if !found {
+			return nil
+		}
+		if err := t.pivot(cell{ei, ej}); err != nil {
+			return err
+		}
+	}
+	return ErrNoConverge
+}
+
+// northwest builds the initial basic feasible solution. It always produces
+// exactly m+n−1 basic cells (including zero-flow cells on ties) so the basis
+// graph is a spanning tree.
+func (t *transport) northwest() {
+	ra := make([]float64, t.m)
+	rb := make([]float64, t.n)
+	copy(ra, t.a)
+	copy(rb, t.b)
+	i, j := 0, 0
+	for i < t.m && j < t.n {
+		f := math.Min(ra[i], rb[j])
+		c := cell{i, j}
+		t.basis = append(t.basis, c)
+		t.flow[c] = f
+		ra[i] -= f
+		rb[j] -= f
+		switch {
+		case i == t.m-1 && j == t.n-1:
+			i++
+			j++
+		case j == t.n-1:
+			i++
+		case i == t.m-1:
+			j++
+		case ra[i] <= rb[j]:
+			i++
+		default:
+			j++
+		}
+	}
+}
+
+// potentials solves u_i + v_j = c_ij over the basis spanning tree.
+func (t *transport) potentials() {
+	for i := range t.uSet {
+		t.uSet[i] = false
+	}
+	for j := range t.vSet {
+		t.vSet[j] = false
+	}
+	t.u[0] = 0
+	t.uSet[0] = true
+	// Basis is a tree with m+n nodes, so at most m+n sweeps settle it.
+	for pass := 0; pass < t.m+t.n; pass++ {
+		progress := false
+		for _, c := range t.basis {
+			switch {
+			case t.uSet[c.i] && !t.vSet[c.j]:
+				t.v[c.j] = t.cost[c.i][c.j] - t.u[c.i]
+				t.vSet[c.j] = true
+				progress = true
+			case !t.uSet[c.i] && t.vSet[c.j]:
+				t.u[c.i] = t.cost[c.i][c.j] - t.v[c.j]
+				t.uSet[c.i] = true
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+}
+
+// entering returns the non-basic cell with the most negative reduced cost.
+func (t *transport) entering() (int, int, bool) {
+	inBasis := make(map[cell]bool, len(t.basis))
+	for _, c := range t.basis {
+		inBasis[c] = true
+	}
+	best := -costEps
+	bi, bj, found := -1, -1, false
+	for i := 0; i < t.m; i++ {
+		for j := 0; j < t.n; j++ {
+			if inBasis[cell{i, j}] {
+				continue
+			}
+			r := t.cost[i][j] - t.u[i] - t.v[j]
+			if r < best {
+				best = r
+				bi, bj = i, j
+				found = true
+			}
+		}
+	}
+	return bi, bj, found
+}
+
+// pivot brings enter into the basis, pushing θ around the unique cycle it
+// forms with the basis tree and evicting the minus-position cell whose flow
+// hits zero first.
+func (t *transport) pivot(enter cell) error {
+	cyc, err := t.findCycle(enter)
+	if err != nil {
+		return err
+	}
+	// Odd positions in the cycle are minus positions.
+	theta := math.Inf(1)
+	leaveIdx := -1
+	for p := 1; p < len(cyc); p += 2 {
+		if f := t.flow[cyc[p]]; f < theta {
+			theta = f
+			leaveIdx = p
+		}
+	}
+	if leaveIdx < 0 {
+		return ErrNoConverge
+	}
+	for p, c := range cyc {
+		if p == 0 {
+			continue
+		}
+		if p%2 == 1 {
+			t.flow[c] -= theta
+		} else {
+			t.flow[c] += theta
+		}
+	}
+	leave := cyc[leaveIdx]
+	t.flow[enter] = theta
+	delete(t.flow, leave)
+	for i, c := range t.basis {
+		if c == leave {
+			t.basis[i] = enter
+			return nil
+		}
+	}
+	return ErrNoConverge
+}
+
+// findCycle locates the unique alternating cycle formed by the entering cell
+// and the basis tree. The returned slice starts with enter and alternates
+// plus/minus positions.
+func (t *transport) findCycle(enter cell) ([]cell, error) {
+	// Adjacency over basis cells: row node i ↔ column node j.
+	rowAdj := make([][]cell, t.m)
+	colAdj := make([][]cell, t.n)
+	for _, c := range t.basis {
+		rowAdj[c.i] = append(rowAdj[c.i], c)
+		colAdj[c.j] = append(colAdj[c.j], c)
+	}
+	// Path in the basis tree from row enter.i to column enter.j. Nodes:
+	// rows 0..m−1, columns m..m+n−1. Track the basis cell used to reach each
+	// node so the cell path can be reconstructed.
+	type node struct {
+		id   int
+		via  cell
+		prev int
+	}
+	const none = -1
+	visited := make([]int, t.m+t.n) // index into trail, or -1
+	for i := range visited {
+		visited[i] = none
+	}
+	trail := []node{{id: enter.i, prev: none}}
+	visited[enter.i] = 0
+	target := t.m + enter.j
+	for head := 0; head < len(trail); head++ {
+		cur := trail[head]
+		if cur.id == target {
+			// Reconstruct cells along the tree path, then prepend enter.
+			var path []cell
+			for at := head; trail[at].prev != none; at = trail[at].prev {
+				path = append(path, trail[at].via)
+			}
+			// path is column→…→row order; reverse to start at enter.i side.
+			for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
+				path[l], path[r] = path[r], path[l]
+			}
+			return append([]cell{enter}, path...), nil
+		}
+		if cur.id < t.m {
+			for _, c := range rowAdj[cur.id] {
+				nid := t.m + c.j
+				if visited[nid] == none {
+					visited[nid] = len(trail)
+					trail = append(trail, node{id: nid, via: c, prev: head})
+				}
+			}
+		} else {
+			j := cur.id - t.m
+			for _, c := range colAdj[j] {
+				if visited[c.i] == none {
+					visited[c.i] = len(trail)
+					trail = append(trail, node{id: c.i, via: c, prev: head})
+				}
+			}
+		}
+	}
+	return nil, ErrNoConverge
+}

@@ -1,0 +1,411 @@
+package emd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const tol = 1e-6
+
+func almostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestNormalize(t *testing.T) {
+	w := []float64{1, 3, 4}
+	if err := Normalize(w); err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	var sum float64
+	for _, x := range w {
+		sum += x
+	}
+	if !almostEqual(sum, 1, tol) {
+		t.Fatalf("sum = %g, want 1", sum)
+	}
+	if !almostEqual(w[0], 0.125, tol) {
+		t.Fatalf("w[0] = %g, want 0.125", w[0])
+	}
+}
+
+func TestNormalizeErrors(t *testing.T) {
+	if err := Normalize(nil); err != ErrEmpty {
+		t.Errorf("empty: got %v, want ErrEmpty", err)
+	}
+	if err := Normalize([]float64{1, -1}); err != ErrNegative {
+		t.Errorf("negative: got %v, want ErrNegative", err)
+	}
+	if err := Normalize([]float64{0, 0}); err != ErrZeroMass {
+		t.Errorf("zero: got %v, want ErrZeroMass", err)
+	}
+}
+
+func TestSimilarityBounds(t *testing.T) {
+	if got := Similarity(0); got != 1 {
+		t.Errorf("Similarity(0) = %g, want 1", got)
+	}
+	if got := Similarity(1); !almostEqual(got, 0.5, tol) {
+		t.Errorf("Similarity(1) = %g, want 0.5", got)
+	}
+	if got := Similarity(-3); got != 1 {
+		t.Errorf("Similarity(-3) = %g, want 1 (clamped)", got)
+	}
+	for d := 0.0; d < 100; d += 7.3 {
+		s := Similarity(d)
+		if s <= 0 || s > 1 {
+			t.Fatalf("Similarity(%g) = %g out of (0,1]", d, s)
+		}
+	}
+}
+
+func TestDistance1DIdentity(t *testing.T) {
+	v := []float64{0.1, 0.5, 0.9}
+	w := []float64{0.2, 0.3, 0.5}
+	d, err := Distance1D(v, w, v, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(d, 0, tol) {
+		t.Errorf("self-distance = %g, want 0", d)
+	}
+}
+
+func TestDistance1DPointMass(t *testing.T) {
+	// Moving a unit point mass from 0 to 3 costs exactly 3.
+	d, err := Distance1D([]float64{0}, []float64{1}, []float64{3}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(d, 3, tol) {
+		t.Errorf("d = %g, want 3", d)
+	}
+}
+
+func TestDistance1DHandComputed(t *testing.T) {
+	// Two half-masses at 0 and 1 vs one full mass at 0.5:
+	// each half moves 0.5 → EMD = 0.5.
+	d, err := Distance1D([]float64{0, 1}, []float64{0.5, 0.5}, []float64{0.5}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(d, 0.5, tol) {
+		t.Errorf("d = %g, want 0.5", d)
+	}
+}
+
+func TestDistance1DAsymmetricWeights(t *testing.T) {
+	// supply: 0.75 at 0, 0.25 at 4; demand: all at 1.
+	// Cost = 0.75*1 + 0.25*3 = 1.5.
+	d, err := Distance1D([]float64{0, 4}, []float64{0.75, 0.25}, []float64{1}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(d, 1.5, tol) {
+		t.Errorf("d = %g, want 1.5", d)
+	}
+}
+
+func TestDistance1DErrors(t *testing.T) {
+	one := []float64{1}
+	if _, err := Distance1D(nil, nil, one, one); err != ErrEmpty {
+		t.Errorf("empty: got %v", err)
+	}
+	if _, err := Distance1D(one, []float64{1, 2}, one, one); err != ErrShape {
+		t.Errorf("shape: got %v", err)
+	}
+	if _, err := Distance1D(one, []float64{-1}, one, one); err != ErrNegative {
+		t.Errorf("negative: got %v", err)
+	}
+	if _, err := Distance1D(one, []float64{0}, one, one); err != ErrZeroMass {
+		t.Errorf("zero mass: got %v", err)
+	}
+	if _, err := Distance1D(one, []float64{1}, one, []float64{2}); err != ErrMassMismatch {
+		t.Errorf("mismatch: got %v", err)
+	}
+}
+
+func TestSolveHandComputed(t *testing.T) {
+	// Classic 2x2: supplies (0.6, 0.4), demands (0.5, 0.5).
+	cost := [][]float64{{0, 1}, {1, 0}}
+	d, flow, err := Solve(cost, []float64{0.6, 0.4}, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimal: move 0.5 from s0→d0, 0.1 from s0→d1, 0.4 from s1→d1 → cost 0.1.
+	if !almostEqual(d, 0.1, 1e-5) {
+		t.Errorf("cost = %g, want 0.1", d)
+	}
+	checkFlowFeasible(t, flow, []float64{0.6, 0.4}, []float64{0.5, 0.5})
+}
+
+func TestSolveSingleCell(t *testing.T) {
+	d, _, err := Solve([][]float64{{2.5}}, []float64{1}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(d, 2.5, tol) {
+		t.Errorf("cost = %g, want 2.5", d)
+	}
+}
+
+func TestSolveDegenerateTies(t *testing.T) {
+	// Equal supplies and demands force degenerate pivots.
+	cost := [][]float64{{1, 2, 3}, {4, 1, 2}, {3, 4, 1}}
+	sup := []float64{1. / 3, 1. / 3, 1. / 3}
+	dem := []float64{1. / 3, 1. / 3, 1. / 3}
+	d, flow, err := Solve(cost, sup, dem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(d, 1, 1e-5) { // diagonal assignment, cost 1/3*3
+		t.Errorf("cost = %g, want 1", d)
+	}
+	checkFlowFeasible(t, flow, sup, dem)
+}
+
+func TestSolveErrors(t *testing.T) {
+	if _, _, err := Solve(nil, nil, nil); err != ErrEmpty {
+		t.Errorf("empty: got %v", err)
+	}
+	if _, _, err := Solve([][]float64{{1}}, []float64{1}, []float64{1, 2}); err != ErrShape {
+		t.Errorf("shape: got %v", err)
+	}
+	if _, _, err := Solve([][]float64{{1, 2}, {1}}, []float64{1, 1}, []float64{1, 1}); err != ErrShape {
+		t.Errorf("row shape: got %v", err)
+	}
+	if _, _, err := Solve([][]float64{{1}}, []float64{-1}, []float64{1}); err != ErrNegative {
+		t.Errorf("negative: got %v", err)
+	}
+}
+
+func checkFlowFeasible(t *testing.T, flow Flow, sup, dem []float64) {
+	t.Helper()
+	for i, row := range flow {
+		var s float64
+		for _, f := range row {
+			if f < -tol {
+				t.Fatalf("negative flow %g at row %d", f, i)
+			}
+			s += f
+		}
+		if !almostEqual(s, sup[i], 1e-5) {
+			t.Fatalf("row %d flow %g != supply %g", i, s, sup[i])
+		}
+	}
+	for j := range dem {
+		var s float64
+		for i := range flow {
+			s += flow[i][j]
+		}
+		if !almostEqual(s, dem[j], 1e-5) {
+			t.Fatalf("col %d flow %g != demand %g", j, s, dem[j])
+		}
+	}
+}
+
+// randomHist draws a normalized histogram with n points in [0,1).
+func randomHist(rng *rand.Rand, n int) (vals, weights []float64) {
+	vals = make([]float64, n)
+	weights = make([]float64, n)
+	for i := range vals {
+		vals[i] = rng.Float64()
+		weights[i] = 0.05 + rng.Float64()
+	}
+	if err := Normalize(weights); err != nil {
+		panic(err)
+	}
+	return vals, weights
+}
+
+// The 1-D closed form must agree with the general transportation simplex.
+func TestProperty1DMatchesSimplex(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := 1 + r.Intn(7)
+		n := 1 + r.Intn(7)
+		v1, w1 := randomHist(r, m)
+		v2, w2 := randomHist(r, n)
+		fast, err := Distance1D(v1, w1, v2, w2)
+		if err != nil {
+			t.Logf("Distance1D: %v", err)
+			return false
+		}
+		exact, _, err := Solve(GroundL1Cost(v1, v2), w1, w2)
+		if err != nil {
+			t.Logf("Solve: %v", err)
+			return false
+		}
+		if !almostEqual(fast, exact, 1e-5) {
+			t.Logf("seed %d: fast=%g exact=%g", seed, fast, exact)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// EMD with a metric ground distance is itself a metric on normalized
+// histograms: identity, symmetry and the triangle inequality must hold.
+func TestPropertyMetricAxioms(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mk := func() ([]float64, []float64) { return randomHist(r, 1+r.Intn(6)) }
+		av, aw := mk()
+		bv, bw := mk()
+		cv, cw := mk()
+		dab, err1 := Distance1D(av, aw, bv, bw)
+		dba, err2 := Distance1D(bv, bw, av, aw)
+		dac, err3 := Distance1D(av, aw, cv, cw)
+		dbc, err4 := Distance1D(bv, bw, cv, cw)
+		daa, err5 := Distance1D(av, aw, av, aw)
+		for _, err := range []error{err1, err2, err3, err4, err5} {
+			if err != nil {
+				return false
+			}
+		}
+		if dab < -tol || !almostEqual(dab, dba, 1e-7) {
+			return false
+		}
+		if !almostEqual(daa, 0, 1e-9) {
+			return false
+		}
+		return dac <= dab+dbc+1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Simplex optimality: the returned cost can never beat a brute-force
+// enumeration lower bound and never exceeds a greedy feasible upper bound.
+func TestPropertySimplexBracketed(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := 1 + r.Intn(5)
+		n := 1 + r.Intn(5)
+		v1, w1 := randomHist(r, m)
+		v2, w2 := randomHist(r, n)
+		cost := GroundL1Cost(v1, v2)
+		d, flow, err := Solve(cost, w1, w2)
+		if err != nil {
+			return false
+		}
+		// Feasibility of the reported flow.
+		for i := range flow {
+			var s float64
+			for j := range flow[i] {
+				if flow[i][j] < -tol {
+					return false
+				}
+				s += flow[i][j]
+			}
+			if !almostEqual(s, w1[i], 1e-4) {
+				return false
+			}
+		}
+		// Flow cost equals reported distance.
+		var fc float64
+		for i := range flow {
+			for j := range flow[i] {
+				fc += flow[i][j] * cost[i][j]
+			}
+		}
+		if !almostEqual(fc, d, 1e-5) {
+			return false
+		}
+		// Greedy northwest feasible plan is an upper bound.
+		greedy := nwCost(cost, w1, w2)
+		return d <= greedy+1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func nwCost(cost [][]float64, sup, dem []float64) float64 {
+	ra := append([]float64(nil), sup...)
+	rb := append([]float64(nil), dem...)
+	var total float64
+	i, j := 0, 0
+	for i < len(ra) && j < len(rb) {
+		f := math.Min(ra[i], rb[j])
+		total += f * cost[i][j]
+		ra[i] -= f
+		rb[j] -= f
+		if ra[i] <= massEps {
+			i++
+		} else {
+			j++
+		}
+	}
+	return total
+}
+
+// Scaling both histograms' positions scales the distance linearly.
+func TestPropertyPositionScaling(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v1, w1 := randomHist(r, 1+r.Intn(5))
+		v2, w2 := randomHist(r, 1+r.Intn(5))
+		d1, err := Distance1D(v1, w1, v2, w2)
+		if err != nil {
+			return false
+		}
+		const c = 3.5
+		sv1 := make([]float64, len(v1))
+		sv2 := make([]float64, len(v2))
+		for i, x := range v1 {
+			sv1[i] = c * x
+		}
+		for i, x := range v2 {
+			sv2[i] = c * x
+		}
+		d2, err := Distance1D(sv1, w1, sv2, w2)
+		if err != nil {
+			return false
+		}
+		return almostEqual(d2, c*d1, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroundL1Cost(t *testing.T) {
+	c := GroundL1Cost([]float64{0, 2}, []float64{1})
+	if len(c) != 2 || len(c[0]) != 1 {
+		t.Fatalf("shape = %dx%d", len(c), len(c[0]))
+	}
+	if c[0][0] != 1 || c[1][0] != 1 {
+		t.Errorf("costs = %v", c)
+	}
+}
+
+func BenchmarkDistance1D(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	v1, w1 := randomHist(r, 32)
+	v2, w2 := randomHist(r, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Distance1D(v1, w1, v2, w2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveSimplex(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	v1, w1 := randomHist(r, 32)
+	v2, w2 := randomHist(r, 32)
+	cost := GroundL1Cost(v1, v2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Solve(cost, w1, w2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

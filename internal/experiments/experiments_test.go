@@ -1,0 +1,322 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"videorec/internal/dataset"
+)
+
+// The effectiveness environment is expensive to build; tests share one.
+var (
+	envOnce sync.Once
+	sharedE *Env
+)
+
+func env(t testing.TB) *Env {
+	t.Helper()
+	envOnce.Do(func() { sharedE = NewEnv(DefaultScale()) })
+	return sharedE
+}
+
+// row lookup helper.
+func find(rows []Row, label string, topK int) Row {
+	for _, r := range rows {
+		if r.Label == label && r.TopK == topK {
+			return r
+		}
+	}
+	return Row{}
+}
+
+func TestEnvBasics(t *testing.T) {
+	e := env(t)
+	if got := len(e.Sources()); got != 10 {
+		t.Fatalf("sources = %d, want 10 (top-2 per Table 2 query)", got)
+	}
+	for _, it := range e.Col.Items {
+		if len(e.Series[it.ID]) == 0 {
+			t.Fatalf("no signatures extracted for %s", it.ID)
+		}
+		if e.Descs[it.ID].Len() == 0 {
+			t.Fatalf("empty descriptor for %s", it.ID)
+		}
+	}
+	if e.AFFRF.Len() != len(e.Col.Items) {
+		t.Errorf("AFFRF ingested %d of %d items", e.AFFRF.Len(), len(e.Col.Items))
+	}
+}
+
+func TestTable2(t *testing.T) {
+	e := env(t)
+	qs := e.Table2()
+	if len(qs) != 5 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	for i, q := range qs {
+		if q.Text != dataset.Table2Queries[i] {
+			t.Errorf("query %d = %q, want %q", i, q.Text, dataset.Table2Queries[i])
+		}
+		if len(q.Sources) != 2 {
+			t.Errorf("query %q has %d sources", q.Text, len(q.Sources))
+		}
+	}
+}
+
+func TestEvaluateRowsWellFormed(t *testing.T) {
+	e := env(t)
+	rows := e.Evaluate("test", func(src string, k int) []string {
+		// Trivial ranker: lexicographic ids.
+		var ids []string
+		for _, it := range e.Col.Items {
+			if it.ID != src {
+				ids = append(ids, it.ID)
+			}
+		}
+		if len(ids) > k {
+			ids = ids[:k]
+		}
+		return ids
+	})
+	if len(rows) != len(TopKs) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(TopKs))
+	}
+	for _, r := range rows {
+		if r.AR < 1 || r.AR > 5 {
+			t.Errorf("AR = %g out of rating range", r.AR)
+		}
+		if r.AC < 0 || r.AC > 1 || r.MAP < 0 || r.MAP > 1 {
+			t.Errorf("AC/MAP out of [0,1]: %+v", r)
+		}
+	}
+}
+
+// Figure 7's headline: the set-based κJ beats the order-bound sequence
+// measures on all three metrics at top-5.
+func TestFig7Shape(t *testing.T) {
+	rows := env(t).Fig7()
+	kj := find(rows, "kJ", 5)
+	erp := find(rows, "ERP", 5)
+	dtw := find(rows, "DTW", 5)
+	if kj.AR <= erp.AR || kj.AR <= dtw.AR {
+		t.Errorf("κJ AR %.3f not above ERP %.3f / DTW %.3f", kj.AR, erp.AR, dtw.AR)
+	}
+	if kj.AC <= erp.AC || kj.AC <= dtw.AC {
+		t.Errorf("κJ AC %.3f not above ERP %.3f / DTW %.3f", kj.AC, erp.AC, dtw.AC)
+	}
+}
+
+// Figure 8's shape: fused weights around the paper's optimum beat both pure
+// content (ω=0) and pure social (ω=1).
+func TestFig8Shape(t *testing.T) {
+	rows := env(t).Fig8([]float64{0, 0.7, 1.0})
+	mid := find(rows, "w=0.7", 20)
+	lo := find(rows, "w=0.0", 20)
+	hi := find(rows, "w=1.0", 20)
+	if mid.AR <= lo.AR {
+		t.Errorf("ω=0.7 AR %.3f not above ω=0 AR %.3f", mid.AR, lo.AR)
+	}
+	if mid.AR <= hi.AR {
+		t.Errorf("ω=0.7 AR %.3f not above ω=1 AR %.3f", mid.AR, hi.AR)
+	}
+}
+
+// Figure 9's shape: effectiveness rises with k up to the working range and
+// then plateaus.
+func TestFig9Shape(t *testing.T) {
+	e := env(t)
+	rows := e.Fig9([]int{20, 60, 80})
+	low := find(rows, "k=20", 10)
+	opt := find(rows, "k=60", 10)
+	high := find(rows, "k=80", 10)
+	if opt.AR <= low.AR {
+		t.Errorf("k=60 AR %.3f not above k=20 AR %.3f", opt.AR, low.AR)
+	}
+	// Plateau: k=80 within a small band of k=60.
+	if diff := opt.AR - high.AR; diff > 0.4 || diff < -0.4 {
+		t.Errorf("no plateau: k=60 AR %.3f vs k=80 AR %.3f", opt.AR, high.AR)
+	}
+}
+
+// Figure 10's ordering: CSF best, CR clearly below (content alone misses the
+// relevant-but-unmatched videos), AFFRF in between.
+func TestFig10Shape(t *testing.T) {
+	rows := env(t).Fig10()
+	csf := find(rows, "CSF", 20)
+	sr := find(rows, "SR", 20)
+	cr := find(rows, "CR", 20)
+	aff := find(rows, "AFFRF", 20)
+	if csf.AR < sr.AR {
+		t.Errorf("CSF AR %.3f below SR %.3f", csf.AR, sr.AR)
+	}
+	if csf.AR <= cr.AR {
+		t.Errorf("CSF AR %.3f not above CR %.3f", csf.AR, cr.AR)
+	}
+	if csf.AR <= aff.AR {
+		t.Errorf("CSF AR %.3f not above AFFRF %.3f", csf.AR, aff.AR)
+	}
+	if aff.AR <= cr.AR {
+		t.Errorf("AFFRF AR %.3f not above CR %.3f (multimodal should beat pure content)", aff.AR, cr.AR)
+	}
+}
+
+// Figure 11's shape: effectiveness stays steady as months of social updates
+// are replayed through the maintenance path.
+func TestFig11Stable(t *testing.T) {
+	rows := env(t).Fig11()
+	min, max := 10.0, 0.0
+	for _, r := range rows {
+		if r.TopK != 10 {
+			continue
+		}
+		if r.AR < min {
+			min = r.AR
+		}
+		if r.AR > max {
+			max = r.AR
+		}
+	}
+	if max-min > 0.35 {
+		t.Errorf("effectiveness drifted %.3f across update months (want steady)", max-min)
+	}
+}
+
+// §4.2.2's in-text comparison: our sub-community extraction clusters users
+// better than spectral clustering under the interaction distance.
+func TestSilhouetteBeatsSpectral(t *testing.T) {
+	e := env(t)
+	ours, spec := e.Silhouette(200, e.optimalK())
+	if ours <= spec {
+		t.Errorf("silhouette ours %.3f not above spectral %.3f", ours, spec)
+	}
+	if ours <= 0 {
+		t.Errorf("our silhouette %.3f should be positive", ours)
+	}
+}
+
+// Figure 12 structure at a reduced scale: the sweep produces a row per
+// (approach, size) with positive times, and the exact-sJ CSF grows with the
+// collection while the SAR curves stay below it at the largest size.
+func TestFig12Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing sweep")
+	}
+	s := DefaultScale()
+	s.EfficiencyHours = []float64{3, 9}
+	s.Users = 120
+	s.CommentMean = 20
+	e := NewEfficiencyEnv(s)
+
+	a := e.Fig12a()
+	if len(a) != 6 {
+		t.Fatalf("Fig12a rows = %d, want 6", len(a))
+	}
+	for _, r := range a {
+		if r.MillisPerQuery <= 0 {
+			t.Errorf("non-positive time: %+v", r)
+		}
+	}
+	b := e.Fig12b()
+	if len(b) != 4 {
+		t.Fatalf("Fig12b rows = %d, want 4", len(b))
+	}
+	c := e.Fig12c()
+	if len(c) != e.Col.Opts.MonthsTest {
+		t.Fatalf("Fig12c rows = %d, want %d", len(c), e.Col.Opts.MonthsTest)
+	}
+	for _, r := range c {
+		if r.Millis <= 0 {
+			t.Errorf("non-positive update time: %+v", r)
+		}
+		if r.Report.Maintenance.NewConnections == 0 {
+			t.Errorf("month %d derived no connections", r.Months)
+		}
+	}
+}
+
+func TestSourceDescriptorUsesSourcePeriodOnly(t *testing.T) {
+	e := env(t)
+	it := e.Col.Items[0]
+	d := SourceDescriptor(e.Col, it)
+	// Every test-period-only commenter must be absent.
+	srcUsers := map[string]bool{}
+	testOnly := map[string]bool{}
+	for _, cm := range it.Comments {
+		if cm.Month < e.Col.Opts.MonthsSource {
+			srcUsers[cm.User] = true
+		}
+	}
+	for _, cm := range it.Comments {
+		if cm.Month >= e.Col.Opts.MonthsSource && !srcUsers[cm.User] {
+			testOnly[cm.User] = true
+		}
+	}
+	for u := range testOnly {
+		if u != it.Owner && d.Contains(u) {
+			t.Errorf("descriptor contains test-period-only user %s", u)
+		}
+	}
+}
+
+// The auto-tuner must land in the fused interior (neither pure content nor
+// pure social) — the Figure 8 story, found automatically.
+func TestTuneOmega(t *testing.T) {
+	e := env(t)
+	best, rows := e.TuneOmega(0.25, 20)
+	if best <= 0 || best >= 1 {
+		t.Errorf("tuned ω = %.2f, want interior (0,1)", best)
+	}
+	if len(rows) != 5*len(TopKs) {
+		t.Errorf("sweep rows = %d, want %d", len(rows), 5*len(TopKs))
+	}
+}
+
+// Extended metrics must preserve the Figure 10 ordering: CSF beats CR on
+// NDCG and recall at top-20.
+func TestFig10ExtendedShape(t *testing.T) {
+	rows := env(t).Fig10Extended()
+	var csf, cr ExtRow
+	for _, r := range rows {
+		if r.TopK != 20 {
+			continue
+		}
+		switch r.Label {
+		case "CSF":
+			csf = r
+		case "CR":
+			cr = r
+		}
+	}
+	if csf.NDCG <= cr.NDCG {
+		t.Errorf("CSF NDCG %.3f not above CR %.3f", csf.NDCG, cr.NDCG)
+	}
+	if csf.R <= cr.R {
+		t.Errorf("CSF recall %.3f not above CR %.3f", csf.R, cr.R)
+	}
+	for _, r := range rows {
+		if r.NDCG < 0 || r.NDCG > 1 || r.P < 0 || r.P > 1 || r.R < 0 || r.R > 1 || r.MRR < 0 || r.MRR > 1 {
+			t.Errorf("metric out of range: %+v", r)
+		}
+	}
+}
+
+// Robustness extension: every edit level must retain more κJ than the
+// unrelated-pair noise floor, and harsher noise must not retain more than
+// milder noise.
+func TestRobustnessShape(t *testing.T) {
+	rows, floor := env(t).Robustness()
+	if len(rows) == 0 {
+		t.Fatal("no robustness rows")
+	}
+	byEdit := map[string][]RobustnessRow{}
+	for _, r := range rows {
+		if r.Retention <= floor {
+			t.Errorf("%s@%g retention %.3f not above unrelated floor %.3f", r.Edit, r.Level, r.Retention, floor)
+		}
+		byEdit[r.Edit] = append(byEdit[r.Edit], r)
+	}
+	noise := byEdit["noise"]
+	if len(noise) == 3 && noise[0].Retention < noise[2].Retention-0.05 {
+		t.Errorf("mild noise %.3f retains less than harsh noise %.3f", noise[0].Retention, noise[2].Retention)
+	}
+}

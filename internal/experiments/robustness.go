@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"videorec/internal/signature"
+	"videorec/internal/video"
+)
+
+// RobustnessRow reports κJ retention under one edit at one severity level:
+// retention = κJ(original, edited) since κJ(original, original) = 1. The
+// unrelated-pair baseline is what retention must stay above for the content
+// matcher to remain useful.
+type RobustnessRow struct {
+	Edit      string
+	Level     float64
+	Retention float64
+}
+
+// String renders the row for cmd/experiments.
+func (r RobustnessRow) String() string {
+	return fmt.Sprintf("%-12s level %-6.2g κJ retention %.3f", r.Edit, r.Level, r.Retention)
+}
+
+// Robustness sweeps edit severity over the query source videos — an
+// extension quantifying the §4.1 robustness claims signature-by-signature
+// rather than end-to-end. Returns the sweep rows plus the maximum κJ seen
+// between unrelated sources (the noise floor).
+func (e *Env) Robustness() (rows []RobustnessRow, unrelatedFloor float64) {
+	type edit struct {
+		name  string
+		level float64
+		apply func(v *video.Video, rng *rand.Rand) *video.Video
+	}
+	var edits []edit
+	for _, d := range []float64{10, 25, 40} {
+		d := d
+		edits = append(edits, edit{"brightness", d, func(v *video.Video, _ *rand.Rand) *video.Video {
+			return video.Brighten(v, d)
+		}})
+	}
+	for _, s := range []float64{2, 5, 10} {
+		s := s
+		edits = append(edits, edit{"noise", s, func(v *video.Video, rng *rand.Rand) *video.Video {
+			return video.AddNoise(v, s, rng)
+		}})
+	}
+	for _, f := range []float64{1.1, 1.25, 1.4} {
+		f := f
+		edits = append(edits, edit{"contrast", f, func(v *video.Video, _ *rand.Rand) *video.Video {
+			return video.Contrast(v, f)
+		}})
+	}
+	for _, n := range []float64{9, 6, 3} { // dropping every n-th frame; smaller = harsher
+		n := n
+		edits = append(edits, edit{"frame-drop", n, func(v *video.Video, _ *rand.Rand) *video.Video {
+			return video.DropFrames(v, int(n))
+		}})
+	}
+
+	sigOpts := signature.DefaultOptions()
+	srcs := e.Sources()
+	if len(srcs) > 4 {
+		srcs = srcs[:4]
+	}
+	for _, ed := range edits {
+		var sum float64
+		n := 0
+		for si, src := range srcs {
+			orig := e.Col.ByID[src].Render(e.Col.Opts.Synth)
+			so := e.Series[src]
+			rng := rand.New(rand.NewSource(int64(si)*31 + int64(ed.level*10)))
+			edited := ed.apply(orig, rng)
+			se := signature.Extract(edited, sigOpts)
+			sum += signature.KJ(so, se, signature.DefaultMatchThreshold)
+			n++
+		}
+		rows = append(rows, RobustnessRow{Edit: ed.name, Level: ed.level, Retention: sum / float64(n)})
+	}
+
+	// Noise floor: the strongest κJ between different-theme sources.
+	for i, a := range srcs {
+		for _, b := range srcs[i+1:] {
+			if theme(e.Col.ByID[a].Topic) == theme(e.Col.ByID[b].Topic) {
+				continue
+			}
+			if s := signature.KJ(e.Series[a], e.Series[b], signature.DefaultMatchThreshold); s > unrelatedFloor {
+				unrelatedFloor = s
+			}
+		}
+	}
+	return rows, unrelatedFloor
+}
+
+// theme mirrors the dataset's theme folding for the noise-floor pairing.
+func theme(topic int) int { return topic % 5 }

@@ -1,0 +1,252 @@
+// Package index implements the two access paths of the KNN search of §4.4
+// (Figure 6): the LSB content index — cuboid signatures embedded into L1,
+// LSH-hashed, Z-ordered and stored in a B⁺-tree whose entries carry the
+// video id — and the k inverted files mapping each sub-community id to the
+// videos whose descriptors touch it.
+package index
+
+import (
+	"sort"
+
+	"videorec/internal/btree"
+	"videorec/internal/lsh"
+	"videorec/internal/signature"
+	"videorec/internal/social"
+)
+
+// SigEntry is one LSB-tree payload: which video a stored signature belongs
+// to, and the signature itself so the refinement step can compute exact
+// SimC without a side lookup.
+type SigEntry struct {
+	VideoID string
+	Sig     signature.Signature
+}
+
+// LSBOptions tunes the content index.
+type LSBOptions struct {
+	M          int     // LSH functions per tree (M·Bits ≤ 64)
+	Bits       int     // bits per hash value
+	W          float64 // LSH bucket width
+	Levels     int     // embedding grid levels
+	VMin, VMax float64 // cuboid value domain
+	TreeOrder  int
+	Trees      int // LSB-trees in the forest ([28] uses L trees; more trees, better recall)
+	Seed       int64
+}
+
+// DefaultLSBOptions matches the signature package's default value scaling
+// (cuboid values in roughly [−64, 64] after VScale=4).
+func DefaultLSBOptions() LSBOptions {
+	return LSBOptions{
+		M:      8,
+		Bits:   8,
+		W:      0.02,
+		Levels: 7,
+		VMin:   -64, VMax: 64,
+		TreeOrder: 64,
+		Trees:     2,
+		Seed:      1,
+	}
+}
+
+// LSB is the content index: an LSB-forest of one or more Z-order B⁺-trees,
+// each with an independently drawn hash family, per [28]. A near neighbour
+// missed by one tree's space-filling curve is usually caught by another's.
+type LSB struct {
+	trees     []*btree.Tree[SigEntry]
+	hfs       []*lsh.HashFamily
+	emb       *lsh.Embedder
+	totalBits int
+}
+
+// NewLSB builds an empty content index.
+func NewLSB(opts LSBOptions) *LSB {
+	if opts.M == 0 {
+		opts = DefaultLSBOptions()
+	}
+	if opts.Trees < 1 {
+		opts.Trees = 1
+	}
+	emb := lsh.NewEmbedder(opts.VMin, opts.VMax, opts.Levels)
+	ix := &LSB{emb: emb, totalBits: opts.M * opts.Bits}
+	for t := 0; t < opts.Trees; t++ {
+		ix.trees = append(ix.trees, btree.New[SigEntry](opts.TreeOrder))
+		ix.hfs = append(ix.hfs, lsh.NewHashFamily(emb.Dim(), opts.M, opts.Bits, opts.W, opts.Seed+int64(t)*7919))
+	}
+	return ix
+}
+
+// Len returns the number of indexed signatures (per tree; every tree holds
+// every signature).
+func (ix *LSB) Len() int { return ix.trees[0].Len() }
+
+// Trees returns the forest size.
+func (ix *LSB) Trees() int { return len(ix.trees) }
+
+// key Z-orders a signature's LSH hashes under tree t's family.
+func (ix *LSB) key(t int, sig signature.Signature) uint64 {
+	v, w := sig.Values()
+	return ix.hfs[t].Key(ix.emb, v, w)
+}
+
+// Add indexes every signature of a video's series into every tree.
+func (ix *LSB) Add(videoID string, series signature.Series) {
+	for _, sig := range series {
+		e := SigEntry{VideoID: videoID, Sig: sig}
+		for t := range ix.trees {
+			ix.trees[t].Insert(ix.key(t, sig), e)
+		}
+	}
+}
+
+// Walker streams indexed signatures in decreasing order of the longest
+// common Z-order prefix with any signature of the query series — the "next
+// longest common prefix" search order of Figure 6. Each query signature
+// expands bidirectionally from its tree position; a tournament across all
+// fronts yields globally prefix-descending entries.
+type Walker struct {
+	ix     *LSB
+	fronts []*front
+}
+
+type front struct {
+	qkey uint64
+	fwd  *btree.Iterator[SigEntry]
+	bwd  *btree.Iterator[SigEntry]
+}
+
+// NewWalker prepares an LCP walk for the query series: one bidirectional
+// front per (query signature, tree) pair.
+func (ix *LSB) NewWalker(q signature.Series) *Walker {
+	w := &Walker{ix: ix}
+	for _, sig := range q {
+		for t := range ix.trees {
+			k := ix.key(t, sig)
+			f := &front{qkey: k, fwd: ix.trees[t].Seek(k)}
+			f.bwd = f.fwd.Clone()
+			if !f.bwd.Prev() {
+				f.bwd = nil
+			}
+			if !f.fwd.Valid() {
+				f.fwd = nil
+			}
+			w.fronts = append(w.fronts, f)
+		}
+	}
+	return w
+}
+
+// Next returns the indexed entry with the globally longest remaining common
+// prefix, its prefix length, and whether anything was left. Entries are
+// yielded at most once per front but a video naturally recurs across
+// signatures; the caller deduplicates at video level.
+func (w *Walker) Next() (SigEntry, int, bool) {
+	bestLen := -1
+	var bestFront *front
+	var takeFwd bool
+	for _, f := range w.fronts {
+		if f.fwd != nil {
+			if p := lsh.CommonPrefixLen(f.qkey, f.fwd.Key(), w.ix.totalBits); p > bestLen {
+				bestLen, bestFront, takeFwd = p, f, true
+			}
+		}
+		if f.bwd != nil {
+			if p := lsh.CommonPrefixLen(f.qkey, f.bwd.Key(), w.ix.totalBits); p > bestLen {
+				bestLen, bestFront, takeFwd = p, f, false
+			}
+		}
+	}
+	if bestFront == nil {
+		return SigEntry{}, 0, false
+	}
+	if takeFwd {
+		e := bestFront.fwd.Value()
+		if !bestFront.fwd.Next() {
+			bestFront.fwd = nil
+		}
+		return e, bestLen, true
+	}
+	e := bestFront.bwd.Value()
+	if !bestFront.bwd.Prev() {
+		bestFront.bwd = nil
+	}
+	return e, bestLen, true
+}
+
+// Inverted is the set of k inverted files of §4.4: one posting list of video
+// ids per sub-community dimension.
+type Inverted struct {
+	lists []map[string]bool
+}
+
+// NewInverted allocates k empty posting lists.
+func NewInverted(k int) *Inverted {
+	iv := &Inverted{lists: make([]map[string]bool, k)}
+	for i := range iv.lists {
+		iv.lists[i] = make(map[string]bool)
+	}
+	return iv
+}
+
+// Dims returns the number of posting lists.
+func (iv *Inverted) Dims() int { return len(iv.lists) }
+
+// Add posts the video under every dimension its descriptor vector touches.
+func (iv *Inverted) Add(videoID string, vec social.Vector) {
+	for d, x := range vec {
+		if x > 0 && d < len(iv.lists) {
+			iv.lists[d][videoID] = true
+		}
+	}
+}
+
+// Remove unposts the video from every dimension of the given vector (use
+// the vector it was added with).
+func (iv *Inverted) Remove(videoID string, vec social.Vector) {
+	for d, x := range vec {
+		if x > 0 && d < len(iv.lists) {
+			delete(iv.lists[d], videoID)
+		}
+	}
+}
+
+// Grow extends the index to at least k dimensions (maintenance can mint new
+// sub-community ids past the original k).
+func (iv *Inverted) Grow(k int) {
+	for len(iv.lists) < k {
+		iv.lists = append(iv.lists, make(map[string]bool))
+	}
+}
+
+// VideosForDim returns the sorted posting list of one dimension.
+func (iv *Inverted) VideosForDim(d int) []string {
+	if d < 0 || d >= len(iv.lists) {
+		return nil
+	}
+	out := make([]string, 0, len(iv.lists[d]))
+	for id := range iv.lists[d] {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Candidates returns every video sharing at least one non-zero dimension
+// with the query vector, sorted for determinism.
+func (iv *Inverted) Candidates(q social.Vector) []string {
+	seen := map[string]bool{}
+	for d, x := range q {
+		if x <= 0 || d >= len(iv.lists) {
+			continue
+		}
+		for id := range iv.lists[d] {
+			seen[id] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,209 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+
+	"videorec/internal/signature"
+	"videorec/internal/social"
+	"videorec/internal/video"
+)
+
+func series(topic int, seed int64) signature.Series {
+	rng := rand.New(rand.NewSource(seed))
+	v := video.Synthesize("x", topic, video.DefaultSynthOptions(), rng)
+	return signature.Extract(v, signature.DefaultOptions())
+}
+
+func TestLSBAddAndLen(t *testing.T) {
+	ix := NewLSB(DefaultLSBOptions())
+	s := series(1, 1)
+	ix.Add("v1", s)
+	if ix.Len() != len(s) {
+		t.Errorf("Len = %d, want %d", ix.Len(), len(s))
+	}
+}
+
+func TestWalkerYieldsEverythingOnce(t *testing.T) {
+	ix := NewLSB(DefaultLSBOptions())
+	total := 0
+	for i := 0; i < 5; i++ {
+		s := series(i, int64(i+1))
+		ix.Add(vid(i), s)
+		total += len(s)
+	}
+	w := ix.NewWalker(series(1, 99)[:1]) // single query signature
+	count := 0
+	for {
+		_, _, ok := w.Next()
+		if !ok {
+			break
+		}
+		count++
+	}
+	// One front per (signature, tree): every stored entry is yielded once
+	// per tree of the forest.
+	want := total * ix.Trees()
+	if count != want {
+		t.Errorf("walker yielded %d entries, want %d (each stored entry once per front)", count, want)
+	}
+}
+
+func TestWalkerPrefixDescendingPerFront(t *testing.T) {
+	ix := NewLSB(DefaultLSBOptions())
+	for i := 0; i < 6; i++ {
+		ix.Add(vid(i), series(i, int64(i+1)))
+	}
+	w := ix.NewWalker(series(2, 50)[:1])
+	last := 1 << 30
+	for {
+		_, p, ok := w.Next()
+		if !ok {
+			break
+		}
+		if p > last {
+			t.Fatalf("prefix length increased: %d after %d", p, last)
+		}
+		last = p
+	}
+}
+
+func TestWalkerFindsNearDuplicateFirst(t *testing.T) {
+	ix := NewLSB(DefaultLSBOptions())
+	orig := series(3, 7)
+	ix.Add("orig", orig)
+	for i := 0; i < 8; i++ {
+		ix.Add(vid(i), series(10+i, int64(i+20)))
+	}
+	// Query with the original's own signatures: the first few entries must
+	// come from "orig" (identical keys → maximal prefix).
+	w := ix.NewWalker(orig)
+	e, p, ok := w.Next()
+	if !ok {
+		t.Fatal("walker empty")
+	}
+	if e.VideoID != "orig" {
+		t.Errorf("first hit = %s (prefix %d), want orig", e.VideoID, p)
+	}
+	if p != 64 {
+		t.Errorf("self prefix = %d, want 64", p)
+	}
+}
+
+func TestWalkerEmptyIndexAndQuery(t *testing.T) {
+	ix := NewLSB(DefaultLSBOptions())
+	w := ix.NewWalker(series(1, 1))
+	if _, _, ok := w.Next(); ok {
+		t.Error("walker on empty index yielded an entry")
+	}
+	ix.Add("v", series(1, 1))
+	w = ix.NewWalker(nil)
+	if _, _, ok := w.Next(); ok {
+		t.Error("walker with empty query yielded an entry")
+	}
+}
+
+func TestInvertedAddCandidates(t *testing.T) {
+	iv := NewInverted(4)
+	iv.Add("a", social.Vector{1, 0, 2, 0})
+	iv.Add("b", social.Vector{0, 3, 0, 0})
+	iv.Add("c", social.Vector{0, 1, 1, 0})
+	got := iv.Candidates(social.Vector{0, 0, 5, 0})
+	if len(got) != 2 || got[0] != "a" || got[1] != "c" {
+		t.Errorf("Candidates = %v, want [a c]", got)
+	}
+	if got := iv.Candidates(social.Vector{0, 0, 0, 1}); len(got) != 0 {
+		t.Errorf("empty dim candidates = %v", got)
+	}
+}
+
+func TestInvertedRemove(t *testing.T) {
+	iv := NewInverted(3)
+	vec := social.Vector{1, 1, 0}
+	iv.Add("a", vec)
+	iv.Remove("a", vec)
+	if got := iv.Candidates(social.Vector{1, 1, 1}); len(got) != 0 {
+		t.Errorf("after remove: %v", got)
+	}
+}
+
+func TestInvertedGrow(t *testing.T) {
+	iv := NewInverted(2)
+	iv.Grow(5)
+	if iv.Dims() != 5 {
+		t.Errorf("Dims = %d, want 5", iv.Dims())
+	}
+	iv.Add("a", social.Vector{0, 0, 0, 0, 2})
+	if got := iv.VideosForDim(4); len(got) != 1 || got[0] != "a" {
+		t.Errorf("VideosForDim(4) = %v", got)
+	}
+	iv.Grow(3) // shrink requests are ignored
+	if iv.Dims() != 5 {
+		t.Errorf("Dims after no-op Grow = %d", iv.Dims())
+	}
+}
+
+func TestVideosForDimBounds(t *testing.T) {
+	iv := NewInverted(2)
+	if got := iv.VideosForDim(-1); got != nil {
+		t.Errorf("dim -1 = %v", got)
+	}
+	if got := iv.VideosForDim(9); got != nil {
+		t.Errorf("dim 9 = %v", got)
+	}
+}
+
+func vid(i int) string { return string(rune('a'+i)) + "-video" }
+
+func BenchmarkWalkerNext(b *testing.B) {
+	ix := NewLSB(DefaultLSBOptions())
+	for i := 0; i < 50; i++ {
+		ix.Add(vid(i%20), series(i%10, int64(i)))
+	}
+	q := series(3, 999)
+	b.ResetTimer()
+	w := ix.NewWalker(q)
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := w.Next(); !ok {
+			w = ix.NewWalker(q)
+		}
+	}
+}
+
+// The forest's value: recall of the true nearest signature improves with
+// more trees at a fixed probe budget.
+func TestForestImprovesRecall(t *testing.T) {
+	mk := func(trees int) *LSB {
+		o := DefaultLSBOptions()
+		o.Trees = trees
+		o.Seed = 17
+		return NewLSB(o)
+	}
+	single, forest := mk(1), mk(4)
+	for i := 0; i < 12; i++ {
+		s := series(i%6, int64(i+1))
+		single.Add(vid(i), s)
+		forest.Add(vid(i), s)
+	}
+	recall := func(ix *LSB) int {
+		hits := 0
+		for probe := 0; probe < 10; probe++ {
+			q := series(probe%6, int64(probe+1)) // identical to an indexed video
+			w := ix.NewWalker(q[:1])
+			for pops := 0; pops < 3; pops++ {
+				e, _, ok := w.Next()
+				if !ok {
+					break
+				}
+				if e.VideoID == vid(probe) {
+					hits++
+					break
+				}
+			}
+		}
+		return hits
+	}
+	if rs, rf := recall(single), recall(forest); rf < rs {
+		t.Errorf("forest recall %d below single-tree recall %d", rf, rs)
+	}
+}

@@ -1,0 +1,144 @@
+// Package metrics implements the evaluation measures of §5.2 — average
+// rating score AR (Eq. 10a), average accuracy AC (Eq. 10b), average
+// precision AP (Eq. 11) and MAP (Eq. 12) — plus the Silhouette Coefficient
+// used in the §4.2.2 clustering comparison, and a deterministic simulated
+// evaluator panel standing in for the paper's 10 human raters.
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// RelevantThreshold is the rating above which a video counts as relevant:
+// the paper defines N as "the number of retrieved videos with rating score
+// bigger than 4".
+const RelevantThreshold = 4.0
+
+// AR is Equation 10a: the mean rating of the returned videos. An empty list
+// scores 0.
+func AR(ratings []float64) float64 {
+	if len(ratings) == 0 {
+		return 0
+	}
+	var s float64
+	for _, r := range ratings {
+		s += r
+	}
+	return s / float64(len(ratings))
+}
+
+// AC is Equation 10b: the fraction of returned videos whose rating exceeds
+// RelevantThreshold.
+func AC(ratings []float64) float64 {
+	if len(ratings) == 0 {
+		return 0
+	}
+	n := 0
+	for _, r := range ratings {
+		if r > RelevantThreshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(ratings))
+}
+
+// AP is the non-interpolated average precision of Equation 11 over a ranked
+// relevance list: Σ_γ P(γ)·rel(γ), normalized by the number of relevant
+// items retrieved (the standard TRECVID normalization [25]; without it the
+// quantity would grow with list length). A list with no relevant items
+// scores 0.
+func AP(relevant []bool) float64 {
+	var sum float64
+	hits := 0
+	for i, rel := range relevant {
+		if rel {
+			hits++
+			sum += float64(hits) / float64(i+1)
+		}
+	}
+	if hits == 0 {
+		return 0
+	}
+	return sum / float64(hits)
+}
+
+// APFromRatings converts ratings to binary relevance (rating >
+// RelevantThreshold) and computes AP.
+func APFromRatings(ratings []float64) float64 {
+	rel := make([]bool, len(ratings))
+	for i, r := range ratings {
+		rel[i] = r > RelevantThreshold
+	}
+	return AP(rel)
+}
+
+// MAP is Equation 12: the mean of per-query average precisions.
+func MAP(aps []float64) float64 {
+	if len(aps) == 0 {
+		return 0
+	}
+	var s float64
+	for _, ap := range aps {
+		s += ap
+	}
+	return s / float64(len(aps))
+}
+
+// Silhouette computes the mean Silhouette Coefficient of a clustering under
+// an arbitrary item distance [10]. Items in singleton clusters contribute 0,
+// following the usual convention. Returns 0 for fewer than 2 items.
+func Silhouette(items []string, assign map[string]int, dist func(a, b string) float64) float64 {
+	if len(items) < 2 {
+		return 0
+	}
+	// Group items by cluster.
+	clusters := map[int][]string{}
+	for _, it := range items {
+		c := assign[it]
+		clusters[c] = append(clusters[c], it)
+	}
+	cids := make([]int, 0, len(clusters))
+	for c := range clusters {
+		cids = append(cids, c)
+	}
+	sort.Ints(cids)
+
+	var total float64
+	for _, it := range items {
+		own := assign[it]
+		if len(clusters[own]) < 2 {
+			continue // silhouette 0 for singletons
+		}
+		// a: mean distance to own cluster, excluding self.
+		var a float64
+		for _, other := range clusters[own] {
+			if other != it {
+				a += dist(it, other)
+			}
+		}
+		a /= float64(len(clusters[own]) - 1)
+		// b: min over other clusters of mean distance.
+		b := math.Inf(1)
+		for _, c := range cids {
+			if c == own || len(clusters[c]) == 0 {
+				continue
+			}
+			var d float64
+			for _, other := range clusters[c] {
+				d += dist(it, other)
+			}
+			d /= float64(len(clusters[c]))
+			if d < b {
+				b = d
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue // single cluster overall
+		}
+		if m := math.Max(a, b); m > 0 {
+			total += (b - a) / m
+		}
+	}
+	return total / float64(len(items))
+}

@@ -1,0 +1,205 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestARKnownValues(t *testing.T) {
+	if got := AR([]float64{5, 4, 3}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("AR = %g, want 4", got)
+	}
+	if got := AR(nil); got != 0 {
+		t.Errorf("AR(nil) = %g, want 0", got)
+	}
+}
+
+func TestACThreshold(t *testing.T) {
+	// Only ratings strictly above 4 count.
+	if got := AC([]float64{5, 4.5, 4, 3, 1}); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("AC = %g, want 0.4", got)
+	}
+	if got := AC(nil); got != 0 {
+		t.Errorf("AC(nil) = %g, want 0", got)
+	}
+}
+
+func TestAPKnownValues(t *testing.T) {
+	// Relevant at ranks 1 and 3: AP = (1/1 + 2/3)/2 = 5/6.
+	got := AP([]bool{true, false, true})
+	if math.Abs(got-5.0/6.0) > 1e-12 {
+		t.Errorf("AP = %g, want 5/6", got)
+	}
+	if got := AP([]bool{false, false}); got != 0 {
+		t.Errorf("AP with no relevant = %g, want 0", got)
+	}
+	if got := AP([]bool{true, true, true}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("AP all relevant = %g, want 1", got)
+	}
+}
+
+func TestAPFromRatings(t *testing.T) {
+	got := APFromRatings([]float64{5, 2, 4.7})
+	want := AP([]bool{true, false, true})
+	if got != want {
+		t.Errorf("APFromRatings = %g, want %g", got, want)
+	}
+}
+
+func TestMAP(t *testing.T) {
+	if got := MAP([]float64{1, 0.5}); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("MAP = %g, want 0.75", got)
+	}
+	if got := MAP(nil); got != 0 {
+		t.Errorf("MAP(nil) = %g, want 0", got)
+	}
+}
+
+func TestPropertyMetricBounds(t *testing.T) {
+	f := func(raw []uint8) bool {
+		ratings := make([]float64, len(raw))
+		rel := make([]bool, len(raw))
+		for i, r := range raw {
+			ratings[i] = 1 + float64(r%5)
+			rel[i] = r%2 == 0
+		}
+		ar, ac, ap := AR(ratings), AC(ratings), AP(rel)
+		if len(ratings) > 0 && (ar < 1 || ar > 5) {
+			return false
+		}
+		return ac >= 0 && ac <= 1 && ap >= 0 && ap <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Ranking relevant items earlier can never decrease AP.
+func TestAPMonotoneInRank(t *testing.T) {
+	worse := AP([]bool{false, false, true, true})
+	better := AP([]bool{true, true, false, false})
+	if better <= worse {
+		t.Errorf("AP better=%g should exceed worse=%g", better, worse)
+	}
+}
+
+func TestSilhouettePerfectClusters(t *testing.T) {
+	// Two tight groups far apart on a line.
+	pos := map[string]float64{"a": 0, "b": 0.1, "c": 10, "d": 10.1}
+	assign := map[string]int{"a": 0, "b": 0, "c": 1, "d": 1}
+	dist := func(x, y string) float64 { return math.Abs(pos[x] - pos[y]) }
+	got := Silhouette([]string{"a", "b", "c", "d"}, assign, dist)
+	if got < 0.95 {
+		t.Errorf("Silhouette = %g, want close to 1", got)
+	}
+}
+
+func TestSilhouetteBadClustersNegative(t *testing.T) {
+	// Clusters deliberately mixed across the two groups.
+	pos := map[string]float64{"a": 0, "b": 0.1, "c": 10, "d": 10.1}
+	assign := map[string]int{"a": 0, "b": 1, "c": 0, "d": 1}
+	dist := func(x, y string) float64 { return math.Abs(pos[x] - pos[y]) }
+	got := Silhouette([]string{"a", "b", "c", "d"}, assign, dist)
+	if got >= 0 {
+		t.Errorf("Silhouette = %g, want negative for mixed clusters", got)
+	}
+}
+
+func TestSilhouetteEdgeCases(t *testing.T) {
+	dist := func(x, y string) float64 { return 1 }
+	if got := Silhouette([]string{"a"}, map[string]int{"a": 0}, dist); got != 0 {
+		t.Errorf("single item = %g, want 0", got)
+	}
+	// All in one cluster: no b(i) exists → 0.
+	got := Silhouette([]string{"a", "b"}, map[string]int{"a": 0, "b": 0}, dist)
+	if got != 0 {
+		t.Errorf("single cluster = %g, want 0", got)
+	}
+}
+
+func TestPanelDeterministic(t *testing.T) {
+	p1 := NewPanel(10, 42)
+	p2 := NewPanel(10, 42)
+	if p1.Rate("q1:v1", 0.8) != p2.Rate("q1:v1", 0.8) {
+		t.Error("same seed, same key: ratings differ")
+	}
+	if p1.Raters() != 10 {
+		t.Errorf("Raters = %d, want 10", p1.Raters())
+	}
+}
+
+func TestPanelTracksRelevance(t *testing.T) {
+	p := NewPanel(10, 7)
+	// Averaged over many items, high relevance must earn clearly higher ratings.
+	var loSum, hiSum float64
+	const n = 50
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("item-%d", i)
+		loSum += p.Rate(key, 0.1)
+		hiSum += p.Rate(key, 0.9)
+	}
+	lo, hi := loSum/n, hiSum/n
+	if hi-lo < 2 {
+		t.Errorf("panel barely separates relevance: lo=%g hi=%g", lo, hi)
+	}
+}
+
+func TestPanelBounds(t *testing.T) {
+	p := NewPanel(10, 1)
+	for _, rel := range []float64{-0.5, 0, 0.3, 1, 1.7} {
+		r := p.Rate("k", rel)
+		if r < 1 || r > 5 {
+			t.Errorf("Rate(%g) = %g out of [1,5]", rel, r)
+		}
+	}
+}
+
+func TestPanelClampSize(t *testing.T) {
+	p := NewPanel(0, 1)
+	if p.Raters() != 1 {
+		t.Errorf("Raters = %d, want clamped to 1", p.Raters())
+	}
+}
+
+func TestPropertyPanelMonotone(t *testing.T) {
+	p := NewPanel(10, 3)
+	f := func(seed int64) bool {
+		key := fmt.Sprintf("k%d", seed)
+		// Averaged over the panel, a big relevance gap must not invert.
+		return p.Rate(key, 0.95) >= p.Rate(key, 0.05)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPanelRate(b *testing.B) {
+	p := NewPanel(10, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Rate("bench-key", 0.6)
+	}
+}
+
+func TestPanelRatingsSpanScale(t *testing.T) {
+	// Across many items, extreme relevances must reach near the scale ends.
+	p := NewPanel(10, 5)
+	var lo, hi float64 = 5, 1
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("span-%d", i)
+		if r := p.Rate(key, 0); r < lo {
+			lo = r
+		}
+		if r := p.Rate(key, 1); r > hi {
+			hi = r
+		}
+	}
+	if lo > 1.6 {
+		t.Errorf("lowest rating %g never approaches 1", lo)
+	}
+	if hi < 4.4 {
+		t.Errorf("highest rating %g never approaches 5", hi)
+	}
+}

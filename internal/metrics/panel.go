@@ -1,0 +1,77 @@
+package metrics
+
+import "math"
+
+// Panel simulates the paper's subjective user study: 10 evaluators each rate
+// a recommended video 1–5 for relevance to the source video. Each simulated
+// rater has a stable personal bias and per-item noise derived
+// deterministically from (rater, item key), so a given (panel seed, item)
+// always rates identically regardless of evaluation order.
+type Panel struct {
+	seed   uint64
+	biases []float64
+}
+
+// NewPanel creates a panel of n raters. Biases are spread deterministically
+// in roughly ±0.45 rating points around zero.
+func NewPanel(n int, seed int64) *Panel {
+	if n < 1 {
+		n = 1
+	}
+	p := &Panel{seed: uint64(seed)}
+	p.biases = make([]float64, n)
+	for i := range p.biases {
+		p.biases[i] = (hash01(p.seed, uint64(i), 0x1234) - 0.5) * 0.9
+	}
+	return p
+}
+
+// Raters returns the panel size.
+func (p *Panel) Raters() int { return len(p.biases) }
+
+// Rate converts a ground-truth relevance in [0, 1] into the panel's mean
+// rating of the item: each rater produces round(1 + 4·relevance + bias +
+// noise) clamped to [1, 5]; the panel rating is the mean over raters. key
+// identifies the (source video, recommended video) pair being judged.
+func (p *Panel) Rate(key string, relevance float64) float64 {
+	if relevance < 0 {
+		relevance = 0
+	}
+	if relevance > 1 {
+		relevance = 1
+	}
+	kh := hashString(key)
+	var sum float64
+	for i, bias := range p.biases {
+		noise := (hash01(p.seed, uint64(i), kh) - 0.5) * 1.2
+		r := math.Round(1 + 4*relevance + bias + noise)
+		if r < 1 {
+			r = 1
+		}
+		if r > 5 {
+			r = 5
+		}
+		sum += r
+	}
+	return sum / float64(len(p.biases))
+}
+
+// hash01 maps the tuple to a uniform-ish value in [0, 1).
+func hash01(a, b, c uint64) float64 {
+	x := a*0x9e3779b97f4a7c15 ^ b*0xc2b2ae3d27d4eb4f ^ c*0x165667b19e3779f9
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return float64(x>>11) / float64(1<<53)
+}
+
+func hashString(s string) uint64 {
+	var h uint64 = 1469598103934665603 // FNV-1a
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,95 @@
+package metrics
+
+import "math"
+
+// Extensions beyond the paper's AR/AC/MAP: standard ranking measures that
+// make the harness comparable with modern recommender evaluations.
+
+// PrecisionAtK is the fraction of the first k entries that are relevant.
+// Shorter lists are evaluated as-is (missing tail counts against precision
+// only through k).
+func PrecisionAtK(relevant []bool, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	n := k
+	if len(relevant) < n {
+		n = len(relevant)
+	}
+	hits := 0
+	for i := 0; i < n; i++ {
+		if relevant[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// RecallAtK is the fraction of all relevant items that appear in the first
+// k entries. totalRelevant is the number of relevant items in the corpus
+// for this query; zero yields recall 0.
+func RecallAtK(relevant []bool, k, totalRelevant int) float64 {
+	if k <= 0 || totalRelevant <= 0 {
+		return 0
+	}
+	n := k
+	if len(relevant) < n {
+		n = len(relevant)
+	}
+	hits := 0
+	for i := 0; i < n; i++ {
+		if relevant[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(totalRelevant)
+}
+
+// NDCG computes the normalized discounted cumulative gain of a ranked list
+// of graded gains (e.g. the panel ratings): DCG with log2 discounting,
+// normalized by the ideal ordering of the same gains. A list whose ideal
+// DCG is zero scores 0.
+func NDCG(gains []float64) float64 {
+	if len(gains) == 0 {
+		return 0
+	}
+	dcg := dcgOf(gains)
+	ideal := append([]float64(nil), gains...)
+	// Descending sort (tiny lists; insertion is fine and allocation-free).
+	for i := 1; i < len(ideal); i++ {
+		for j := i; j > 0 && ideal[j] > ideal[j-1]; j-- {
+			ideal[j], ideal[j-1] = ideal[j-1], ideal[j]
+		}
+	}
+	idcg := dcgOf(ideal)
+	if idcg == 0 {
+		return 0
+	}
+	return dcg / idcg
+}
+
+func dcgOf(gains []float64) float64 {
+	var s float64
+	for i, g := range gains {
+		s += g / math.Log2(float64(i)+2)
+	}
+	return s
+}
+
+// MeanReciprocalRank is the standard MRR over per-query first-relevant
+// ranks: 1/rank of the first relevant item, 0 when none is retrieved.
+func MeanReciprocalRank(perQuery [][]bool) float64 {
+	if len(perQuery) == 0 {
+		return 0
+	}
+	var s float64
+	for _, rel := range perQuery {
+		for i, r := range rel {
+			if r {
+				s += 1 / float64(i+1)
+				break
+			}
+		}
+	}
+	return s / float64(len(perQuery))
+}

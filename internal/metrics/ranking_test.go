@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrecisionAtK(t *testing.T) {
+	rel := []bool{true, false, true, false}
+	if got := PrecisionAtK(rel, 2); got != 0.5 {
+		t.Errorf("P@2 = %g, want 0.5", got)
+	}
+	if got := PrecisionAtK(rel, 4); got != 0.5 {
+		t.Errorf("P@4 = %g, want 0.5", got)
+	}
+	// k beyond the list penalizes the missing tail.
+	if got := PrecisionAtK([]bool{true}, 2); got != 0.5 {
+		t.Errorf("P@2 short list = %g, want 0.5", got)
+	}
+	if got := PrecisionAtK(rel, 0); got != 0 {
+		t.Errorf("P@0 = %g, want 0", got)
+	}
+}
+
+func TestRecallAtK(t *testing.T) {
+	rel := []bool{true, false, true, false}
+	if got := RecallAtK(rel, 4, 4); got != 0.5 {
+		t.Errorf("R@4 = %g, want 0.5", got)
+	}
+	if got := RecallAtK(rel, 1, 2); got != 0.5 {
+		t.Errorf("R@1 = %g, want 0.5", got)
+	}
+	if got := RecallAtK(rel, 3, 0); got != 0 {
+		t.Errorf("R with no relevant = %g, want 0", got)
+	}
+}
+
+func TestNDCGKnownValues(t *testing.T) {
+	// Perfectly ordered gains → 1.
+	if got := NDCG([]float64{5, 4, 3}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("ideal NDCG = %g, want 1", got)
+	}
+	// Worst ordering of distinct gains < 1.
+	if got := NDCG([]float64{1, 3, 5}); got >= 1 {
+		t.Errorf("reversed NDCG = %g, want < 1", got)
+	}
+	if got := NDCG(nil); got != 0 {
+		t.Errorf("empty NDCG = %g", got)
+	}
+	if got := NDCG([]float64{0, 0}); got != 0 {
+		t.Errorf("zero-gain NDCG = %g", got)
+	}
+}
+
+func TestMRR(t *testing.T) {
+	got := MeanReciprocalRank([][]bool{
+		{true},                // 1
+		{false, true},         // 1/2
+		{false, false, false}, // 0
+	})
+	want := (1 + 0.5 + 0) / 3
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("MRR = %g, want %g", got, want)
+	}
+	if got := MeanReciprocalRank(nil); got != 0 {
+		t.Errorf("empty MRR = %g", got)
+	}
+}
+
+func TestPropertyRankingBounds(t *testing.T) {
+	f := func(raw []uint8, kRaw uint8) bool {
+		rel := make([]bool, len(raw))
+		gains := make([]float64, len(raw))
+		total := 0
+		for i, r := range raw {
+			rel[i] = r%2 == 0
+			if rel[i] {
+				total++
+			}
+			gains[i] = float64(r % 6)
+		}
+		k := int(kRaw%10) + 1
+		p := PrecisionAtK(rel, k)
+		rc := RecallAtK(rel, k, total)
+		nd := NDCG(gains)
+		return p >= 0 && p <= 1 && rc >= 0 && rc <= 1 && nd >= 0 && nd <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// NDCG rewards moving a high gain earlier.
+func TestNDCGMonotone(t *testing.T) {
+	worse := NDCG([]float64{1, 1, 5})
+	better := NDCG([]float64{5, 1, 1})
+	if better <= worse {
+		t.Errorf("NDCG better=%g should exceed worse=%g", better, worse)
+	}
+}

@@ -1,0 +1,78 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"videorec"
+)
+
+// resultCache is a small LRU over recommendation lists, keyed by
+// "clipID\x00topK". Every mutation endpoint purges it wholesale: updates can
+// re-rank anything, and correctness beats cleverness at this size.
+type resultCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recent
+	at  map[string]*list.Element
+
+	hits, misses int64
+}
+
+type cacheItem struct {
+	key  string
+	recs []videorec.Recommendation
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity < 1 {
+		capacity = 128
+	}
+	return &resultCache{
+		cap: capacity,
+		ll:  list.New(),
+		at:  make(map[string]*list.Element),
+	}
+}
+
+func (c *resultCache) get(key string) ([]videorec.Recommendation, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.at[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return el.Value.(*cacheItem).recs, true
+}
+
+func (c *resultCache) put(key string, recs []videorec.Recommendation) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.at[key]; ok {
+		el.Value.(*cacheItem).recs = recs
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.at[key] = c.ll.PushFront(&cacheItem{key: key, recs: recs})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.at, oldest.Value.(*cacheItem).key)
+	}
+}
+
+func (c *resultCache) purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.at = make(map[string]*list.Element)
+}
+
+func (c *resultCache) stats() (hits, misses int64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len()
+}

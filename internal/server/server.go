@@ -1,0 +1,219 @@
+// Package server exposes the recommender as a JSON-over-HTTP service — the
+// online deployment shape of the paper's system: videos are ingested as
+// they are uploaded, anonymous viewers ask for recommendations against the
+// clip they are watching, and comment traffic streams through the
+// incremental maintenance path.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+
+	"videorec"
+)
+
+// Server wraps an engine with HTTP handlers. Create with New, mount
+// Handler().
+type Server struct {
+	eng          *videorec.Engine
+	snapshotPath string
+	queries      atomic.Int64
+	cache        *resultCache
+}
+
+// New wraps the engine. snapshotPath, when non-empty, is where POST
+// /snapshot persists the engine. Stored-clip recommendations are cached in
+// an LRU that every mutation purges.
+func New(eng *videorec.Engine, snapshotPath string) *Server {
+	return &Server{eng: eng, snapshotPath: snapshotPath, cache: newResultCache(512)}
+}
+
+// ClipJSON is the wire form of videorec.Clip.
+type ClipJSON struct {
+	ID             string      `json:"id"`
+	Title          string      `json:"title,omitempty"`
+	FPS            float64     `json:"fps,omitempty"`
+	NominalSeconds float64     `json:"nominalSeconds,omitempty"`
+	Frames         []FrameJSON `json:"frames"`
+	Owner          string      `json:"owner,omitempty"`
+	Commenters     []string    `json:"commenters,omitempty"`
+}
+
+// FrameJSON is the wire form of one frame.
+type FrameJSON struct {
+	W   int       `json:"w"`
+	H   int       `json:"h"`
+	Pix []float64 `json:"pix"`
+}
+
+func (c ClipJSON) clip() videorec.Clip {
+	out := videorec.Clip{
+		ID:             c.ID,
+		Title:          c.Title,
+		FPS:            c.FPS,
+		NominalSeconds: c.NominalSeconds,
+		Owner:          c.Owner,
+		Commenters:     c.Commenters,
+	}
+	for _, f := range c.Frames {
+		out.Frames = append(out.Frames, videorec.Frame{W: f.W, H: f.H, Pix: f.Pix})
+	}
+	return out
+}
+
+// Handler returns the service mux:
+//
+//	POST /videos            ingest a clip (ClipJSON body)
+//	POST /build             build the social machinery
+//	GET  /recommend?id=&k=  recommend for a stored clip
+//	POST /recommend?k=      recommend for an ad-hoc clip (ClipJSON body)
+//	POST /updates           apply new comments ({"videoID": ["user", ...]})
+//	POST /snapshot          persist the engine to the configured path
+//	GET  /stats             engine statistics
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /videos", s.handleAddVideo)
+	mux.HandleFunc("POST /build", s.handleBuild)
+	mux.HandleFunc("GET /recommend", s.handleRecommend)
+	mux.HandleFunc("POST /recommend", s.handleRecommendClip)
+	mux.HandleFunc("POST /updates", s.handleUpdates)
+	mux.HandleFunc("POST /snapshot", s.handleSnapshot)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+func (s *Server) handleAddVideo(w http.ResponseWriter, r *http.Request) {
+	var c ClipJSON
+	if err := json.NewDecoder(r.Body).Decode(&c); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode clip: %w", err))
+		return
+	}
+	if err := s.eng.Add(c.clip()); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.cache.purge()
+	w.WriteHeader(http.StatusCreated)
+	writeJSON(w, map[string]any{"id": c.ID, "indexed": true})
+}
+
+func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
+	s.eng.Build()
+	s.cache.purge()
+	writeJSON(w, map[string]any{"subCommunities": s.eng.SubCommunities()})
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		httpError(w, http.StatusBadRequest, errors.New("missing id parameter"))
+		return
+	}
+	k := queryInt(r, "k", 10)
+	key := fmt.Sprintf("%s\x00%d", id, k)
+	if recs, ok := s.cache.get(key); ok {
+		s.queries.Add(1)
+		writeJSON(w, recs)
+		return
+	}
+	recs, err := s.eng.Recommend(id, k)
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	s.cache.put(key, recs)
+	s.queries.Add(1)
+	writeJSON(w, recs)
+}
+
+func (s *Server) handleRecommendClip(w http.ResponseWriter, r *http.Request) {
+	var c ClipJSON
+	if err := json.NewDecoder(r.Body).Decode(&c); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode clip: %w", err))
+		return
+	}
+	k := queryInt(r, "k", 10)
+	recs, err := s.eng.RecommendClip(c.clip(), k)
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	s.queries.Add(1)
+	writeJSON(w, recs)
+}
+
+func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
+	var comments map[string][]string
+	if err := json.NewDecoder(r.Body).Decode(&comments); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode comments: %w", err))
+		return
+	}
+	sum, err := s.eng.ApplyUpdates(comments)
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	s.cache.purge()
+	writeJSON(w, sum)
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.snapshotPath == "" {
+		httpError(w, http.StatusConflict, errors.New("no snapshot path configured"))
+		return
+	}
+	if err := s.eng.SaveFile(s.snapshotPath); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, map[string]any{"saved": s.snapshotPath})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	hits, misses, size := s.cache.stats()
+	writeJSON(w, map[string]any{
+		"videos":         s.eng.Len(),
+		"subCommunities": s.eng.SubCommunities(),
+		"queriesServed":  s.queries.Load(),
+		"cacheHits":      hits,
+		"cacheMisses":    misses,
+		"cacheSize":      size,
+	})
+}
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, videorec.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, videorec.ErrNotBuilt):
+		return http.StatusConflict
+	case errors.Is(err, videorec.ErrNoFrames), errors.Is(err, videorec.ErrEmptyID):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func queryInt(r *http.Request, key string, def int) int {
+	if v := r.URL.Query().Get(key); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,268 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"videorec"
+	"videorec/internal/video"
+)
+
+func clipJSON(t testing.TB, id string, topic int, seed int64, owner string, commenters ...string) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	v := video.Synthesize(id, topic, video.DefaultSynthOptions(), rng)
+	c := ClipJSON{ID: id, FPS: v.FPS, Owner: owner, Commenters: commenters}
+	for _, f := range v.Frames {
+		c.Frames = append(c.Frames, FrameJSON{W: f.W, H: f.H, Pix: f.Pix})
+	}
+	b, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func newTestServer(t testing.TB, snapshotPath string) (*httptest.Server, *Server) {
+	t.Helper()
+	srv := New(videorec.New(videorec.Options{SubCommunities: 6}), snapshotPath)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, srv
+}
+
+func post(t testing.TB, url string, body []byte) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func populate(t testing.TB, ts *httptest.Server) {
+	t.Helper()
+	fans := []string{"ann", "ben", "cal", "dee"}
+	for i := 0; i < 6; i++ {
+		body := clipJSON(t, fmt.Sprintf("clip-%d", i), i%2, int64(i+1), fans[i%4], fans...)
+		resp := post(t, ts.URL+"/videos", body)
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("ingest status %d", resp.StatusCode)
+		}
+	}
+	if resp := post(t, ts.URL+"/build", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("build status %d", resp.StatusCode)
+	}
+}
+
+func TestIngestBuildRecommend(t *testing.T) {
+	ts, _ := newTestServer(t, "")
+	populate(t, ts)
+
+	resp, err := http.Get(ts.URL + "/recommend?id=clip-0&k=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("recommend status %d", resp.StatusCode)
+	}
+	var recs []videorec.Recommendation
+	if err := json.NewDecoder(resp.Body).Decode(&recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 || len(recs) > 3 {
+		t.Fatalf("got %d recommendations", len(recs))
+	}
+	for _, r := range recs {
+		if r.VideoID == "clip-0" {
+			t.Error("self-recommendation")
+		}
+	}
+}
+
+func TestRecommendAdHocClip(t *testing.T) {
+	ts, _ := newTestServer(t, "")
+	populate(t, ts)
+	body := clipJSON(t, "visitor-view", 0, 99, "", "ann", "ben")
+	resp := post(t, ts.URL+"/recommend?k=4", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var recs []videorec.Recommendation
+	if err := json.NewDecoder(resp.Body).Decode(&recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no recommendations for ad-hoc clip")
+	}
+}
+
+func TestErrorStatuses(t *testing.T) {
+	ts, _ := newTestServer(t, "")
+	// Recommend before build → 409.
+	resp, err := http.Get(ts.URL + "/recommend?id=x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("before build: status %d, want 409", resp.StatusCode)
+	}
+
+	populate(t, ts)
+	// Unknown id → 404.
+	resp, err = http.Get(ts.URL + "/recommend?id=missing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown id: status %d, want 404", resp.StatusCode)
+	}
+	// Missing id → 400.
+	resp, err = http.Get(ts.URL + "/recommend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing id: status %d, want 400", resp.StatusCode)
+	}
+	// Bad clip body → 400.
+	if resp := post(t, ts.URL+"/videos", []byte("{notjson")); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad body: status %d, want 400", resp.StatusCode)
+	}
+	// Clip with no frames → 400.
+	if resp := post(t, ts.URL+"/videos", []byte(`{"id":"x"}`)); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("frameless clip: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestUpdatesEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t, "")
+	populate(t, ts)
+	body, _ := json.Marshal(map[string][]string{"clip-0": {"newfan1", "newfan2", "ann"}})
+	resp := post(t, ts.URL+"/updates", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("updates status %d", resp.StatusCode)
+	}
+	var sum videorec.UpdateSummary
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.NewConnections == 0 {
+		t.Error("no connections derived")
+	}
+	// Bad body → 400.
+	if resp := post(t, ts.URL+"/updates", []byte("nope")); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad updates body: status %d", resp.StatusCode)
+	}
+}
+
+func TestSnapshotEndpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "srv.snap")
+	ts, _ := newTestServer(t, path)
+	populate(t, ts)
+	if resp := post(t, ts.URL+"/snapshot", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot status %d", resp.StatusCode)
+	}
+	eng, err := videorec.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Len() != 6 {
+		t.Errorf("restored %d clips, want 6", eng.Len())
+	}
+	// No path configured → 409.
+	ts2, _ := newTestServer(t, "")
+	if resp := post(t, ts2.URL+"/snapshot", nil); resp.StatusCode != http.StatusConflict {
+		t.Errorf("snapshot without path: status %d, want 409", resp.StatusCode)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t, "")
+	populate(t, ts)
+	if _, err := http.Get(ts.URL + "/recommend?id=clip-1&k=2"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Videos         int   `json:"videos"`
+		SubCommunities int   `json:"subCommunities"`
+		QueriesServed  int64 `json:"queriesServed"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Videos != 6 {
+		t.Errorf("videos = %d, want 6", stats.Videos)
+	}
+	if stats.QueriesServed != 1 {
+		t.Errorf("queriesServed = %d, want 1", stats.QueriesServed)
+	}
+}
+
+func TestCacheLRUBehavior(t *testing.T) {
+	c := newResultCache(2)
+	r1 := []videorec.Recommendation{{VideoID: "a"}}
+	r2 := []videorec.Recommendation{{VideoID: "b"}}
+	r3 := []videorec.Recommendation{{VideoID: "c"}}
+	c.put("k1", r1)
+	c.put("k2", r2)
+	if _, ok := c.get("k1"); !ok { // touch k1: k2 becomes LRU
+		t.Fatal("k1 missing")
+	}
+	c.put("k3", r3) // evicts k2
+	if _, ok := c.get("k2"); ok {
+		t.Error("k2 should have been evicted")
+	}
+	if got, ok := c.get("k1"); !ok || got[0].VideoID != "a" {
+		t.Error("k1 lost")
+	}
+	if got, ok := c.get("k3"); !ok || got[0].VideoID != "c" {
+		t.Error("k3 lost")
+	}
+	c.purge()
+	if _, _, size := c.stats(); size != 0 {
+		t.Errorf("size after purge = %d", size)
+	}
+}
+
+func TestRecommendCachedAndPurgedOnUpdate(t *testing.T) {
+	ts, srv := newTestServer(t, "")
+	populate(t, ts)
+	fetch := func() {
+		resp, err := http.Get(ts.URL + "/recommend?id=clip-0&k=3")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	fetch()
+	fetch()
+	hits, misses, _ := srv.cache.stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+	// An update purges the cache → next fetch misses again.
+	body, _ := json.Marshal(map[string][]string{"clip-0": {"fresh-user", "ann"}})
+	post(t, ts.URL+"/updates", body)
+	fetch()
+	hits2, misses2, _ := srv.cache.stats()
+	if hits2 != hits || misses2 != misses+1 {
+		t.Errorf("after purge: hits=%d misses=%d", hits2, misses2)
+	}
+}

@@ -1,0 +1,118 @@
+package signature
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"videorec/internal/emd"
+)
+
+// kjReference is KJ without the centroid lower-bound filter — the oracle the
+// filtered implementation must match exactly.
+func kjReference(s1, s2 Series, matchThreshold float64) float64 {
+	if len(s1) == 0 || len(s2) == 0 {
+		return 0
+	}
+	type pair struct {
+		i, j int
+		sim  float64
+	}
+	var pairs []pair
+	for i := range s1 {
+		for j := range s2 {
+			if sim := SimC(s1[i], s2[j]); sim >= matchThreshold {
+				pairs = append(pairs, pair{i, j, sim})
+			}
+		}
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].sim > pairs[b].sim })
+	usedI := make([]bool, len(s1))
+	usedJ := make([]bool, len(s2))
+	var num float64
+	matched := 0
+	for _, p := range pairs {
+		if usedI[p.i] || usedJ[p.j] {
+			continue
+		}
+		usedI[p.i] = true
+		usedJ[p.j] = true
+		num += p.sim
+		matched++
+	}
+	union := float64(len(s1) + len(s2) - matched)
+	if union <= 0 {
+		return 0
+	}
+	return num / union
+}
+
+// The lower-bound filter is exact pruning: KJ must equal the unfiltered
+// reference on arbitrary series and thresholds.
+func TestPropertyKJFilterExact(t *testing.T) {
+	f := func(seedA, seedB int64, ta, tb, th uint8) bool {
+		a := Extract(synth(int(ta%8), seedA), DefaultOptions())
+		b := Extract(synth(int(tb%8), seedB), DefaultOptions())
+		threshold := float64(th%10) / 10.0
+		got := KJ(a, b, threshold)
+		want := kjReference(a, b, threshold)
+		return math.Abs(got-want) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The centroid bound never exceeds the true EMD on normalized signatures.
+func TestPropertyLowerBoundValid(t *testing.T) {
+	f := func(seedA, seedB int64, ta, tb uint8) bool {
+		a := Extract(synth(int(ta%8), seedA), DefaultOptions())
+		b := Extract(synth(int(tb%8), seedB), DefaultOptions())
+		for i := 0; i < len(a) && i < 3; i++ {
+			for j := 0; j < len(b) && j < 3; j++ {
+				av, aw := a[i].Values()
+				bv, bw := b[j].Values()
+				lb := emd.LowerBound1D(av, aw, bv, bw)
+				exact, err := emd.Distance1D(av, aw, bv, bw)
+				if err != nil {
+					return false
+				}
+				if lb > exact+1e-9 {
+					t.Logf("LB %g > exact %g", lb, exact)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignatureMean(t *testing.T) {
+	s := Signature{Cuboids: []Cuboid{{V: 2, Mu: 0.25}, {V: -1, Mu: 0.75}}}
+	if got, want := s.Mean(), 2*0.25-1*0.75; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Mean = %g, want %g", got, want)
+	}
+}
+
+// The filter's payoff: κJ over unrelated series skips most exact EMDs.
+func BenchmarkKJFiltered(b *testing.B) {
+	s1 := Extract(synth(1, 1), DefaultOptions())
+	s2 := Extract(synth(9, 2), DefaultOptions())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KJ(s1, s2, DefaultMatchThreshold)
+	}
+}
+
+func BenchmarkKJUnfilteredReference(b *testing.B) {
+	s1 := Extract(synth(1, 1), DefaultOptions())
+	s2 := Extract(synth(9, 2), DefaultOptions())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kjReference(s1, s2, DefaultMatchThreshold)
+	}
+}

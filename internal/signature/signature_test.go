@@ -1,0 +1,255 @@
+package signature
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"videorec/internal/video"
+)
+
+func synth(topic int, seed int64) *video.Video {
+	rng := rand.New(rand.NewSource(seed))
+	return video.Synthesize("t", topic, video.DefaultSynthOptions(), rng)
+}
+
+func TestExtractProducesNormalizedSignatures(t *testing.T) {
+	v := synth(1, 1)
+	series := Extract(v, DefaultOptions())
+	if len(series) == 0 {
+		t.Fatal("empty series")
+	}
+	for i, sig := range series {
+		if len(sig.Cuboids) == 0 {
+			t.Fatalf("signature %d has no cuboids", i)
+		}
+		if m := sig.TotalMass(); math.Abs(m-1) > 1e-9 {
+			t.Errorf("signature %d mass = %g, want 1", i, m)
+		}
+		for _, c := range sig.Cuboids {
+			if c.Mu <= 0 {
+				t.Errorf("signature %d has non-positive weight %g", i, c.Mu)
+			}
+			limit := 255.0 / DefaultOptions().VScale
+			if c.V < -limit || c.V > limit {
+				t.Errorf("signature %d value %g out of [-%g,%g]", i, c.V, limit, limit)
+			}
+		}
+	}
+}
+
+func TestExtractDeterministic(t *testing.T) {
+	a := Extract(synth(2, 5), DefaultOptions())
+	b := Extract(synth(2, 5), DefaultOptions())
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i].Cuboids) != len(b[i].Cuboids) {
+			t.Fatalf("signature %d cuboid counts differ", i)
+		}
+		for j := range a[i].Cuboids {
+			if a[i].Cuboids[j] != b[i].Cuboids[j] {
+				t.Fatalf("signature %d cuboid %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestExtractPanicsOnBadOptions(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Extract(synth(1, 1), Options{Grid: 0, Q: 2})
+}
+
+func TestMergeBlocksUniformFrame(t *testing.T) {
+	f := video.NewFrame(16, 16)
+	for i := range f.Pix {
+		f.Pix[i] = 100
+	}
+	regions := mergeBlocks(f, 4, 5)
+	for _, r := range regions {
+		if r != 0 {
+			t.Fatalf("uniform frame should merge to one region, got id %d", r)
+		}
+	}
+}
+
+func TestMergeBlocksSplitFrame(t *testing.T) {
+	// Left half dark, right half bright: expect exactly two regions.
+	f := video.NewFrame(16, 16)
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			if x < 8 {
+				f.Set(x, y, 20)
+			} else {
+				f.Set(x, y, 220)
+			}
+		}
+	}
+	regions := mergeBlocks(f, 4, 10)
+	ids := map[int]bool{}
+	for _, r := range regions {
+		ids[r] = true
+	}
+	if len(ids) != 2 {
+		t.Fatalf("got %d regions, want 2", len(ids))
+	}
+	if regions[0] == regions[3] {
+		t.Error("left and right blocks merged despite intensity gap")
+	}
+}
+
+func TestSimCSelf(t *testing.T) {
+	v := synth(3, 2)
+	series := Extract(v, DefaultOptions())
+	if got := SimC(series[0], series[0]); math.Abs(got-1) > 1e-9 {
+		t.Errorf("self SimC = %g, want 1", got)
+	}
+}
+
+func TestSimCEmpty(t *testing.T) {
+	v := synth(3, 2)
+	series := Extract(v, DefaultOptions())
+	if got := SimC(Signature{}, series[0]); got != 0 {
+		t.Errorf("empty SimC = %g, want 0", got)
+	}
+}
+
+func TestSimCSymmetric(t *testing.T) {
+	a := Extract(synth(1, 1), DefaultOptions())
+	b := Extract(synth(4, 2), DefaultOptions())
+	if got, want := SimC(a[0], b[0]), SimC(b[0], a[0]); math.Abs(got-want) > 1e-12 {
+		t.Errorf("SimC asymmetric: %g vs %g", got, want)
+	}
+}
+
+func TestKJSelfSimilarityIsOne(t *testing.T) {
+	s := Extract(synth(2, 3), DefaultOptions())
+	if got := KJ(s, s, 0.5); math.Abs(got-1) > 1e-9 {
+		t.Errorf("KJ(s,s) = %g, want 1", got)
+	}
+}
+
+func TestKJEmpty(t *testing.T) {
+	s := Extract(synth(2, 3), DefaultOptions())
+	if got := KJ(nil, s, 0.5); got != 0 {
+		t.Errorf("KJ(nil, s) = %g, want 0", got)
+	}
+}
+
+func TestKJRange(t *testing.T) {
+	a := Extract(synth(1, 1), DefaultOptions())
+	b := Extract(synth(9, 2), DefaultOptions())
+	got := KJ(a, b, 0.5)
+	if got < 0 || got > 1 {
+		t.Errorf("KJ = %g out of [0,1]", got)
+	}
+}
+
+// Near-duplicates must score far higher than unrelated topics — the core
+// robustness claim behind choosing cuboid signatures (§4.1).
+func TestKJNearDuplicateBeatsUnrelated(t *testing.T) {
+	opts := DefaultOptions()
+	rng := rand.New(rand.NewSource(99))
+	orig := synth(1, 1)
+	so := Extract(orig, opts)
+
+	duplicates := map[string]*video.Video{
+		"brighten":  video.Brighten(orig, 20),
+		"contrast":  video.Contrast(orig, 1.15),
+		"noise":     video.AddNoise(orig, 4, rng),
+		"cropshift": video.CropShift(orig, 1, 1),
+		"drop":      video.DropFrames(orig, 7),
+		"reorder":   video.ReorderShots(orig, rng),
+	}
+	// Max κJ against clips from several unrelated topics.
+	var unrelated float64
+	for topic := 20; topic < 26; topic++ {
+		u := Extract(synth(topic, int64(topic)), opts)
+		if s := KJ(so, u, 0.5); s > unrelated {
+			unrelated = s
+		}
+	}
+	for name, dup := range duplicates {
+		sd := Extract(dup, opts)
+		got := KJ(so, sd, 0.5)
+		if got <= unrelated {
+			t.Errorf("%s: κJ(dup) = %.4f not above max unrelated %.4f", name, got, unrelated)
+		}
+	}
+}
+
+// Temporal shot reordering must NOT destroy κJ: the set-based measure is the
+// reason κJ beats DTW/ERP in Figure 7.
+func TestKJRobustToReordering(t *testing.T) {
+	opts := DefaultOptions()
+	orig := synth(5, 8)
+	re := video.ReorderShots(orig, rand.New(rand.NewSource(4)))
+	so := Extract(orig, opts)
+	sr := Extract(re, opts)
+	if got := KJ(so, sr, 0.5); got < 0.5 {
+		t.Errorf("κJ after reorder = %g, want >= 0.5", got)
+	}
+}
+
+func TestPropertyKJBoundsAndSymmetry(t *testing.T) {
+	opts := DefaultOptions()
+	f := func(seedA, seedB int64, ta, tb uint8) bool {
+		a := Extract(synth(int(ta%8), seedA), opts)
+		b := Extract(synth(int(tb%8), seedB), opts)
+		x := KJ(a, b, 0.5)
+		y := KJ(b, a, 0.5)
+		return x >= 0 && x <= 1 && math.Abs(x-y) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySignatureMassInvariant(t *testing.T) {
+	opts := DefaultOptions()
+	f := func(seed int64, topic uint8) bool {
+		series := Extract(synth(int(topic%8), seed), opts)
+		for _, sig := range series {
+			if math.Abs(sig.TotalMass()-1) > 1e-9 {
+				return false
+			}
+		}
+		return len(series) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValuesRoundTrip(t *testing.T) {
+	sig := Signature{Cuboids: []Cuboid{{V: 0.5, Mu: 0.25}, {V: -0.2, Mu: 0.75}}}
+	v, mu := sig.Values()
+	if v[0] != 0.5 || v[1] != -0.2 || mu[0] != 0.25 || mu[1] != 0.75 {
+		t.Errorf("Values round trip failed: %v %v", v, mu)
+	}
+}
+
+func BenchmarkExtract(b *testing.B) {
+	v := synth(1, 1)
+	opts := DefaultOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Extract(v, opts)
+	}
+}
+
+func BenchmarkKJ(b *testing.B) {
+	opts := DefaultOptions()
+	s1 := Extract(synth(1, 1), opts)
+	s2 := Extract(synth(2, 2), opts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KJ(s1, s2, 0.5)
+	}
+}

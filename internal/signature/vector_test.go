@@ -1,0 +1,154 @@
+package signature
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"videorec/internal/video"
+)
+
+func vectorOptions() Options {
+	o := DefaultOptions()
+	o.Q = 3
+	o.KeyframesPerShot = 4
+	return o
+}
+
+func TestExtractVectorWellFormed(t *testing.T) {
+	series := ExtractVector(synth(2, 5), vectorOptions())
+	if len(series) == 0 {
+		t.Fatal("empty vector series")
+	}
+	for i, sig := range series {
+		if math.Abs(sig.TotalMass()-1) > 1e-9 {
+			t.Errorf("signature %d mass = %g", i, sig.TotalMass())
+		}
+		for _, c := range sig.Cuboids {
+			if len(c.V) != vectorOptions().Q-1 {
+				t.Fatalf("cuboid value dimension = %d, want %d", len(c.V), vectorOptions().Q-1)
+			}
+		}
+	}
+}
+
+func TestExtractVectorPanicsOnScalarQ(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Q=2")
+		}
+	}()
+	o := DefaultOptions() // Q=2
+	ExtractVector(synth(1, 1), o)
+}
+
+func TestSimCVectorAxioms(t *testing.T) {
+	a := ExtractVector(synth(1, 1), vectorOptions())
+	b := ExtractVector(synth(7, 2), vectorOptions())
+	if got := SimCVector(a[0], a[0]); math.Abs(got-1) > 1e-6 {
+		t.Errorf("self similarity = %g, want 1", got)
+	}
+	x, y := SimCVector(a[0], b[0]), SimCVector(b[0], a[0])
+	if math.Abs(x-y) > 1e-9 {
+		t.Errorf("asymmetric: %g vs %g", x, y)
+	}
+	if x <= 0 || x > 1 {
+		t.Errorf("similarity %g out of (0,1]", x)
+	}
+	if got := SimCVector(VectorSignature{}, a[0]); got != 0 {
+		t.Errorf("empty similarity = %g", got)
+	}
+}
+
+func TestKJVectorSelfAndRange(t *testing.T) {
+	s := ExtractVector(synth(3, 4), vectorOptions())
+	if got := KJVector(s, s, 0.5); math.Abs(got-1) > 1e-6 {
+		t.Errorf("KJVector(s,s) = %g, want 1", got)
+	}
+	u := ExtractVector(synth(11, 9), vectorOptions())
+	got := KJVector(s, u, 0.5)
+	if got < 0 || got > 1 {
+		t.Errorf("KJVector = %g out of [0,1]", got)
+	}
+	if got := KJVector(nil, s, 0.5); got != 0 {
+		t.Errorf("KJVector(nil,s) = %g", got)
+	}
+}
+
+// The general model must keep the core separation: edited duplicates score
+// above unrelated clips.
+func TestKJVectorSeparatesDupsFromUnrelated(t *testing.T) {
+	opts := vectorOptions()
+	orig := synth(1, 1)
+	so := ExtractVector(orig, opts)
+	dup := ExtractVector(video.Brighten(orig, 15), opts)
+	dupScore := KJVector(so, dup, 0.5)
+	var worst float64
+	for topic := 20; topic < 24; topic++ {
+		u := ExtractVector(synth(topic, int64(topic)), opts)
+		if s := KJVector(so, u, 0.5); s > worst {
+			worst = s
+		}
+	}
+	if dupScore <= worst {
+		t.Errorf("dup κJ %.4f not above max unrelated %.4f", dupScore, worst)
+	}
+}
+
+// Scalar and vector models must agree on the degenerate direction: both see
+// a self-match as perfect and are symmetric under random inputs.
+func TestPropertyVectorModelConsistent(t *testing.T) {
+	opts := vectorOptions()
+	f := func(seedA, seedB int64, ta, tb uint8) bool {
+		a := ExtractVector(synth(int(ta%6), seedA), opts)
+		b := ExtractVector(synth(int(tb%6), seedB), opts)
+		x := KJVector(a, b, 0.5)
+		y := KJVector(b, a, 0.5)
+		return x >= 0 && x <= 1 && math.Abs(x-y) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestL1Vec(t *testing.T) {
+	if got := l1Vec([]float64{1, -2}, []float64{0, 1}); got != 4 {
+		t.Errorf("l1Vec = %g, want 4", got)
+	}
+	// Length mismatch counts the tail as distance from zero.
+	if got := l1Vec([]float64{1}, []float64{1, -3}); got != 3 {
+		t.Errorf("mismatched l1Vec = %g, want 3", got)
+	}
+}
+
+func BenchmarkSimCVector(b *testing.B) {
+	opts := vectorOptions()
+	a := ExtractVector(synth(1, 1), opts)
+	c := ExtractVector(synth(2, 2), opts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SimCVector(a[0], c[0])
+	}
+}
+
+func BenchmarkKJScalarVsVector(b *testing.B) {
+	scalarOpts := DefaultOptions()
+	vecOpts := vectorOptions()
+	rng := rand.New(rand.NewSource(1))
+	_ = rng
+	s1 := Extract(synth(1, 1), scalarOpts)
+	s2 := Extract(synth(2, 2), scalarOpts)
+	v1 := ExtractVector(synth(1, 1), vecOpts)
+	v2 := ExtractVector(synth(2, 2), vecOpts)
+	b.Run("scalar-bigram", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			KJ(s1, s2, DefaultMatchThreshold)
+		}
+	})
+	b.Run("vector-trigram", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			KJVector(v1, v2, DefaultMatchThreshold)
+		}
+	})
+}

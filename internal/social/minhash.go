@@ -1,0 +1,86 @@
+package social
+
+// MinHash sketching — the classical estimator for set Jaccard and the
+// natural alternative to the paper's SAR scheme. SAR compresses descriptors
+// through community structure (k dims, exact for users inside one
+// sub-community); MinHash compresses through random permutations (k hashes,
+// unbiased for any sets but blind to community semantics and unable to feed
+// the inverted files). The ablation bench compares both against exact sJ.
+
+// MinHasher sketches user sets with k independent hash permutations.
+type MinHasher struct {
+	seeds []uint64
+}
+
+// NewMinHasher creates a sketcher with k hash functions, deterministically
+// derived from seed. k is clamped to at least 1.
+func NewMinHasher(k int, seed int64) *MinHasher {
+	if k < 1 {
+		k = 1
+	}
+	seeds := make([]uint64, k)
+	x := uint64(seed)*0x9e3779b97f4a7c15 + 0xbf58476d1ce4e5b9
+	for i := range seeds {
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		seeds[i] = x | 1
+	}
+	return &MinHasher{seeds: seeds}
+}
+
+// K returns the sketch width.
+func (m *MinHasher) K() int { return len(m.seeds) }
+
+// Sketch returns the MinHash signature of a descriptor: per permutation,
+// the minimum hash over its users. An empty descriptor sketches to all
+// math.MaxUint64, which estimates Jaccard 1 only against another empty set —
+// callers should treat empty descriptors specially (as Jaccard does).
+func (m *MinHasher) Sketch(d Descriptor) []uint64 {
+	sk := make([]uint64, len(m.seeds))
+	for i := range sk {
+		sk[i] = ^uint64(0)
+	}
+	for _, u := range d.Users() {
+		h := fnv64(u)
+		for i, s := range m.seeds {
+			// Multiply-shift permutation per seed.
+			v := (h ^ s) * 0xff51afd7ed558ccd
+			v ^= v >> 33
+			if v < sk[i] {
+				sk[i] = v
+			}
+		}
+	}
+	return sk
+}
+
+// EstimateJaccard estimates |A∩B|/|A∪B| as the fraction of agreeing sketch
+// positions. Sketches must come from the same MinHasher.
+func EstimateJaccard(a, b []uint64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if n == 0 {
+		return 0
+	}
+	agree := 0
+	for i := 0; i < n; i++ {
+		if a[i] == b[i] {
+			agree++
+		}
+	}
+	return float64(agree) / float64(n)
+}
+
+func fnv64(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

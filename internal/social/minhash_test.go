@@ -1,0 +1,128 @@
+package social
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMinHashIdenticalSets(t *testing.T) {
+	m := NewMinHasher(64, 7)
+	d := NewDescriptor("", "a", "b", "c")
+	if got := EstimateJaccard(m.Sketch(d), m.Sketch(d)); got != 1 {
+		t.Errorf("identical sets estimate %g, want 1", got)
+	}
+}
+
+func TestMinHashDisjointSets(t *testing.T) {
+	m := NewMinHasher(128, 7)
+	a := m.Sketch(NewDescriptor("", "a1", "a2", "a3", "a4"))
+	b := m.Sketch(NewDescriptor("", "b1", "b2", "b3", "b4"))
+	if got := EstimateJaccard(a, b); got > 0.1 {
+		t.Errorf("disjoint sets estimate %g, want ~0", got)
+	}
+}
+
+func TestMinHashDeterministic(t *testing.T) {
+	d := NewDescriptor("", "x", "y")
+	a := NewMinHasher(32, 3).Sketch(d)
+	b := NewMinHasher(32, 3).Sketch(d)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("sketch not deterministic")
+		}
+	}
+	// Different seeds give different sketches.
+	c := NewMinHasher(32, 4).Sketch(d)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical sketches")
+	}
+}
+
+func TestMinHashClampsK(t *testing.T) {
+	m := NewMinHasher(0, 1)
+	if m.K() != 1 {
+		t.Errorf("K = %d, want 1", m.K())
+	}
+}
+
+func TestEstimateJaccardEdgeCases(t *testing.T) {
+	if got := EstimateJaccard(nil, nil); got != 0 {
+		t.Errorf("empty sketches = %g", got)
+	}
+	if got := EstimateJaccard([]uint64{1, 2}, []uint64{1}); got != 1 {
+		t.Errorf("length mismatch uses prefix: %g", got)
+	}
+}
+
+// The estimator must track the exact Jaccard within Monte-Carlo error
+// (std ≈ sqrt(J(1-J)/k) ≈ 0.06 at k=128 worst case; allow 4 sigma).
+func TestPropertyMinHashAccuracy(t *testing.T) {
+	m := NewMinHasher(128, 11)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		universe := 30
+		mk := func() Descriptor {
+			var us []string
+			n := 3 + rng.Intn(12)
+			for i := 0; i < n; i++ {
+				us = append(us, fmt.Sprintf("u%d", rng.Intn(universe)))
+			}
+			return NewDescriptor("", us...)
+		}
+		a, b := mk(), mk()
+		exact := Jaccard(a, b)
+		est := EstimateJaccard(m.Sketch(a), m.Sketch(b))
+		return math.Abs(exact-est) < 0.25
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Compare the three estimators' cost on realistic descriptor sizes: exact
+// sJ (linear merge), SAR s̃J (k-dim vectors) and MinHash (k-wide sketches).
+func BenchmarkJaccardEstimators(b *testing.B) {
+	users := make([]string, 400)
+	for i := range users {
+		users[i] = fmt.Sprintf("user-%04d", i)
+	}
+	d1 := NewDescriptor("", users[:300]...)
+	d2 := NewDescriptor("", users[100:]...)
+	m := NewMinHasher(64, 1)
+	s1, s2 := m.Sketch(d1), m.Sketch(d2)
+	v1 := make(Vector, 60)
+	v2 := make(Vector, 60)
+	for i := range v1 {
+		v1[i] = float64(i % 5)
+		v2[i] = float64((i + 2) % 7)
+	}
+	b.Run("exact-sJ", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Jaccard(d1, d2)
+		}
+	})
+	b.Run("sar-vector", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ApproxJaccard(v1, v2)
+		}
+	})
+	b.Run("minhash-64", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			EstimateJaccard(s1, s2)
+		}
+	})
+	b.Run("minhash-sketch-build", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.Sketch(d1)
+		}
+	})
+}

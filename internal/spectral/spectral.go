@@ -1,0 +1,316 @@
+// Package spectral implements the baseline the paper compares sub-community
+// extraction against (§4.2.2): normalized spectral clustering in the style
+// of von Luxburg [30] — symmetric normalized Laplacian, bottom-k
+// eigenvectors via a cyclic Jacobi eigensolver, row normalization and
+// k-means on the spectral embedding. Everything is stdlib-only and
+// deterministic given the seed.
+package spectral
+
+import (
+	"math"
+	"math/rand"
+
+	"videorec/internal/community"
+)
+
+// SymMatrix is a dense symmetric n×n matrix in row-major order.
+type SymMatrix struct {
+	N    int
+	Data []float64
+}
+
+// NewSymMatrix allocates a zeroed n×n matrix.
+func NewSymMatrix(n int) *SymMatrix {
+	return &SymMatrix{N: n, Data: make([]float64, n*n)}
+}
+
+// At returns element (i, j).
+func (m *SymMatrix) At(i, j int) float64 { return m.Data[i*m.N+j] }
+
+// Set writes both (i, j) and (j, i).
+func (m *SymMatrix) Set(i, j int, v float64) {
+	m.Data[i*m.N+j] = v
+	m.Data[j*m.N+i] = v
+}
+
+// JacobiEigen diagonalizes a symmetric matrix with the cyclic Jacobi method.
+// It returns all eigenvalues in ascending order with their eigenvectors:
+// vectors[e][i] is component i of the eigenvector for values[e]. The input
+// matrix is not modified.
+func JacobiEigen(m *SymMatrix, maxSweeps int, tol float64) (values []float64, vectors [][]float64) {
+	n := m.N
+	a := make([]float64, len(m.Data))
+	copy(a, m.Data)
+	// v accumulates rotations: starts as identity.
+	v := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		v[i*n+i] = 1
+	}
+	if maxSweeps <= 0 {
+		maxSweeps = 50
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += a[i*n+j] * a[i*n+j]
+			}
+		}
+		if off < tol {
+			break
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := a[p*n+q]
+				if math.Abs(apq) < tol/float64(n*n) {
+					continue
+				}
+				app := a[p*n+p]
+				aqq := a[q*n+q]
+				theta := (aqq - app) / (2 * apq)
+				t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					t = -t
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				// Rotate rows/columns p and q of a.
+				for i := 0; i < n; i++ {
+					aip := a[i*n+p]
+					aiq := a[i*n+q]
+					a[i*n+p] = c*aip - s*aiq
+					a[i*n+q] = s*aip + c*aiq
+				}
+				for i := 0; i < n; i++ {
+					api := a[p*n+i]
+					aqi := a[q*n+i]
+					a[p*n+i] = c*api - s*aqi
+					a[q*n+i] = s*api + c*aqi
+				}
+				// Accumulate eigenvectors.
+				for i := 0; i < n; i++ {
+					vip := v[i*n+p]
+					viq := v[i*n+q]
+					v[i*n+p] = c*vip - s*viq
+					v[i*n+q] = s*vip + c*viq
+				}
+			}
+		}
+	}
+	// Extract and sort ascending.
+	type pair struct {
+		val float64
+		idx int
+	}
+	pairs := make([]pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = pair{a[i*n+i], i}
+	}
+	for i := 1; i < n; i++ { // insertion sort: n is small and this is clear
+		for j := i; j > 0 && pairs[j].val < pairs[j-1].val; j-- {
+			pairs[j], pairs[j-1] = pairs[j-1], pairs[j]
+		}
+	}
+	values = make([]float64, n)
+	vectors = make([][]float64, n)
+	for e, p := range pairs {
+		values[e] = p.val
+		vec := make([]float64, n)
+		for i := 0; i < n; i++ {
+			vec[i] = v[i*n+p.idx]
+		}
+		vectors[e] = vec
+	}
+	return values, vectors
+}
+
+// Cluster partitions the users of a UIG into k groups by normalized
+// spectral clustering. The result maps each user to a cluster id in [0, k).
+// Isolated users (degree 0) land in cluster 0's embedding neighbourhood and
+// are handled like everyone else.
+func Cluster(g *community.Graph, k int, seed int64) map[string]int {
+	users := g.Users()
+	n := len(users)
+	if n == 0 {
+		return map[string]int{}
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	idx := make(map[string]int, n)
+	for i, u := range users {
+		idx[u] = i
+	}
+	// W and degrees.
+	w := NewSymMatrix(n)
+	deg := make([]float64, n)
+	for i, u := range users {
+		g.Neighbors(u, func(v string, wt float64) {
+			j := idx[v]
+			w.Set(i, j, wt)
+		})
+		_ = u
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			deg[i] += w.At(i, j)
+		}
+	}
+	// L_sym = I − D^{−1/2} W D^{−1/2}; isolated nodes keep L_ii = 1.
+	l := NewSymMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			var val float64
+			if i == j {
+				val = 1
+			}
+			if deg[i] > 0 && deg[j] > 0 && w.At(i, j) != 0 {
+				val -= w.At(i, j) / math.Sqrt(deg[i]*deg[j])
+			}
+			l.Set(i, j, val)
+		}
+	}
+	_, vectors := JacobiEigen(l, 60, 1e-10)
+	// Embed each user by the bottom-k eigenvectors, row-normalized.
+	emb := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, k)
+		for e := 0; e < k; e++ {
+			row[e] = vectors[e][i]
+		}
+		norm := 0.0
+		for _, x := range row {
+			norm += x * x
+		}
+		if norm > 0 {
+			norm = math.Sqrt(norm)
+			for e := range row {
+				row[e] /= norm
+			}
+		}
+		emb[i] = row
+	}
+	labels := KMeans(emb, k, seed, 50)
+	out := make(map[string]int, n)
+	for i, u := range users {
+		out[u] = labels[i]
+	}
+	return out
+}
+
+// KMeans clusters points into k groups with Lloyd's algorithm and k-means++
+// seeding. It returns a label per point. Deterministic given the seed.
+func KMeans(points [][]float64, k int, seed int64, maxIter int) []int {
+	n := len(points)
+	labels := make([]int, n)
+	if n == 0 || k <= 1 {
+		return labels
+	}
+	if k > n {
+		k = n
+	}
+	dim := len(points[0])
+	rng := rand.New(rand.NewSource(seed))
+
+	// k-means++ seeding.
+	centers := make([][]float64, 0, k)
+	first := rng.Intn(n)
+	centers = append(centers, append([]float64(nil), points[first]...))
+	d2 := make([]float64, n)
+	for len(centers) < k {
+		var sum float64
+		for i, p := range points {
+			d2[i] = sqDist(p, centers[0])
+			for _, c := range centers[1:] {
+				if d := sqDist(p, c); d < d2[i] {
+					d2[i] = d
+				}
+			}
+			sum += d2[i]
+		}
+		var pick int
+		if sum <= 0 {
+			pick = rng.Intn(n)
+		} else {
+			r := rng.Float64() * sum
+			for i := range d2 {
+				r -= d2[i]
+				if r <= 0 {
+					pick = i
+					break
+				}
+			}
+		}
+		centers = append(centers, append([]float64(nil), points[pick]...))
+	}
+
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, p := range points {
+			best := 0
+			bestD := sqDist(p, centers[0])
+			for c := 1; c < k; c++ {
+				if d := sqDist(p, centers[c]); d < bestD {
+					bestD = d
+					best = c
+				}
+			}
+			if labels[i] != best {
+				labels[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centers.
+		counts := make([]int, k)
+		next := make([][]float64, k)
+		for c := range next {
+			next[c] = make([]float64, dim)
+		}
+		for i, p := range points {
+			c := labels[i]
+			counts[c]++
+			for d := range p {
+				next[c][d] += p[d]
+			}
+		}
+		for c := range next {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster on the farthest point.
+				far, farD := 0, -1.0
+				for i, p := range points {
+					if d := sqDist(p, centers[labels[i]]); d > farD {
+						far, farD = i, d
+					}
+				}
+				copy(next[c], points[far])
+				continue
+			}
+			for d := range next[c] {
+				next[c][d] /= float64(counts[c])
+			}
+		}
+		centers = next
+	}
+	return labels
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

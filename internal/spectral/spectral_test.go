@@ -1,0 +1,234 @@
+package spectral
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"videorec/internal/community"
+)
+
+func TestJacobiEigenDiagonal(t *testing.T) {
+	m := NewSymMatrix(3)
+	m.Set(0, 0, 3)
+	m.Set(1, 1, 1)
+	m.Set(2, 2, 2)
+	vals, vecs := JacobiEigen(m, 50, 1e-12)
+	want := []float64{1, 2, 3}
+	for i, w := range want {
+		if math.Abs(vals[i]-w) > 1e-9 {
+			t.Errorf("eigenvalue %d = %g, want %g", i, vals[i], w)
+		}
+	}
+	// Eigenvector of eigenvalue 1 must be e1 (up to sign).
+	if math.Abs(math.Abs(vecs[0][1])-1) > 1e-9 {
+		t.Errorf("eigenvector for λ=1: %v", vecs[0])
+	}
+}
+
+func TestJacobiEigen2x2Known(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	m := NewSymMatrix(2)
+	m.Set(0, 0, 2)
+	m.Set(1, 1, 2)
+	m.Set(0, 1, 1)
+	vals, vecs := JacobiEigen(m, 50, 1e-14)
+	if math.Abs(vals[0]-1) > 1e-9 || math.Abs(vals[1]-3) > 1e-9 {
+		t.Fatalf("eigenvalues = %v, want [1 3]", vals)
+	}
+	// λ=1 eigenvector ∝ (1,−1).
+	v := vecs[0]
+	if math.Abs(math.Abs(v[0])-math.Abs(v[1])) > 1e-9 || v[0]*v[1] > 0 {
+		t.Errorf("λ=1 eigenvector = %v", v)
+	}
+}
+
+// Property: A·v = λ·v for every returned pair on random symmetric matrices.
+func TestPropertyJacobiEigenEquation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(7)
+		m := NewSymMatrix(n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				m.Set(i, j, rng.NormFloat64())
+			}
+		}
+		vals, vecs := JacobiEigen(m, 80, 1e-14)
+		for e := 0; e < n; e++ {
+			for i := 0; i < n; i++ {
+				var av float64
+				for j := 0; j < n; j++ {
+					av += m.At(i, j) * vecs[e][j]
+				}
+				if math.Abs(av-vals[e]*vecs[e][i]) > 1e-6 {
+					return false
+				}
+			}
+		}
+		// Eigenvalues ascending.
+		for e := 1; e < n; e++ {
+			if vals[e] < vals[e-1]-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKMeansSeparatesObviousClusters(t *testing.T) {
+	points := [][]float64{
+		{0, 0}, {0.1, 0}, {0, 0.1},
+		{10, 10}, {10.1, 10}, {10, 10.1},
+	}
+	labels := KMeans(points, 2, 7, 50)
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Errorf("first cluster split: %v", labels)
+	}
+	if labels[3] != labels[4] || labels[4] != labels[5] {
+		t.Errorf("second cluster split: %v", labels)
+	}
+	if labels[0] == labels[3] {
+		t.Errorf("clusters merged: %v", labels)
+	}
+}
+
+func TestKMeansEdgeCases(t *testing.T) {
+	if got := KMeans(nil, 3, 1, 10); len(got) != 0 {
+		t.Errorf("empty input: %v", got)
+	}
+	labels := KMeans([][]float64{{1}, {2}}, 5, 1, 10) // k > n clamps
+	if len(labels) != 2 {
+		t.Errorf("labels = %v", labels)
+	}
+	one := KMeans([][]float64{{1}, {9}, {5}}, 1, 1, 10)
+	for _, l := range one {
+		if l != 0 {
+			t.Errorf("k=1 should label everything 0: %v", one)
+		}
+	}
+}
+
+func twoCliqueGraph() *community.Graph {
+	g := community.NewGraph()
+	clique := func(names []string) {
+		for i := 0; i < len(names); i++ {
+			for j := i + 1; j < len(names); j++ {
+				g.AddEdgeWeight(names[i], names[j], 5)
+			}
+		}
+	}
+	clique([]string{"a1", "a2", "a3", "a4"})
+	clique([]string{"b1", "b2", "b3", "b4"})
+	g.AddEdgeWeight("a1", "b1", 0.1) // weak bridge
+	return g
+}
+
+func TestClusterTwoCliques(t *testing.T) {
+	g := twoCliqueGraph()
+	labels := Cluster(g, 2, 3)
+	if len(labels) != 8 {
+		t.Fatalf("labels for %d users, want 8", len(labels))
+	}
+	for _, u := range []string{"a2", "a3", "a4"} {
+		if labels[u] != labels["a1"] {
+			t.Errorf("%s not with a1: %v", u, labels)
+		}
+	}
+	for _, u := range []string{"b2", "b3", "b4"} {
+		if labels[u] != labels["b1"] {
+			t.Errorf("%s not with b1: %v", u, labels)
+		}
+	}
+	if labels["a1"] == labels["b1"] {
+		t.Error("cliques merged")
+	}
+}
+
+func TestClusterEdgeCases(t *testing.T) {
+	empty := community.NewGraph()
+	if got := Cluster(empty, 3, 1); len(got) != 0 {
+		t.Errorf("empty graph: %v", got)
+	}
+	g := community.NewGraph()
+	g.AddUser("solo")
+	got := Cluster(g, 4, 1)
+	if len(got) != 1 {
+		t.Errorf("single user: %v", got)
+	}
+}
+
+func TestClusterDeterministicGivenSeed(t *testing.T) {
+	g := twoCliqueGraph()
+	a := Cluster(g, 2, 9)
+	b := Cluster(g, 2, 9)
+	for u := range a {
+		if a[u] != b[u] {
+			t.Fatalf("nondeterministic label for %s", u)
+		}
+	}
+}
+
+func BenchmarkJacobiEigen(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 60
+	m := NewSymMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		JacobiEigen(m, 50, 1e-10)
+	}
+}
+
+func BenchmarkSpectralCluster(b *testing.B) {
+	g := community.NewGraph()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 120; i++ {
+		for j := 0; j < 5; j++ {
+			u := i
+			v := (i + 1 + rng.Intn(20)) % 120
+			g.AddEdgeWeight(name(u), name(v), float64(1+rng.Intn(4)))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Cluster(g, 8, 1)
+	}
+}
+
+func name(i int) string { return string(rune('a'+i%26)) + string(rune('0'+i/26)) }
+
+func TestKMeansEmptyClusterReseed(t *testing.T) {
+	// Duplicate points force empty clusters; the reseed path must not panic
+	// and must still label everything.
+	points := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	labels := KMeans(points, 3, 5, 20)
+	if len(labels) != 4 {
+		t.Fatalf("labels = %v", labels)
+	}
+	for _, l := range labels {
+		if l < 0 || l >= 3 {
+			t.Fatalf("label %d out of range", l)
+		}
+	}
+}
+
+func TestJacobiEigenSingleElement(t *testing.T) {
+	m := NewSymMatrix(1)
+	m.Set(0, 0, 5)
+	vals, vecs := JacobiEigen(m, 10, 1e-12)
+	if len(vals) != 1 || vals[0] != 5 {
+		t.Errorf("vals = %v", vals)
+	}
+	if len(vecs) != 1 || math.Abs(math.Abs(vecs[0][0])-1) > 1e-12 {
+		t.Errorf("vecs = %v", vecs)
+	}
+}

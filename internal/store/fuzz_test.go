@@ -1,0 +1,43 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+
+	"videorec/internal/core"
+)
+
+// FuzzLoad: arbitrary bytes must never panic the snapshot decoder — they
+// either decode or return an error.
+func FuzzLoad(f *testing.F) {
+	f.Add([]byte("VRECSNAP\x01\x00\x00\x00"))
+	f.Add([]byte("VRECSNAP"))
+	f.Add([]byte("garbage"))
+	f.Add([]byte{})
+	// A valid snapshot as a seed.
+	var buf bytes.Buffer
+	r := buildRecommender(f, 3, true)
+	if err := Save(&buf, r.Snapshot()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A decodable snapshot must either reconstruct or error — no panic.
+		_, _ = core.FromSnapshot(snap)
+	})
+}
+
+// FuzzReplayJournal: arbitrary journal bytes must never panic replay.
+func FuzzReplayJournal(f *testing.F) {
+	f.Add([]byte(`{"seq":1,"comments":{"v":["a"]}}` + "\n"))
+	f.Add([]byte("not json\n"))
+	f.Add([]byte(""))
+	f.Add([]byte(`{"seq":1,"comments":{"v":["a"]}}` + "\n" + `{"seq":2,"comments":{`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = ReplayJournal(bytes.NewReader(data), func(map[string][]string) error { return nil })
+	})
+}

@@ -1,0 +1,134 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Journal is an append-only log of comment batches — the write-ahead
+// complement to snapshots: a deployment snapshots periodically and journals
+// every ApplyUpdates batch in between, so a crash loses nothing. Entries are
+// newline-delimited JSON objects (one batch per line), trivially greppable
+// and append-safe.
+type Journal struct {
+	mu sync.Mutex
+	w  io.Writer
+	bw *bufio.Writer
+	c  io.Closer
+	n  int
+}
+
+// entry is one journaled batch.
+type entry struct {
+	Seq      int                 `json:"seq"`
+	Comments map[string][]string `json:"comments"`
+}
+
+// NewJournal wraps a writer. If w is also an io.Closer, Close closes it.
+func NewJournal(w io.Writer) *Journal {
+	j := &Journal{w: w, bw: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		j.c = c
+	}
+	return j
+}
+
+// OpenJournal opens (or creates) an append-mode journal file.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open journal: %w", err)
+	}
+	return NewJournal(f), nil
+}
+
+// Append logs one comment batch and flushes it to the underlying writer.
+func (j *Journal) Append(comments map[string][]string) error {
+	if len(comments) == 0 {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.n++
+	b, err := json.Marshal(entry{Seq: j.n, Comments: comments})
+	if err != nil {
+		return fmt.Errorf("store: encode journal entry: %w", err)
+	}
+	if _, err := j.bw.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("store: append journal: %w", err)
+	}
+	return j.bw.Flush()
+}
+
+// Entries returns the number of batches appended through this Journal.
+func (j *Journal) Entries() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.n
+}
+
+// Close flushes and closes the underlying writer when it is closable.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.bw.Flush(); err != nil {
+		return err
+	}
+	if j.c != nil {
+		return j.c.Close()
+	}
+	return nil
+}
+
+// ReplayJournal streams every batch of a journal to fn in append order. A
+// truncated trailing line (crash mid-append) is tolerated and skipped;
+// corruption elsewhere is an error.
+func ReplayJournal(r io.Reader, fn func(comments map[string][]string) error) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	replayed := 0
+	var pendingErr error
+	for sc.Scan() {
+		if pendingErr != nil {
+			// A bad line followed by more data is real corruption.
+			return replayed, pendingErr
+		}
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e entry
+		if err := json.Unmarshal(line, &e); err != nil {
+			pendingErr = fmt.Errorf("store: corrupt journal entry after %d batches: %w", replayed, err)
+			continue
+		}
+		if err := fn(e.Comments); err != nil {
+			return replayed, err
+		}
+		replayed++
+	}
+	if err := sc.Err(); err != nil {
+		return replayed, fmt.Errorf("store: read journal: %w", err)
+	}
+	// pendingErr on the final line = truncated tail; tolerated.
+	return replayed, nil
+}
+
+// ReplayJournalFile replays a journal from disk; a missing file replays
+// zero batches.
+func ReplayJournalFile(path string, fn func(comments map[string][]string) error) (int, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("store: open journal: %w", err)
+	}
+	defer f.Close()
+	return ReplayJournal(f, fn)
+}

@@ -1,0 +1,134 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestJournalAppendReplay(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	batches := []map[string][]string{
+		{"v1": {"a", "b"}},
+		{"v2": {"c"}, "v3": {"d", "e"}},
+	}
+	for _, b := range batches {
+		if err := j.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if j.Entries() != 2 {
+		t.Errorf("Entries = %d, want 2", j.Entries())
+	}
+	var got []map[string][]string
+	n, err := ReplayJournal(&buf, func(c map[string][]string) error {
+		got = append(got, c)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || len(got) != 2 {
+		t.Fatalf("replayed %d batches", n)
+	}
+	if got[0]["v1"][1] != "b" || got[1]["v3"][0] != "d" {
+		t.Errorf("replayed content wrong: %v", got)
+	}
+}
+
+func TestJournalEmptyBatchIgnored(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	if err := j.Append(nil); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Error("empty batch was written")
+	}
+}
+
+func TestJournalToleratesTruncatedTail(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	if err := j.Append(map[string][]string{"v": {"u"}}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: half a second entry.
+	buf.WriteString(`{"seq":2,"comments":{"v2":[`)
+	n, err := ReplayJournal(&buf, func(map[string][]string) error { return nil })
+	if err != nil {
+		t.Fatalf("truncated tail should be tolerated: %v", err)
+	}
+	if n != 1 {
+		t.Errorf("replayed %d batches, want 1", n)
+	}
+}
+
+func TestJournalRejectsMidstreamCorruption(t *testing.T) {
+	data := `{"seq":1,"comments":{"v":["a"]}}
+garbage that is not json
+{"seq":3,"comments":{"v":["b"]}}
+`
+	_, err := ReplayJournal(strings.NewReader(data), func(map[string][]string) error { return nil })
+	if err == nil {
+		t.Error("midstream corruption accepted")
+	}
+}
+
+func TestJournalFileLifecycle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "comments.wal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(map[string][]string{"v": {"x"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Re-open appends, not truncates.
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Append(map[string][]string{"v": {"y"}}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	n, err := ReplayJournalFile(path, func(map[string][]string) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("replayed %d, want 2 (append mode)", n)
+	}
+}
+
+func TestReplayJournalFileMissing(t *testing.T) {
+	n, err := ReplayJournalFile(filepath.Join(t.TempDir(), "absent.wal"), nil)
+	if err != nil || n != 0 {
+		t.Errorf("missing journal: n=%d err=%v", n, err)
+	}
+}
+
+func TestReplayCallbackErrorStops(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	j.Append(map[string][]string{"v1": {"a"}})
+	j.Append(map[string][]string{"v2": {"b"}})
+	calls := 0
+	_, err := ReplayJournal(&buf, func(map[string][]string) error {
+		calls++
+		return os.ErrInvalid
+	})
+	if err == nil {
+		t.Error("callback error swallowed")
+	}
+	if calls != 1 {
+		t.Errorf("callback ran %d times after error, want 1", calls)
+	}
+}

@@ -1,0 +1,181 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+
+	"videorec/internal/signature"
+	"videorec/internal/video"
+)
+
+func synth(topic int, seed int64) *video.Video {
+	rng := rand.New(rand.NewSource(seed))
+	return video.Synthesize("s", topic, video.DefaultSynthOptions(), rng)
+}
+
+// feed pushes every frame of a video through the monitor and collects
+// alerts.
+func feed(m *Monitor, v *video.Video) []Alert {
+	var alerts []Alert
+	for _, f := range v.Frames {
+		alerts = append(alerts, m.Push(f)...)
+	}
+	return alerts
+}
+
+func buildMonitor(t testing.TB) (*Monitor, *video.Video) {
+	t.Helper()
+	m := NewMonitor(DefaultOptions())
+	ref := synth(3, 7)
+	m.AddReference("ref", signature.Extract(ref, DefaultOptions().Sig))
+	// Distractor references from other topics.
+	for i := 0; i < 4; i++ {
+		d := synth(10+i, int64(20+i))
+		m.AddReference(vid(i), signature.Extract(d, DefaultOptions().Sig))
+	}
+	if m.LibrarySize() == 0 {
+		t.Fatal("empty library")
+	}
+	return m, ref
+}
+
+func vid(i int) string { return "distractor-" + string(rune('a'+i)) }
+
+func TestDetectsEditedDuplicateInStream(t *testing.T) {
+	m, ref := buildMonitor(t)
+	// The stream: unrelated content, then an edited copy of the reference,
+	// then more unrelated content.
+	pre := synth(15, 99)
+	dup := video.Brighten(ref, 15)
+	post := synth(16, 100)
+
+	feed(m, pre)
+	feed(m, dup)
+	feed(m, post)
+	m.Flush()
+
+	alerts := m.Alerts()
+	found := false
+	for _, a := range alerts {
+		if a.VideoID == "ref" {
+			found = true
+			if a.Matches < DefaultOptions().AlertMatches {
+				t.Errorf("alert with %d matches, threshold %d", a.Matches, DefaultOptions().AlertMatches)
+			}
+			if a.MeanSimilar < DefaultOptions().MatchThreshold {
+				t.Errorf("mean similarity %.3f below threshold", a.MeanSimilar)
+			}
+		}
+		if a.VideoID != "ref" {
+			t.Errorf("false alert on %s", a.VideoID)
+		}
+	}
+	if !found {
+		t.Error("edited duplicate not detected")
+	}
+}
+
+func TestNoAlertOnUnrelatedStream(t *testing.T) {
+	m, _ := buildMonitor(t)
+	feed(m, synth(17, 55))
+	feed(m, synth(18, 56))
+	m.Flush()
+	if alerts := m.Alerts(); len(alerts) != 0 {
+		t.Errorf("false alerts: %+v", alerts)
+	}
+}
+
+func TestAlertRaisedOnce(t *testing.T) {
+	m, ref := buildMonitor(t)
+	raised := 0
+	raised += len(feed(m, ref))
+	raised += len(feed(m, ref)) // second pass must not re-alert
+	raised += len(m.Flush())
+	if raised != 1 {
+		t.Errorf("alert raised %d times, want 1", raised)
+	}
+	// But the tally keeps accumulating.
+	if a := m.Alerts(); len(a) != 1 || a[0].Matches < 2 {
+		t.Errorf("alerts = %+v", a)
+	}
+}
+
+func TestReferencesAddedMidStream(t *testing.T) {
+	m := NewMonitor(DefaultOptions())
+	ref := synth(4, 11)
+	feed(m, synth(12, 30)) // nothing indexed yet
+	m.AddReference("late", signature.Extract(ref, DefaultOptions().Sig))
+	feed(m, ref)
+	m.Flush()
+	found := false
+	for _, a := range m.Alerts() {
+		if a.VideoID == "late" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("late-added reference not matched")
+	}
+}
+
+func TestFlushEmptyAndShortShots(t *testing.T) {
+	m := NewMonitor(DefaultOptions())
+	if alerts := m.Flush(); alerts != nil {
+		t.Errorf("flush on empty monitor: %v", alerts)
+	}
+	// A shot shorter than MinShotLen is discarded without matching.
+	f := video.NewFrame(8, 8)
+	m.Push(f)
+	if alerts := m.Flush(); alerts != nil {
+		t.Errorf("short shot produced alerts: %v", alerts)
+	}
+}
+
+func TestMaxShotFramesForcesBoundary(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MaxShotFrames = 10
+	m := NewMonitor(opts)
+	ref := synth(2, 3)
+	m.AddReference("r", signature.Extract(ref, opts.Sig))
+	// A static stream (no histogram cuts) must still close shots.
+	f := video.NewFrame(32, 32)
+	for i := 0; i < 35; i++ {
+		m.Push(f)
+	}
+	if m.shotCount == 0 {
+		t.Error("no shots closed on a static stream")
+	}
+}
+
+func BenchmarkMonitorPush(b *testing.B) {
+	m, ref := buildMonitor(b)
+	frames := ref.Frames
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Push(frames[i%len(frames)])
+	}
+}
+
+func TestAlertFieldsConsistent(t *testing.T) {
+	m, ref := buildMonitor(t)
+	feed(m, ref)
+	m.Flush()
+	for _, a := range m.Alerts() {
+		if a.FirstShot > a.LastShot {
+			t.Errorf("FirstShot %d > LastShot %d", a.FirstShot, a.LastShot)
+		}
+		if a.MeanSimilar <= 0 || a.MeanSimilar > 1 {
+			t.Errorf("MeanSimilar %g out of (0,1]", a.MeanSimilar)
+		}
+		if a.TotalStreamN <= 0 {
+			t.Errorf("TotalStreamN = %d", a.TotalStreamN)
+		}
+	}
+}
+
+func TestMonitorDefaultsOnZeroOptions(t *testing.T) {
+	m := NewMonitor(Options{})
+	if m.opts.ProbePerSig <= 0 || m.opts.AlertMatches <= 0 {
+		t.Error("zero options not defaulted")
+	}
+}

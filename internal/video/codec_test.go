@@ -1,0 +1,117 @@
+package video
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	v := Synthesize("roundtrip-clip", 4, DefaultSynthOptions(), rng)
+	v.NominalSeconds = 123.5
+	var buf bytes.Buffer
+	if err := Encode(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != v.ID || got.FPS != v.FPS || got.NominalSeconds != v.NominalSeconds {
+		t.Errorf("metadata changed: %+v", got)
+	}
+	if len(got.Frames) != len(v.Frames) {
+		t.Fatalf("frames = %d, want %d", len(got.Frames), len(v.Frames))
+	}
+	// Quantization error is at most 0.5 intensity levels.
+	for i := range v.Frames {
+		for p := range v.Frames[i].Pix {
+			if d := math.Abs(got.Frames[i].Pix[p] - v.Frames[i].Pix[p]); d > 0.5 {
+				t.Fatalf("frame %d pixel %d off by %g", i, p, d)
+			}
+		}
+	}
+}
+
+func TestCodecSignatureSurvivesQuantization(t *testing.T) {
+	// The point of the codec: a decoded clip must produce essentially the
+	// same cut structure as the original.
+	rng := rand.New(rand.NewSource(9))
+	v := Synthesize("q", 2, DefaultSynthOptions(), rng)
+	var buf bytes.Buffer
+	if err := Encode(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := DetectCuts(v, DefaultCutOptions())
+	b := DetectCuts(got, DefaultCutOptions())
+	if len(a) != len(b) {
+		t.Fatalf("cut counts differ after codec: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("cut positions differ: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestCodecErrors(t *testing.T) {
+	if err := Encode(&bytes.Buffer{}, &Video{}); !errors.Is(err, ErrCodecNoFrames) {
+		t.Errorf("empty video: got %v", err)
+	}
+	mixed := &Video{Frames: []*Frame{NewFrame(4, 4), NewFrame(8, 8)}}
+	if err := Encode(&bytes.Buffer{}, mixed); err == nil {
+		t.Error("mixed frame sizes accepted")
+	}
+	if _, err := Decode(bytes.NewReader([]byte("WRONGMAG..."))); !errors.Is(err, ErrCodecMagic) {
+		t.Errorf("bad magic: got %v", err)
+	}
+	// Truncated stream.
+	rng := rand.New(rand.NewSource(1))
+	v := Synthesize("t", 1, DefaultSynthOptions(), rng)
+	var buf bytes.Buffer
+	if err := Encode(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); !errors.Is(err, ErrCodecCorrupt) {
+		t.Errorf("truncated: got %v", err)
+	}
+}
+
+func TestCodecFileHelpers(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	v := Synthesize("file-clip", 3, DefaultSynthOptions(), rng)
+	path := filepath.Join(t.TempDir(), "clip.vv")
+	if err := WriteFile(path, v); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != "file-clip" || len(got.Frames) != len(v.Frames) {
+		t.Errorf("file round trip broken: %s, %d frames", got.ID, len(got.Frames))
+	}
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing.vv")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	v := Synthesize("bench", 1, DefaultSynthOptions(), rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := Encode(&buf, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Package video provides the video substrate of the reproduction: intensity
+// frames, a procedural scene synthesizer standing in for the paper's crawled
+// YouTube clips, the editing/transformation operators used to create
+// near-duplicates, and histogram-based shot (cut) detection replacing the
+// AT&T detector of [18].
+//
+// The content pipeline downstream (cuboid signatures, EMD matching) consumes
+// only pixel intensities, so any frame source with controllable shot
+// structure and editability exercises the same code paths as real videos.
+package video
+
+import "fmt"
+
+// Frame is a single grayscale frame with intensities in [0, 255].
+type Frame struct {
+	W, H int
+	Pix  []float64 // row-major, len W*H
+}
+
+// NewFrame allocates a zeroed W×H frame.
+func NewFrame(w, h int) *Frame {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("video: invalid frame size %dx%d", w, h))
+	}
+	return &Frame{W: w, H: h, Pix: make([]float64, w*h)}
+}
+
+// At returns the intensity at (x, y).
+func (f *Frame) At(x, y int) float64 { return f.Pix[y*f.W+x] }
+
+// Set writes the intensity at (x, y), clamping to [0, 255].
+func (f *Frame) Set(x, y int, v float64) {
+	f.Pix[y*f.W+x] = clamp(v)
+}
+
+// Clone returns a deep copy of the frame.
+func (f *Frame) Clone() *Frame {
+	g := NewFrame(f.W, f.H)
+	copy(g.Pix, f.Pix)
+	return g
+}
+
+// Mean returns the average intensity of the frame.
+func (f *Frame) Mean() float64 {
+	var s float64
+	for _, p := range f.Pix {
+		s += p
+	}
+	return s / float64(len(f.Pix))
+}
+
+// BlockMean returns the average intensity of the block covering pixel columns
+// [x0, x1) and rows [y0, y1), clipped to the frame bounds.
+func (f *Frame) BlockMean(x0, y0, x1, y1 int) float64 {
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if x1 > f.W {
+		x1 = f.W
+	}
+	if y1 > f.H {
+		y1 = f.H
+	}
+	if x0 >= x1 || y0 >= y1 {
+		return 0
+	}
+	var s float64
+	for y := y0; y < y1; y++ {
+		row := f.Pix[y*f.W : y*f.W+f.W]
+		for x := x0; x < x1; x++ {
+			s += row[x]
+		}
+	}
+	return s / float64((x1-x0)*(y1-y0))
+}
+
+// Histogram returns a normalized intensity histogram with the given number
+// of equal-width bins over [0, 255].
+func (f *Frame) Histogram(bins int) []float64 {
+	h := make([]float64, bins)
+	scale := float64(bins) / 256.0
+	for _, p := range f.Pix {
+		b := int(p * scale)
+		if b >= bins {
+			b = bins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		h[b]++
+	}
+	n := float64(len(f.Pix))
+	for i := range h {
+		h[i] /= n
+	}
+	return h
+}
+
+// HistDiff returns the L1 distance between two normalized histograms.
+func HistDiff(a, b []float64) float64 {
+	var d float64
+	for i := range a {
+		x := a[i] - b[i]
+		if x < 0 {
+			x = -x
+		}
+		d += x
+	}
+	return d
+}
+
+func clamp(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return v
+}

@@ -1,0 +1,40 @@
+package video
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// FuzzDecode: arbitrary bytes must never panic the clip decoder.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte("VRECVID1"))
+	f.Add([]byte("WRONGMAG"))
+	f.Add([]byte{})
+	var buf bytes.Buffer
+	rng := rand.New(rand.NewSource(1))
+	v := Synthesize("seed", 1, SynthOptions{
+		Width: 8, Height: 8, Shots: 2, FramesPerShot: 4, FPS: 8, NominalSeconds: 10,
+	}, rng)
+	if err := Encode(&buf, v); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successfully decoded clip must be internally consistent.
+		for i, fr := range got.Frames {
+			if len(fr.Pix) != fr.W*fr.H {
+				t.Fatalf("frame %d: %d pixels for %dx%d", i, len(fr.Pix), fr.W, fr.H)
+			}
+			for _, p := range fr.Pix {
+				if p < 0 || p > 255 {
+					t.Fatalf("pixel out of range: %g", p)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,131 @@
+package video
+
+import "math"
+
+// Shot is a half-open frame range [Start, End) delimited by two cuts.
+type Shot struct {
+	Start, End int
+}
+
+// Len returns the number of frames in the shot.
+func (s Shot) Len() int { return s.End - s.Start }
+
+// CutOptions tunes the histogram-difference cut detector.
+type CutOptions struct {
+	Bins       int     // histogram bins
+	Window     int     // sliding window for the adaptive threshold
+	Sigma      float64 // multiples of the window's std above its mean
+	MinDiff    float64 // absolute floor on the histogram difference at a cut
+	MinShotLen int     // suppress cuts closer than this to the previous one
+}
+
+// DefaultCutOptions mirror the common settings of histogram-based detectors.
+func DefaultCutOptions() CutOptions {
+	return CutOptions{Bins: 16, Window: 8, Sigma: 3, MinDiff: 0.35, MinShotLen: 3}
+}
+
+// DetectCuts returns the indices i where a new shot begins (frame i starts a
+// new shot; index 0 is never reported). It substitutes for the AT&T TRECVID
+// detector [18]: successive-frame histogram L1 differences are compared
+// against an adaptive threshold (window mean + Sigma·std) with an absolute
+// floor, and cuts within MinShotLen of the previous cut are suppressed.
+func DetectCuts(v *Video, opts CutOptions) []int {
+	if len(v.Frames) < 2 {
+		return nil
+	}
+	if opts.Bins <= 0 {
+		opts.Bins = 16
+	}
+	if opts.Window <= 1 {
+		opts.Window = 8
+	}
+	diffs := make([]float64, len(v.Frames)-1)
+	prev := v.Frames[0].Histogram(opts.Bins)
+	for i := 1; i < len(v.Frames); i++ {
+		cur := v.Frames[i].Histogram(opts.Bins)
+		diffs[i-1] = HistDiff(prev, cur)
+		prev = cur
+	}
+	var cuts []int
+	lastCut := 0
+	for i, d := range diffs {
+		frame := i + 1 // diff i is between frames i and i+1
+		if d < opts.MinDiff {
+			continue
+		}
+		if frame-lastCut < opts.MinShotLen {
+			continue
+		}
+		lo := i - opts.Window
+		if lo < 0 {
+			lo = 0
+		}
+		mean, std := meanStd(diffs[lo:i])
+		if i == 0 || d > mean+opts.Sigma*std {
+			cuts = append(cuts, frame)
+			lastCut = frame
+		}
+	}
+	return cuts
+}
+
+// Shots segments the video into consecutive shots using DetectCuts.
+func Shots(v *Video, opts CutOptions) []Shot {
+	cuts := DetectCuts(v, opts)
+	var shots []Shot
+	start := 0
+	for _, c := range cuts {
+		shots = append(shots, Shot{Start: start, End: c})
+		start = c
+	}
+	if start < len(v.Frames) {
+		shots = append(shots, Shot{Start: start, End: len(v.Frames)})
+	}
+	return shots
+}
+
+// Keyframes samples up to maxPerShot evenly spaced frames from each shot
+// (always at least one per non-empty shot) and returns them in temporal
+// order. These are the "temporally consecutive keyframes" over which cuboid
+// signatures are built.
+func Keyframes(v *Video, shots []Shot, maxPerShot int) []*Frame {
+	if maxPerShot <= 0 {
+		maxPerShot = 1
+	}
+	var keys []*Frame
+	for _, s := range shots {
+		n := s.Len()
+		if n <= 0 {
+			continue
+		}
+		take := maxPerShot
+		if take > n {
+			take = n
+		}
+		for k := 0; k < take; k++ {
+			// Evenly spaced positions inside the shot.
+			idx := s.Start + (2*k+1)*n/(2*take)
+			if idx >= s.End {
+				idx = s.End - 1
+			}
+			keys = append(keys, v.Frames[idx])
+		}
+	}
+	return keys
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - mean
+		std += d * d
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	return mean, std
+}

@@ -1,0 +1,121 @@
+package video
+
+import "math/rand"
+
+// Transformations model the user edits the paper's robustness story depends
+// on: "videos are user uploaded data in Youtube, and a large portion of them
+// have been edited or undergone different variations" (§5.3.4). Each
+// operator returns a new Video and leaves the input untouched.
+
+// Brighten shifts every pixel by delta (photometric variation).
+func Brighten(v *Video, delta float64) *Video {
+	w := v.Clone()
+	for _, f := range w.Frames {
+		for i, p := range f.Pix {
+			f.Pix[i] = clamp(p + delta)
+		}
+	}
+	return w
+}
+
+// Contrast rescales intensities around 128 by the given factor.
+func Contrast(v *Video, factor float64) *Video {
+	w := v.Clone()
+	for _, f := range w.Frames {
+		for i, p := range f.Pix {
+			f.Pix[i] = clamp(128 + (p-128)*factor)
+		}
+	}
+	return w
+}
+
+// AddNoise adds zero-mean Gaussian noise with the given sigma (encoding /
+// compression artifacts).
+func AddNoise(v *Video, sigma float64, rng *rand.Rand) *Video {
+	w := v.Clone()
+	for _, f := range w.Frames {
+		for i, p := range f.Pix {
+			f.Pix[i] = clamp(p + rng.NormFloat64()*sigma)
+		}
+	}
+	return w
+}
+
+// CropShift translates the content by (dx, dy), filling exposed borders by
+// edge replication (spatial frame editing / content shift within frames).
+func CropShift(v *Video, dx, dy int) *Video {
+	w := v.Clone()
+	for fi, f := range v.Frames {
+		g := w.Frames[fi]
+		for y := 0; y < f.H; y++ {
+			sy := clampInt(y-dy, 0, f.H-1)
+			for x := 0; x < f.W; x++ {
+				sx := clampInt(x-dx, 0, f.W-1)
+				g.Pix[y*f.W+x] = f.Pix[sy*f.W+sx]
+			}
+		}
+	}
+	return w
+}
+
+// DropFrames removes every n-th frame (temporal editing: frame drops).
+func DropFrames(v *Video, n int) *Video {
+	if n <= 1 {
+		return v.Clone()
+	}
+	w := *v
+	w.Frames = nil
+	for i, f := range v.Frames {
+		if (i+1)%n == 0 {
+			continue
+		}
+		w.Frames = append(w.Frames, f.Clone())
+	}
+	return &w
+}
+
+// InsertFrames duplicates every n-th frame (temporal editing: stutter /
+// inserted material).
+func InsertFrames(v *Video, n int) *Video {
+	if n <= 0 {
+		return v.Clone()
+	}
+	w := *v
+	w.Frames = nil
+	for i, f := range v.Frames {
+		w.Frames = append(w.Frames, f.Clone())
+		if (i+1)%n == 0 {
+			w.Frames = append(w.Frames, f.Clone())
+		}
+	}
+	return &w
+}
+
+// ReorderShots permutes whole shots (temporal sequence editing — the case
+// that defeats order-bound measures like DTW and ERP but not the paper's
+// set-based κJ). Shot boundaries are detected with DetectCuts.
+func ReorderShots(v *Video, rng *rand.Rand) *Video {
+	shots := Shots(v, DefaultCutOptions())
+	if len(shots) < 2 {
+		return v.Clone()
+	}
+	order := rng.Perm(len(shots))
+	w := *v
+	w.Frames = make([]*Frame, 0, len(v.Frames))
+	for _, si := range order {
+		for i := shots[si].Start; i < shots[si].End; i++ {
+			w.Frames = append(w.Frames, v.Frames[i].Clone())
+		}
+	}
+	return &w
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

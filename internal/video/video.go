@@ -1,0 +1,47 @@
+package video
+
+import "time"
+
+// Video is a clip: a rendered frame sequence plus sharing-community
+// metadata. NominalSeconds is the clip's advertised duration used for the
+// paper's "hours of video" dataset accounting; the rendered Frames are a
+// short proxy sequence carrying the clip's visual identity (see DESIGN.md:
+// signature extraction touches every rendered frame, while collection sizes
+// are measured in nominal hours exactly as the paper measures them).
+type Video struct {
+	ID             string
+	Title          string
+	Topic          int     // latent topic driving both content and audience
+	FPS            float64 // frames per second of the rendered proxy
+	NominalSeconds float64 // advertised clip duration (≤ 600 per the paper)
+	Frames         []*Frame
+}
+
+// RenderedSeconds returns the duration of the rendered proxy sequence.
+func (v *Video) RenderedSeconds() float64 {
+	if v.FPS <= 0 {
+		return 0
+	}
+	return float64(len(v.Frames)) / v.FPS
+}
+
+// NominalDuration returns the advertised duration as a time.Duration.
+func (v *Video) NominalDuration() time.Duration {
+	return time.Duration(v.NominalSeconds * float64(time.Second))
+}
+
+// Clone deep-copies the video including all frames.
+func (v *Video) Clone() *Video {
+	w := *v
+	w.Frames = make([]*Frame, len(v.Frames))
+	for i, f := range v.Frames {
+		w.Frames[i] = f.Clone()
+	}
+	return &w
+}
+
+// ReleaseFrames drops the rendered frames so a processed video stops holding
+// pixel memory. Signature extraction happens once at ingest; afterwards only
+// the compact signature series is retained, mirroring how the real system
+// would not keep decoded video in memory.
+func (v *Video) ReleaseFrames() { v.Frames = nil }

@@ -1,0 +1,369 @@
+package video
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testVideo(topic int, seed int64) *Video {
+	rng := rand.New(rand.NewSource(seed))
+	return Synthesize("v", topic, DefaultSynthOptions(), rng)
+}
+
+func TestFrameAccessors(t *testing.T) {
+	f := NewFrame(4, 3)
+	f.Set(2, 1, 100)
+	if got := f.At(2, 1); got != 100 {
+		t.Errorf("At = %g, want 100", got)
+	}
+	f.Set(0, 0, -5)
+	if got := f.At(0, 0); got != 0 {
+		t.Errorf("clamp low: got %g", got)
+	}
+	f.Set(3, 2, 300)
+	if got := f.At(3, 2); got != 255 {
+		t.Errorf("clamp high: got %g", got)
+	}
+}
+
+func TestNewFramePanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 0x0 frame")
+		}
+	}()
+	NewFrame(0, 0)
+}
+
+func TestFrameMeanAndBlockMean(t *testing.T) {
+	f := NewFrame(2, 2)
+	f.Set(0, 0, 10)
+	f.Set(1, 0, 20)
+	f.Set(0, 1, 30)
+	f.Set(1, 1, 40)
+	if got := f.Mean(); got != 25 {
+		t.Errorf("Mean = %g, want 25", got)
+	}
+	if got := f.BlockMean(0, 0, 1, 2); got != 20 {
+		t.Errorf("left column BlockMean = %g, want 20", got)
+	}
+	if got := f.BlockMean(-5, -5, 10, 10); got != 25 {
+		t.Errorf("clipped BlockMean = %g, want 25", got)
+	}
+	if got := f.BlockMean(1, 1, 1, 1); got != 0 {
+		t.Errorf("empty BlockMean = %g, want 0", got)
+	}
+}
+
+func TestHistogramNormalized(t *testing.T) {
+	f := NewFrame(8, 8)
+	for i := range f.Pix {
+		f.Pix[i] = float64(i * 4 % 256)
+	}
+	h := f.Histogram(16)
+	var sum float64
+	for _, x := range h {
+		if x < 0 {
+			t.Fatalf("negative bin %g", x)
+		}
+		sum += x
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("histogram sum = %g, want 1", sum)
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a := testVideo(3, 7)
+	b := testVideo(3, 7)
+	if len(a.Frames) != len(b.Frames) {
+		t.Fatalf("frame counts differ: %d vs %d", len(a.Frames), len(b.Frames))
+	}
+	for i := range a.Frames {
+		for p := range a.Frames[i].Pix {
+			if a.Frames[i].Pix[p] != b.Frames[i].Pix[p] {
+				t.Fatalf("frame %d pixel %d differs", i, p)
+			}
+		}
+	}
+}
+
+func TestSynthesizeFrameCount(t *testing.T) {
+	opts := DefaultSynthOptions()
+	v := testVideo(0, 1)
+	want := opts.Shots * opts.FramesPerShot
+	if len(v.Frames) != want {
+		t.Errorf("frames = %d, want %d", len(v.Frames), want)
+	}
+	if v.RenderedSeconds() <= 0 {
+		t.Error("rendered seconds should be positive")
+	}
+	if v.NominalDuration() <= 0 {
+		t.Error("nominal duration should be positive")
+	}
+}
+
+func TestSameTopicLooksMoreAlike(t *testing.T) {
+	// Mean intensity of same-topic clips should be closer than across the
+	// most distant topic pair — a coarse check that topics carry identity.
+	a1 := testVideo(1, 10)
+	a2 := testVideo(1, 11)
+	sameDiff := absDiff(meanIntensity(a1), meanIntensity(a2))
+	// Find a topic whose look is far from topic 1.
+	worst := 0.0
+	for topic := 2; topic < 12; topic++ {
+		b := testVideo(topic, 12)
+		if d := absDiff(meanIntensity(a1), meanIntensity(b)); d > worst {
+			worst = d
+		}
+	}
+	if sameDiff >= worst {
+		t.Errorf("same-topic diff %g >= max cross-topic diff %g", sameDiff, worst)
+	}
+}
+
+func meanIntensity(v *Video) float64 {
+	var s float64
+	for _, f := range v.Frames {
+		s += f.Mean()
+	}
+	return s / float64(len(v.Frames))
+}
+
+func absDiff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func TestDetectCutsFindsShotBoundaries(t *testing.T) {
+	opts := DefaultSynthOptions()
+	v := testVideo(5, 3)
+	cuts := DetectCuts(v, DefaultCutOptions())
+	if len(cuts) == 0 {
+		t.Fatal("no cuts detected in a multi-shot video")
+	}
+	// Every true boundary is a multiple of FramesPerShot; allow ±1 slack.
+	for _, c := range cuts {
+		r := c % opts.FramesPerShot
+		if r > 1 && r < opts.FramesPerShot-1 {
+			t.Errorf("cut at %d is far from any true shot boundary", c)
+		}
+	}
+}
+
+func TestDetectCutsShortVideo(t *testing.T) {
+	v := &Video{Frames: []*Frame{NewFrame(4, 4)}, FPS: 8}
+	if cuts := DetectCuts(v, DefaultCutOptions()); cuts != nil {
+		t.Errorf("cuts on 1-frame video: %v", cuts)
+	}
+}
+
+func TestShotsPartitionVideo(t *testing.T) {
+	v := testVideo(2, 9)
+	shots := Shots(v, DefaultCutOptions())
+	if len(shots) == 0 {
+		t.Fatal("no shots")
+	}
+	if shots[0].Start != 0 {
+		t.Errorf("first shot starts at %d", shots[0].Start)
+	}
+	for i := 1; i < len(shots); i++ {
+		if shots[i].Start != shots[i-1].End {
+			t.Errorf("gap between shot %d and %d", i-1, i)
+		}
+	}
+	if shots[len(shots)-1].End != len(v.Frames) {
+		t.Errorf("last shot ends at %d, want %d", shots[len(shots)-1].End, len(v.Frames))
+	}
+}
+
+func TestKeyframes(t *testing.T) {
+	v := testVideo(2, 9)
+	shots := Shots(v, DefaultCutOptions())
+	keys := Keyframes(v, shots, 3)
+	if len(keys) < len(shots) {
+		t.Errorf("got %d keyframes for %d shots", len(keys), len(shots))
+	}
+	if len(keys) > 3*len(shots) {
+		t.Errorf("got %d keyframes, cap is %d", len(keys), 3*len(shots))
+	}
+	// Degenerate maxPerShot.
+	if got := Keyframes(v, shots, 0); len(got) != len(shots) {
+		t.Errorf("maxPerShot=0 should give one per shot, got %d", len(got))
+	}
+}
+
+func TestBrighten(t *testing.T) {
+	v := testVideo(1, 1)
+	w := Brighten(v, 30)
+	if w == v {
+		t.Fatal("Brighten must not alias input")
+	}
+	orig := v.Frames[0].At(5, 5)
+	got := w.Frames[0].At(5, 5)
+	if orig < 220 && got != orig+30 {
+		t.Errorf("pixel %g -> %g, want +30", orig, got)
+	}
+}
+
+func TestContrastPreservesMidpoint(t *testing.T) {
+	v := &Video{Frames: []*Frame{NewFrame(2, 2)}, FPS: 8}
+	v.Frames[0].Set(0, 0, 128)
+	v.Frames[0].Set(1, 0, 100)
+	w := Contrast(v, 1.5)
+	if got := w.Frames[0].At(0, 0); got != 128 {
+		t.Errorf("midpoint moved to %g", got)
+	}
+	if got := w.Frames[0].At(1, 0); got != 128+(100-128)*1.5 {
+		t.Errorf("contrast pixel = %g", got)
+	}
+}
+
+func TestCropShiftMovesContent(t *testing.T) {
+	v := &Video{Frames: []*Frame{NewFrame(4, 4)}, FPS: 8}
+	v.Frames[0].Set(1, 1, 200)
+	w := CropShift(v, 1, 0)
+	if got := w.Frames[0].At(2, 1); got != 200 {
+		t.Errorf("shifted pixel = %g, want 200", got)
+	}
+}
+
+func TestDropAndInsertFrames(t *testing.T) {
+	v := testVideo(1, 2)
+	n := len(v.Frames)
+	d := DropFrames(v, 4)
+	if len(d.Frames) != n-n/4 {
+		t.Errorf("DropFrames: %d, want %d", len(d.Frames), n-n/4)
+	}
+	i := InsertFrames(v, 4)
+	if len(i.Frames) != n+n/4 {
+		t.Errorf("InsertFrames: %d, want %d", len(i.Frames), n+n/4)
+	}
+	if got := DropFrames(v, 1); len(got.Frames) != n {
+		t.Errorf("DropFrames(1) should be identity copy, got %d frames", len(got.Frames))
+	}
+}
+
+func TestReorderShotsKeepsFrameCount(t *testing.T) {
+	v := testVideo(3, 4)
+	rng := rand.New(rand.NewSource(1))
+	w := ReorderShots(v, rng)
+	if len(w.Frames) != len(v.Frames) {
+		t.Errorf("reordered frame count %d, want %d", len(w.Frames), len(v.Frames))
+	}
+	// Total intensity is preserved by a permutation.
+	if got, want := meanIntensity(w), meanIntensity(v); absDiff(got, want) > 1e-9 {
+		t.Errorf("mean intensity changed: %g vs %g", got, want)
+	}
+}
+
+func TestAddNoiseBounded(t *testing.T) {
+	v := testVideo(1, 5)
+	w := AddNoise(v, 10, rand.New(rand.NewSource(2)))
+	for _, f := range w.Frames {
+		for _, p := range f.Pix {
+			if p < 0 || p > 255 {
+				t.Fatalf("pixel out of range: %g", p)
+			}
+		}
+	}
+}
+
+func TestCloneAndRelease(t *testing.T) {
+	v := testVideo(1, 6)
+	w := v.Clone()
+	w.Frames[0].Set(0, 0, 7)
+	if v.Frames[0].At(0, 0) == 7 && v.Frames[0].At(0, 0) == w.Frames[0].At(0, 0) {
+		t.Error("Clone shares frame storage")
+	}
+	w.ReleaseFrames()
+	if w.Frames != nil {
+		t.Error("ReleaseFrames did not drop frames")
+	}
+	if v.Frames == nil {
+		t.Error("ReleaseFrames affected the original")
+	}
+}
+
+// Property: every transformation keeps pixels in [0,255] and never mutates
+// its input.
+func TestPropertyTransformsSafe(t *testing.T) {
+	f := func(seed int64, topicRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := Synthesize("p", int(topicRaw%16), DefaultSynthOptions(), rng)
+		before := meanIntensity(v)
+		outs := []*Video{
+			Brighten(v, rng.Float64()*80-40),
+			Contrast(v, 0.5+rng.Float64()),
+			AddNoise(v, rng.Float64()*20, rng),
+			CropShift(v, rng.Intn(7)-3, rng.Intn(7)-3),
+			DropFrames(v, 2+rng.Intn(4)),
+			InsertFrames(v, 2+rng.Intn(4)),
+			ReorderShots(v, rng),
+		}
+		if meanIntensity(v) != before {
+			return false // input mutated
+		}
+		for _, o := range outs {
+			if len(o.Frames) == 0 {
+				return false
+			}
+			for _, fr := range o.Frames {
+				for _, p := range fr.Pix {
+					if p < 0 || p > 255 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistDiffBounds(t *testing.T) {
+	a := []float64{1, 0, 0}
+	b := []float64{0, 0, 1}
+	if got := HistDiff(a, b); got != 2 {
+		t.Errorf("disjoint HistDiff = %g, want 2", got)
+	}
+	if got := HistDiff(a, a); got != 0 {
+		t.Errorf("self HistDiff = %g, want 0", got)
+	}
+}
+
+func TestSynthesizeFromShotsSharedSpecsIdentical(t *testing.T) {
+	opts := DefaultSynthOptions()
+	shared := ShotSpec{Topic: 3, Seed: 42}
+	a := SynthesizeFromShots("a", []ShotSpec{shared, {Topic: 3, Seed: 7}}, opts)
+	b := SynthesizeFromShots("b", []ShotSpec{{Topic: 3, Seed: 9}, shared}, opts)
+	// a's first shot must equal b's second shot pixel for pixel.
+	n := opts.FramesPerShot
+	for f := 0; f < n; f++ {
+		fa := a.Frames[f]
+		fb := b.Frames[n+f]
+		for p := range fa.Pix {
+			if fa.Pix[p] != fb.Pix[p] {
+				t.Fatalf("shared shot differs at frame %d pixel %d", f, p)
+			}
+		}
+	}
+	// And their unique shots must differ.
+	if a.Frames[n].Mean() == b.Frames[0].Mean() {
+		t.Error("unique shots coincidentally identical")
+	}
+}
+
+func TestSynthesizeFromShotsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for empty specs")
+		}
+	}()
+	SynthesizeFromShots("x", nil, DefaultSynthOptions())
+}

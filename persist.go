@@ -1,0 +1,95 @@
+package videorec
+
+import (
+	"io"
+
+	"videorec/internal/core"
+	"videorec/internal/store"
+)
+
+// Save serializes the engine's state — signatures, descriptors, the user
+// interest graph and the sub-community partition — to w. Derived structures
+// (LSB tree, hash dictionary, inverted files) are rebuilt on Load, so
+// snapshots stay compact.
+func (e *Engine) Save(w io.Writer) error {
+	e.mu.RLock()
+	snap := e.rec.Snapshot()
+	e.mu.RUnlock()
+	return store.Save(w, snap)
+}
+
+// SaveFile saves the engine atomically to a file path.
+func (e *Engine) SaveFile(path string) error {
+	e.mu.RLock()
+	snap := e.rec.Snapshot()
+	e.mu.RUnlock()
+	return store.SaveFile(path, snap)
+}
+
+// Load restores an engine from a snapshot produced by Save. If the snapshot
+// was built, the engine is immediately ready to Recommend and ApplyUpdates;
+// otherwise call Build after loading.
+func Load(r io.Reader) (*Engine, error) {
+	snap, err := store.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return engineFromSnapshot(snap)
+}
+
+// LoadFile restores an engine from a snapshot file.
+func LoadFile(path string) (*Engine, error) {
+	snap, err := store.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return engineFromSnapshot(snap)
+}
+
+func engineFromSnapshot(snap *core.Snapshot) (*Engine, error) {
+	rec, err := core.FromSnapshot(snap)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{rec: rec, built: snap.Built}, nil
+}
+
+// AttachJournal opens (or creates) an append-only comment journal at path:
+// every subsequent ApplyUpdates batch is logged before it is applied, so a
+// crash between snapshots loses no social updates. Pair with ReplayJournal
+// at startup.
+func (e *Engine) AttachJournal(path string) error {
+	j, err := store.OpenJournal(path)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.journal != nil {
+		e.journal.Close()
+	}
+	e.journal = j
+	return nil
+}
+
+// ReplayJournal replays every batch of a journal file through ApplyUpdates
+// (a missing file replays zero batches). Call after loading a snapshot and
+// before AttachJournal.
+func (e *Engine) ReplayJournal(path string) (int, error) {
+	return store.ReplayJournalFile(path, func(comments map[string][]string) error {
+		_, err := e.ApplyUpdates(comments)
+		return err
+	})
+}
+
+// CloseJournal flushes and detaches the journal, if any.
+func (e *Engine) CloseJournal() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.journal == nil {
+		return nil
+	}
+	err := e.journal.Close()
+	e.journal = nil
+	return err
+}

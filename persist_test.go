@@ -1,0 +1,228 @@
+package videorec
+
+import (
+	"bytes"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestEngineSaveLoadRoundTrip(t *testing.T) {
+	eng, col := buildEngine(t, Options{})
+	var buf bytes.Buffer
+	if err := eng.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != eng.Len() {
+		t.Fatalf("restored %d clips, want %d", restored.Len(), eng.Len())
+	}
+	src := col.Queries[0].Sources[0]
+	a, err := eng.Recommend(src, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := restored.Recommend(src, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("result lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rank %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Updates still work after reload.
+	if _, err := restored.ApplyUpdates(map[string][]string{src: {"post-reload-user", col.Users[0]}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineSaveFileLoadFile(t *testing.T) {
+	eng, col := buildEngine(t, Options{})
+	path := filepath.Join(t.TempDir(), "eng.snap")
+	if err := eng.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := restored.Recommend(col.Queries[1].Sources[0], 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a snapshot at all"))); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+// Concurrent readers during background updates must not race (run with
+// -race to verify) and must always see a consistent engine.
+func TestEngineConcurrentAccess(t *testing.T) {
+	eng, col := buildEngine(t, Options{})
+	src := col.Queries[0].Sources[0]
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := eng.Recommend(src, 5); err != nil {
+					t.Errorf("Recommend: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for m := 0; m < 3; m++ {
+		if _, err := eng.ApplyUpdates(map[string][]string{src: {"u-live", col.Users[m]}}); err != nil {
+			t.Error(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// Crash-recovery story: snapshot + journal replay reproduces the state of
+// an engine that applied the same updates live.
+func TestJournalRecovery(t *testing.T) {
+	dir := t.TempDir()
+	snapPath := filepath.Join(dir, "eng.snap")
+	walPath := filepath.Join(dir, "comments.wal")
+
+	live, col := buildEngine(t, Options{})
+	if err := live.SaveFile(snapPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := live.AttachJournal(walPath); err != nil {
+		t.Fatal(err)
+	}
+	src := col.Queries[0].Sources[0]
+	batches := []map[string][]string{
+		{src: {"wal-user-1", col.Users[0]}},
+		{col.Items[1].ID: {"wal-user-2", col.Users[1], col.Users[2]}},
+	}
+	for _, b := range batches {
+		if _, err := live.ApplyUpdates(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := live.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Crash": rebuild from snapshot + journal.
+	recovered, err := LoadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := recovered.ReplayJournal(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(batches) {
+		t.Fatalf("replayed %d batches, want %d", n, len(batches))
+	}
+	a, err := live.Recommend(src, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := recovered.Recommend(src, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rank %d differs after recovery: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCloseJournalIdempotent(t *testing.T) {
+	eng, _ := buildEngine(t, Options{})
+	if err := eng.CloseJournal(); err != nil {
+		t.Errorf("close without journal: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "w.wal")
+	if err := eng.AttachJournal(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.CloseJournal(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+// Regression: replaying large (month-sized) journal batches must reproduce
+// the live engine exactly — maintenance once depended on map iteration
+// order for new-user assignment and diverged on replay.
+func TestJournalRecoveryLargeBatches(t *testing.T) {
+	dir := t.TempDir()
+	snapPath := filepath.Join(dir, "eng.snap")
+	walPath := filepath.Join(dir, "comments.wal")
+
+	live, col := buildEngine(t, Options{SubCommunities: 40})
+	if err := live.SaveFile(snapPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := live.AttachJournal(walPath); err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < 2; m++ {
+		batch := map[string][]string{}
+		for _, it := range col.Items {
+			for _, cm := range it.Comments {
+				if cm.Month == col.Opts.MonthsSource+m {
+					batch[it.ID] = append(batch[it.ID], cm.User)
+				}
+			}
+		}
+		if _, err := live.ApplyUpdates(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	live.CloseJournal()
+
+	recovered, err := LoadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := recovered.ReplayJournal(walPath); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range col.Queries {
+		src := q.Sources[0]
+		a, err := live.Recommend(src, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := recovered.Recommend(src, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("%s: lengths %d vs %d", src, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s rank %d: %+v vs %+v", src, i, a[i], b[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,349 @@
+// Package videorec is an online video recommender for sharing communities,
+// reproducing Zhou et al., "Online Video Recommendation in Sharing
+// Community" (SIGMOD 2015).
+//
+// Given a clicked video — no user profile required — the engine returns the
+// most relevant videos by fusing two signals (Equation 9 of the paper):
+//
+//   - content relevance: video cuboid signatures compared with the Earth
+//     Mover's Distance, aggregated by the extended Jaccard κJ, which finds
+//     matched (near-duplicate / shared-footage) clips even under frame and
+//     temporal editing;
+//   - social relevance: the Jaccard similarity of the videos' commenter
+//     sets, which surfaces relevant clips the content matcher cannot see.
+//
+// The SAR scheme (sub-community-based approximation relevance) accelerates
+// the social side: users are partitioned into k sub-communities over the
+// user interest graph, descriptors become k-dimensional histograms, and the
+// exact set Jaccard is approximated by a histogram min/max ratio. A chained
+// shift-add-xor hash table accelerates the user → sub-community mapping.
+// Social updates (new comments) are maintained incrementally.
+//
+// # Quick start
+//
+//	eng := videorec.New(videorec.Options{})
+//	for _, clip := range clips {
+//		eng.Add(clip)
+//	}
+//	eng.Build()
+//	recs, err := eng.Recommend(clickedID, 10)
+//
+// See examples/ for runnable scenarios and DESIGN.md for the system map.
+package videorec
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"videorec/internal/core"
+	"videorec/internal/social"
+	"videorec/internal/store"
+	"videorec/internal/video"
+)
+
+// Strategy selects how social relevance is computed — the CSF variants of
+// the paper's Figure 12(a).
+type Strategy int
+
+const (
+	// SARWithHashing (CSF-SAR-H) is the paper's full optimization and the
+	// default: SAR vectors plus the chained hash dictionary.
+	SARWithHashing Strategy = iota
+	// SAR (CSF-SAR) uses SAR vectors with a linear dictionary scan.
+	SAR
+	// ExactSocial (CSF) computes the exact set Jaccard against every video —
+	// the unoptimized baseline; expect full-scan latencies.
+	ExactSocial
+)
+
+// Options configures an Engine. The zero value gives the paper's tuned
+// parameters: ω = 0.7, k = 60 sub-communities, CSF-SAR-H strategy.
+type Options struct {
+	// Omega is the social weight in FJ = (1−ω)·κJ + ω·sJ. 0 means content
+	// only behaviour at ranking time; the paper's optimum is 0.7 (used when
+	// the field is 0 and ContentOnly is false — set ContentOnly for a true
+	// content-only ranker).
+	Omega float64
+	// SubCommunities is k, the number of sub-communities SAR extracts from
+	// the user interest graph (paper optimum: 60).
+	SubCommunities int
+	// Strategy picks the social-relevance implementation.
+	Strategy Strategy
+	// ContentOnly ranks by κJ alone (the CR baseline of the paper).
+	ContentOnly bool
+	// SocialOnly ranks by social relevance alone (the SR baseline).
+	SocialOnly bool
+	// ExhaustiveSearch refines every stored video instead of using the
+	// LSB-tree and inverted-file probes. Slower, exact ranking.
+	ExhaustiveSearch bool
+}
+
+// Frame is one grayscale frame; intensities are clamped to [0, 255].
+type Frame struct {
+	W, H int
+	Pix  []float64 // row-major, length W*H
+}
+
+// FrameFromBytes builds a Frame from 8-bit grayscale pixel data (row-major,
+// length w*h) — the form decoders and the wire format produce.
+func FrameFromBytes(w, h int, pix []byte) (Frame, error) {
+	if w <= 0 || h <= 0 || len(pix) != w*h {
+		return Frame{}, fmt.Errorf("videorec: %d bytes for a %dx%d frame", len(pix), w, h)
+	}
+	f := Frame{W: w, H: h, Pix: make([]float64, len(pix))}
+	for i, b := range pix {
+		f.Pix[i] = float64(b)
+	}
+	return f, nil
+}
+
+// Clip is a video document with its sharing-community context: Q = (q_f,
+// q_s) in the paper's notation. Frames carry q_f; Owner and Commenters carry
+// q_s.
+type Clip struct {
+	ID             string
+	Title          string
+	FPS            float64
+	NominalSeconds float64
+	Frames         []Frame
+	Owner          string
+	Commenters     []string
+}
+
+// Recommendation is one ranked result with its fused score and the two
+// component relevances.
+type Recommendation struct {
+	VideoID string
+	Score   float64
+	Content float64
+	Social  float64
+}
+
+// UpdateSummary reports one incremental maintenance pass (Figure 5).
+type UpdateSummary struct {
+	NewConnections     int
+	Unions             int
+	Splits             int
+	UsersMoved         int
+	VideosRevectorized int
+}
+
+// Engine is the recommender. All methods are safe for concurrent use: reads
+// (Recommend, RecommendClip, Len, SubCommunities, Save) run concurrently;
+// mutations (Add, Build, ApplyUpdates) are serialized.
+type Engine struct {
+	mu      sync.RWMutex
+	rec     *core.Recommender
+	built   bool
+	journal *store.Journal // nil unless AttachJournal was called
+}
+
+// Errors returned by Engine methods.
+var (
+	ErrEmptyID  = errors.New("videorec: clip has an empty ID")
+	ErrNoFrames = errors.New("videorec: clip has no frames")
+	ErrNotFound = errors.New("videorec: unknown video id")
+	ErrNotBuilt = errors.New("videorec: Build must be called first")
+)
+
+// New creates an empty engine.
+func New(opts Options) *Engine {
+	c := core.DefaultOptions()
+	if opts.Omega > 0 {
+		c.Omega = opts.Omega
+	}
+	if opts.SubCommunities > 0 {
+		c.K = opts.SubCommunities
+	}
+	switch opts.Strategy {
+	case SAR:
+		c.Mode = core.ModeSAR
+	case ExactSocial:
+		c.Mode = core.ModeExact
+	default:
+		c.Mode = core.ModeSARHash
+	}
+	c.ContentWeightOnly = opts.ContentOnly
+	c.SocialOnly = opts.SocialOnly
+	c.FullScan = opts.ExhaustiveSearch
+	return &Engine{rec: core.NewRecommender(c)}
+}
+
+// Len returns the number of ingested clips.
+func (e *Engine) Len() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.rec.Len()
+}
+
+// Add ingests a clip: its cuboid signature series is extracted and indexed,
+// its social descriptor stored. Frames are not retained. Call Build after
+// the last Add (or after a batch of Adds) before recommending.
+func (e *Engine) Add(clip Clip) error {
+	if clip.ID == "" {
+		return ErrEmptyID
+	}
+	if len(clip.Frames) == 0 {
+		return ErrNoFrames
+	}
+	v, err := toVideo(clip)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.rec.IngestVideo(clip.ID, v, social.NewDescriptor(clip.Owner, clip.Commenters...))
+	e.built = false
+	return nil
+}
+
+// Build constructs the social machinery (user interest graph, k
+// sub-communities, hash dictionary, descriptor vectors, inverted files) over
+// everything added so far.
+func (e *Engine) Build() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.rec.BuildSocial()
+	e.built = true
+}
+
+// Recommend returns the topK most relevant stored videos for a stored clip,
+// excluding the clip itself.
+func (e *Engine) Recommend(clipID string, topK int) ([]Recommendation, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if !e.built {
+		return nil, ErrNotBuilt
+	}
+	if _, ok := e.rec.Record(clipID); !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, clipID)
+	}
+	return convert(e.rec.RecommendID(clipID, topK)), nil
+}
+
+// RecommendClip recommends for an ad-hoc clip that is not in the collection
+// — the anonymous-user scenario the paper targets: the query is whatever the
+// visitor is currently watching.
+func (e *Engine) RecommendClip(clip Clip, topK int) ([]Recommendation, error) {
+	if len(clip.Frames) == 0 {
+		return nil, ErrNoFrames
+	}
+	v, err := toVideo(clip)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if !e.built {
+		return nil, ErrNotBuilt
+	}
+	q := e.rec.AdHocQuery(v, social.NewDescriptor(clip.Owner, clip.Commenters...))
+	return convert(e.rec.Recommend(q, topK, clip.ID)), nil
+}
+
+// Remove deletes a stored clip. Its index entries are filtered immediately
+// and fully compacted away on the next Build. Returns ErrNotFound for an
+// unknown id.
+func (e *Engine) Remove(clipID string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.rec.RemoveVideo(clipID) {
+		return fmt.Errorf("%w: %s", ErrNotFound, clipID)
+	}
+	return nil
+}
+
+// ApplyUpdates ingests a batch of new comments (video id → commenting
+// users) and incrementally maintains the sub-communities, hash dictionary,
+// descriptor vectors and inverted files (Figure 5 of the paper).
+func (e *Engine) ApplyUpdates(newComments map[string][]string) (UpdateSummary, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.built {
+		return UpdateSummary{}, ErrNotBuilt
+	}
+	if e.journal != nil {
+		if err := e.journal.Append(newComments); err != nil {
+			return UpdateSummary{}, fmt.Errorf("videorec: journal: %w", err)
+		}
+	}
+	rep := e.rec.ApplyUpdates(newComments)
+	return UpdateSummary{
+		NewConnections:     rep.Maintenance.NewConnections,
+		Unions:             rep.Maintenance.Unions,
+		Splits:             rep.Maintenance.Splits,
+		UsersMoved:         rep.Maintenance.UsersMoved,
+		VideosRevectorized: rep.VideosRevectorized,
+	}, nil
+}
+
+// SubCommunities returns the current number of extracted sub-communities
+// (the SAR vector dimensionality). Zero before Build.
+func (e *Engine) SubCommunities() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if p := e.rec.Partition(); p != nil {
+		return p.Dim
+	}
+	return 0
+}
+
+func toVideo(clip Clip) (*video.Video, error) {
+	v := &video.Video{
+		ID:             clip.ID,
+		Title:          clip.Title,
+		FPS:            clip.FPS,
+		NominalSeconds: clip.NominalSeconds,
+	}
+	if v.FPS <= 0 {
+		v.FPS = 25
+	}
+	v.Frames = make([]*video.Frame, 0, len(clip.Frames))
+	for i, f := range clip.Frames {
+		if f.W <= 0 || f.H <= 0 || len(f.Pix) != f.W*f.H {
+			return nil, fmt.Errorf("videorec: frame %d of %q has inconsistent dimensions", i, clip.ID)
+		}
+		vf := video.NewFrame(f.W, f.H)
+		for p, x := range f.Pix {
+			vf.Pix[p] = clampPix(x)
+		}
+		v.Frames = append(v.Frames, vf)
+	}
+	return v, nil
+}
+
+func clampPix(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 255 {
+		return 255
+	}
+	return x
+}
+
+func convert(in []core.Result) []Recommendation {
+	out := make([]Recommendation, len(in))
+	for i, r := range in {
+		out[i] = Recommendation{
+			VideoID: r.VideoID,
+			Score:   r.Score,
+			Content: r.Content,
+			Social:  r.Social,
+		}
+	}
+	return out
+}
+
+// RecommendSegment recommends for a sub-range [from, to) of an ad-hoc
+// clip's frames — "the matched clips in content of a video" scenario: the
+// viewer is reacting to one scene, not the whole clip.
+func (e *Engine) RecommendSegment(clip Clip, from, to, topK int) ([]Recommendation, error) {
+	if from < 0 || to > len(clip.Frames) || from >= to {
+		return nil, fmt.Errorf("videorec: invalid segment [%d, %d) of %d frames", from, to, len(clip.Frames))
+	}
+	sub := clip
+	sub.Frames = clip.Frames[from:to]
+	return e.RecommendClip(sub, topK)
+}
