@@ -1,8 +1,12 @@
 GO ?= go
 
-.PHONY: all build vet test race bench experiments experiments-paper fuzz examples clean
+.PHONY: all check build vet test test-race race bench experiments experiments-paper fuzz examples clean
 
-all: build vet test
+all: check
+
+# The full gate: build, vet, tests, then the race detector over everything
+# (including the reader/writer stress test).
+check: build vet test test-race
 
 build:
 	$(GO) build ./...
@@ -13,8 +17,10 @@ vet:
 test:
 	$(GO) test ./...
 
-race:
+test-race:
 	$(GO) test -race ./...
+
+race: test-race
 
 # One testing.B bench per paper table/figure plus ablations and microbenches.
 bench:

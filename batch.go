@@ -12,9 +12,17 @@ import (
 // AddAll ingests a batch of clips, extracting signatures in parallel across
 // workers (0 = GOMAXPROCS). Extraction — shot detection, block merging,
 // cuboid construction — dominates ingest cost and is embarrassingly
-// parallel; the index insertions themselves are serialized. The first
-// validation or extraction error aborts the batch: clips processed before
-// the error remain ingested, the rest are skipped.
+// parallel; the index insertions themselves are serialized and the whole
+// batch is published as ONE new view (one version bump), not one per clip.
+//
+// Partial-ingest contract: clips are validated and ingested in input order.
+// On the first validation or extraction error the batch stops — every clip
+// before the failing one remains ingested and is published in the new view;
+// the failing clip and everything after it are skipped. The returned error
+// identifies the failing clip by batch index and, when it has one, its ID
+// (e.g. `clip 3 ("v-xyz"): ...`), and unwraps to the underlying cause
+// (ErrEmptyID, ErrNoFrames, ...), so callers can both report and classify
+// the failure.
 func (e *Engine) AddAll(clips []Clip, workers int) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -27,13 +35,12 @@ func (e *Engine) AddAll(clips []Clip, workers int) error {
 	}
 
 	type extracted struct {
-		idx    int
 		series signature.Series
 		desc   social.Descriptor
 		err    error
 	}
+	out := make([]extracted, len(clips))
 	jobs := make(chan int)
-	results := make(chan extracted, len(clips))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -41,59 +48,45 @@ func (e *Engine) AddAll(clips []Clip, workers int) error {
 			defer wg.Done()
 			for i := range jobs {
 				clip := clips[i]
-				out := extracted{idx: i}
 				switch {
 				case clip.ID == "":
-					out.err = fmt.Errorf("clip %d: %w", i, ErrEmptyID)
+					out[i].err = fmt.Errorf("clip %d: %w", i, ErrEmptyID)
 				case len(clip.Frames) == 0:
-					out.err = fmt.Errorf("clip %d (%s): %w", i, clip.ID, ErrNoFrames)
+					out[i].err = fmt.Errorf("clip %d (%q): %w", i, clip.ID, ErrNoFrames)
 				default:
 					v, err := toVideo(clip)
 					if err != nil {
-						out.err = err
+						out[i].err = fmt.Errorf("clip %d (%q): %w", i, clip.ID, err)
 					} else {
-						out.series = e.rec.ExtractSeries(v)
-						out.desc = social.NewDescriptor(clip.Owner, clip.Commenters...)
+						out[i].series = e.rec.ExtractSeries(v)
+						out[i].desc = social.NewDescriptor(clip.Owner, clip.Commenters...)
 					}
 				}
-				results <- out
 			}
 		}()
 	}
-	go func() {
-		for i := range clips {
-			jobs <- i
-		}
-		close(jobs)
-		wg.Wait()
-		close(results)
-	}()
+	for i := range clips {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
 
-	// Ingest in input order so collection order stays deterministic.
-	pending := make([]*extracted, len(clips))
-	next := 0
-	for res := range results {
-		res := res
-		pending[res.idx] = &res
-		for next < len(clips) && pending[next] != nil {
-			p := pending[next]
-			if p.err != nil {
-				// Drain remaining workers before returning.
-				for range results {
-				}
-				return p.err
-			}
-			e.ingestExtracted(clips[next].ID, p.series, p.desc)
-			next++
+	// Ingest in input order so collection order stays deterministic, and
+	// publish whatever prefix landed — even when the batch stops early.
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	ingested := 0
+	defer func() {
+		if ingested > 0 {
+			e.publishLocked()
 		}
+	}()
+	for i := range clips {
+		if err := out[i].err; err != nil {
+			return err
+		}
+		e.rec.IngestSeries(clips[i].ID, out[i].series, out[i].desc)
+		ingested++
 	}
 	return nil
-}
-
-// ingestExtracted stores one pre-extracted clip under the write lock.
-func (e *Engine) ingestExtracted(id string, series signature.Series, desc social.Descriptor) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.rec.IngestSeries(id, series, desc)
-	e.built = false
 }

@@ -373,6 +373,53 @@ func BenchmarkBTreeLCPWalk(b *testing.B) {
 	}
 }
 
+// BenchmarkRecommendParallel drives Recommend from all procs at once —
+// the serving shape the lock-free view design targets. Reads load the
+// published view through an atomic pointer, so throughput should scale with
+// GOMAXPROCS instead of collapsing onto a reader lock.
+func BenchmarkRecommendParallel(b *testing.B) {
+	eng, col := buildEngine(b, Options{})
+	var sources []string
+	for _, q := range col.Queries {
+		sources = append(sources, q.Sources...)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			src := sources[i%len(sources)]
+			i++
+			if _, err := eng.Recommend(src, 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkRefineSerialVsParallel: step-3 refinement with the worker pool
+// off (RefineWorkers=1) vs on (0 = GOMAXPROCS). FullScan maximizes the
+// candidate set so the κJ EMD work dominates. Rankings are bit-identical
+// either way — this measures latency only.
+func BenchmarkRefineSerialVsParallel(b *testing.B) {
+	e := benchEnv(b)
+	for _, cfg := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.FullScan = true
+			opts.RefineWorkers = cfg.workers
+			r := e.BuildRecommender(opts, e.Col)
+			src := e.Sources()[0]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.RecommendID(src, 10)
+			}
+		})
+	}
+}
+
 // BenchmarkAblationLSBForest: probe cost of the LSB forest at different
 // sizes (1 tree = [28]'s single-curve degradation risk; more trees = better
 // recall at proportional walk cost).

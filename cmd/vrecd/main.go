@@ -47,7 +47,7 @@ func main() {
 		}
 		defer eng.CloseJournal()
 	}
-	log.Printf("engine ready: %d videos, %d sub-communities", eng.Len(), eng.SubCommunities())
+	log.Printf("engine ready: %d videos, %d sub-communities, view v%d", eng.Len(), eng.SubCommunities(), eng.Version())
 
 	srv := &http.Server{
 		Addr:         *addr,

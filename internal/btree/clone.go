@@ -1,0 +1,42 @@
+package btree
+
+// Clone returns a structurally independent deep copy of the tree: every node
+// is duplicated and the leaf chain relinked, so inserts and deletes on either
+// tree never touch the other. Values are copied by assignment (value types
+// must be treated as immutable by callers, which SigEntry payloads are).
+// Cost is O(n) in nodes. It is the building block of the copy-on-write LSB
+// index used by frozen read views.
+func (t *Tree[V]) Clone() *Tree[V] {
+	nt := &Tree[V]{order: t.order, size: t.size}
+	var prev *leaf[V]
+	nt.root = cloneNode(t.root, &prev)
+	return nt
+}
+
+// cloneNode copies a subtree; prev threads the previously cloned leaf so the
+// in-order walk can rebuild the doubly linked leaf chain.
+func cloneNode[V any](n node[V], prev **leaf[V]) node[V] {
+	switch nd := n.(type) {
+	case *leaf[V]:
+		l := &leaf[V]{
+			keys: append([]uint64(nil), nd.keys...),
+			vals: append([]V(nil), nd.vals...),
+		}
+		if *prev != nil {
+			(*prev).next = l
+			l.prev = *prev
+		}
+		*prev = l
+		return l
+	case *inner[V]:
+		in := &inner[V]{
+			keys:     append([]uint64(nil), nd.keys...),
+			children: make([]node[V], 0, len(nd.children)),
+		}
+		for _, c := range nd.children {
+			in.children = append(in.children, cloneNode(c, prev))
+		}
+		return in
+	}
+	return nil
+}

@@ -57,6 +57,12 @@ func NewMaintainer(g *Graph, p *Partition, hooks Hooks) *Maintainer {
 // Partition returns the live partition (mutated by ApplyConnections).
 func (m *Maintainer) Partition() *Partition { return m.p }
 
+// SetPartition repoints the maintainer at a replacement partition object
+// while keeping its free-id pool. Copy-on-write callers clone the partition
+// a published read view shares before the next maintenance pass and rebind
+// the maintainer to the private copy.
+func (m *Maintainer) SetPartition(p *Partition) { m.p = p }
+
 // Graph returns the live UIG (mutated by ApplyConnections).
 func (m *Maintainer) Graph() *Graph { return m.g }
 

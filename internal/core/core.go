@@ -3,6 +3,14 @@
 // social relevance (sJ / s̃J), the fusion FJ = (1−ω)·κJ + ω·sJ (Equation 9),
 // the SAR and chained-hash optimizations, the KNN search of Figure 6, and
 // the incremental social-updates path of Figure 5.
+//
+// The package is split along the read/write axis: Recommender is the
+// write-side builder that ingests videos, builds the social machinery and
+// applies incremental updates; View is the immutable query-side state a
+// Freeze call publishes. Recommender methods mutate copy-on-write — the
+// first mutation after a Freeze clones everything the frozen View shares —
+// so published views serve concurrent readers lock-free while the builder
+// moves on.
 package core
 
 import (
@@ -63,6 +71,7 @@ type Options struct {
 	MinUserVideos  int // UIG dictionary ignores users seen on fewer videos
 	ContentProbe   int // LCP walker pops per recommendation
 	CandidateLimit int // refinement budget per recommendation
+	RefineWorkers  int // step-3 refinement goroutines: 0 = GOMAXPROCS, 1 = serial
 }
 
 // DefaultOptions uses the paper's tuned parameters (ω=0.7, k=60).
@@ -84,7 +93,10 @@ func DefaultOptions() Options {
 
 // Record is everything the recommender keeps per ingested video: the compact
 // signature series, the social descriptor, and (after BuildSocial) the SAR
-// descriptor vector. Frames are never retained.
+// descriptor vector. Frames are never retained. The fields of a published
+// Record are immutable: updates replace the Descriptor and Vector values
+// wholesale (and, under copy-on-write, the *Record itself), never edit them
+// in place.
 type Record struct {
 	ID     string
 	Series signature.Series
@@ -108,23 +120,23 @@ type Result struct {
 	Social  float64
 }
 
-// Recommender is the content-social video recommender.
+// Recommender is the write side of the content-social recommender: it owns
+// the mutable build state (the View being grown plus the user interest graph
+// and its maintainer) and publishes immutable Views for querying. It is not
+// safe for concurrent use — callers serialize mutations and hand frozen
+// Views to readers.
 type Recommender struct {
-	opts    Options
-	records map[string]*Record
-	order   []string // ingestion order: deterministic full scans
+	opts  Options
+	state *View // current build state; cloned on first mutation after Freeze
 
-	lsb   *index.LSB
-	inv   *index.Inverted
-	table *hashing.Table
-	dict  []dictEntry // linear-scan dictionary for ModeSAR
-	part  *community.Partition
+	// frozen marks state as shared with a published View: the next mutation
+	// must copy-on-write before touching anything the View references.
+	frozen bool
+
 	graph *community.Graph
 	maint *community.Maintainer
 
-	touched    map[int]bool    // dimensions changed by the latest maintenance pass
-	tombstones map[string]bool // removed videos with LSB entries pending compaction
-	built      bool
+	touched map[int]bool // dimensions changed by the latest maintenance pass
 }
 
 // newLSBFor builds the content index for the given options (shared by the
@@ -168,9 +180,12 @@ func NewRecommender(opts Options) *Recommender {
 		opts.MatchThreshold = signature.DefaultMatchThreshold
 	}
 	return &Recommender{
-		opts:    opts,
-		records: make(map[string]*Record),
-		lsb:     newLSBFor(opts),
+		opts: opts,
+		state: &View{
+			opts:    opts,
+			records: make(map[string]*Record),
+			lsb:     newLSBFor(opts),
+		},
 	}
 }
 
@@ -178,7 +193,36 @@ func NewRecommender(opts Options) *Recommender {
 func (r *Recommender) Options() Options { return r.opts }
 
 // Len returns the number of ingested videos.
-func (r *Recommender) Len() int { return len(r.records) }
+func (r *Recommender) Len() int { return r.state.Len() }
+
+// Built reports whether BuildSocial has run since the last ingest.
+func (r *Recommender) Built() bool { return r.state.built }
+
+// Freeze publishes the current state as an immutable View. The returned View
+// answers queries forever from the state at the freeze point; the
+// recommender's next mutation transparently clones whatever the View shares
+// (copy-on-write) before applying itself. Freezing is O(1) — the clone cost
+// is paid lazily, by the first mutation after the freeze, and only once per
+// freeze→mutate transition.
+func (r *Recommender) Freeze() *View {
+	r.frozen = true
+	return r.state
+}
+
+// beforeWrite makes the build state privately owned again: if the current
+// state was published by Freeze, every structure a reader could be walking
+// is cloned and the maintainer rebound to the private partition copy. Every
+// mutating method calls it first.
+func (r *Recommender) beforeWrite() {
+	if !r.frozen {
+		return
+	}
+	r.state = r.state.clone()
+	r.frozen = false
+	if r.maint != nil {
+		r.maint.SetPartition(r.state.part)
+	}
+}
 
 // IngestVideo extracts the signature series from the clip, stores it with
 // the social descriptor and indexes the signatures. The clip's frames are
@@ -191,25 +235,25 @@ func (r *Recommender) IngestVideo(id string, v *video.Video, desc social.Descrip
 }
 
 // IngestSeries stores a pre-extracted signature series (useful when the
-// caller already ran extraction, e.g. the benchmark harness).
+// caller already ran extraction, e.g. the batch-ingest path and the
+// benchmark harness).
 func (r *Recommender) IngestSeries(id string, series signature.Series, desc social.Descriptor) {
-	if _, exists := r.records[id]; !exists {
-		r.order = append(r.order, id)
+	r.beforeWrite()
+	s := r.state
+	if _, exists := s.records[id]; !exists {
+		s.order = append(s.order, id)
 	}
-	r.records[id] = &Record{ID: id, Series: series, Desc: desc}
-	r.lsb.Add(id, series)
-	r.built = false
+	s.records[id] = &Record{ID: id, Series: series, Desc: desc}
+	s.lsb.Add(id, series)
+	s.built = false
 }
 
 // Record returns the stored record for a video id.
-func (r *Recommender) Record(id string) (*Record, bool) {
-	rec, ok := r.records[id]
-	return rec, ok
-}
+func (r *Recommender) Record(id string) (*Record, bool) { return r.state.Record(id) }
 
 // Partition exposes the current sub-community partition (nil before
 // BuildSocial).
-func (r *Recommender) Partition() *community.Partition { return r.part }
+func (r *Recommender) Partition() *community.Partition { return r.state.part }
 
 // BuildSocial constructs the social machinery over everything ingested:
 // the user interest graph, the k sub-communities (Figure 3), the chained
@@ -217,14 +261,16 @@ func (r *Recommender) Partition() *community.Partition { return r.part }
 // It must be called before Recommend in the SAR modes and before
 // ApplyUpdates.
 func (r *Recommender) BuildSocial() {
+	r.beforeWrite()
 	r.compactLSB()
-	audiences := make(map[string][]string, len(r.records))
-	for _, id := range r.order {
-		audiences[id] = capAudience(r.records[id].Desc.Users(), r.opts.UIGMaxAudience)
+	s := r.state
+	audiences := make(map[string][]string, len(s.records))
+	for _, id := range s.order {
+		audiences[id] = capAudience(s.records[id].Desc.Users(), r.opts.UIGMaxAudience)
 	}
 	audiences = FilterAudiences(audiences, r.opts.MinUserVideos)
 	r.graph = community.BuildUIG(audiences)
-	r.part = community.ExtractSubCommunities(r.graph, r.opts.K)
+	s.part = community.ExtractSubCommunities(r.graph, r.opts.K)
 	r.installSocial()
 }
 
@@ -277,59 +323,38 @@ func capAudience(users []string, max int) []string {
 // rebuildDictionaries refreshes the hash table and the linear dictionary
 // from the current partition.
 func (r *Recommender) rebuildDictionaries() {
-	r.table = hashing.NewTable(r.opts.HashBuckets, 17)
-	r.dict = r.dict[:0]
-	users := make([]string, 0, len(r.part.Assign))
-	for u := range r.part.Assign {
+	s := r.state
+	s.table = hashing.NewTable(r.opts.HashBuckets, 17)
+	s.dict = nil
+	users := make([]string, 0, len(s.part.Assign))
+	for u := range s.part.Assign {
 		users = append(users, u)
 	}
 	sort.Strings(users)
 	for _, u := range users {
-		cno := r.part.Assign[u]
-		r.table.Insert(u, cno)
-		r.dict = append(r.dict, dictEntry{user: u, cno: cno})
+		cno := s.part.Assign[u]
+		s.table.Insert(u, cno)
+		s.dict = append(s.dict, dictEntry{user: u, cno: cno})
 	}
 }
 
 // vectorizeAll recomputes every video's descriptor vector and rebuilds the
 // inverted files.
 func (r *Recommender) vectorizeAll() {
-	r.inv = index.NewInverted(r.part.Dim)
-	for _, id := range r.order {
-		rec := r.records[id]
-		rec.Vec = social.Vectorize(rec.Desc, r.lookupFunc(), r.part.Dim)
-		r.inv.Add(id, rec.Vec)
-	}
-}
-
-// lookupFunc returns the user → sub-community mapping for the active mode:
-// the chained hash table for ModeSARHash, the deliberately linear dictionary
-// scan for ModeSAR (the unoptimized vectorization the paper's hash scheme
-// speeds up), and the partition map otherwise.
-func (r *Recommender) lookupFunc() social.Lookup {
-	switch r.opts.Mode {
-	case ModeSARHash:
-		return r.table.Lookup
-	case ModeSAR:
-		return func(u string) (int, bool) {
-			for _, e := range r.dict {
-				if e.user == u {
-					return e.cno, true
-				}
-			}
-			return 0, false
-		}
-	default:
-		return func(u string) (int, bool) {
-			c, ok := r.part.Assign[u]
-			return c, ok
-		}
+	s := r.state
+	s.inv = index.NewInverted(s.part.Dim)
+	lookup := s.lookupFunc()
+	for _, id := range s.order {
+		rec := s.records[id]
+		rec.Vec = social.Vectorize(rec.Desc, lookup, s.part.Dim)
+		s.inv.Add(id, rec.Vec)
 	}
 }
 
 // ExtractSeries runs cuboid-signature extraction with the recommender's
-// configured parameters. It touches no recommender state and is safe to call
-// from many goroutines — batch ingest parallelizes extraction this way.
+// configured parameters. It touches no recommender state beyond the
+// immutable options and is safe to call from many goroutines — batch ingest
+// parallelizes extraction this way.
 func (r *Recommender) ExtractSeries(v *video.Video) signature.Series {
 	return signature.Extract(v, r.opts.Sig)
 }
@@ -341,35 +366,18 @@ func (r *Recommender) AdHocQuery(v *video.Video, desc social.Descriptor) Query {
 }
 
 // QueryFor builds a Query from a stored video id.
-func (r *Recommender) QueryFor(id string) (Query, bool) {
-	rec, ok := r.records[id]
-	if !ok {
-		return Query{}, false
-	}
-	return Query{Series: rec.Series, Desc: rec.Desc}, true
-}
+func (r *Recommender) QueryFor(id string) (Query, bool) { return r.state.QueryFor(id) }
 
 // ContentRelevance is κJ between the query and a stored video.
 func (r *Recommender) ContentRelevance(q Query, id string) float64 {
-	rec, ok := r.records[id]
-	if !ok {
-		return 0
-	}
-	return signature.KJ(q.Series, rec.Series, r.opts.MatchThreshold)
+	return r.state.ContentRelevance(q, id)
 }
 
 // SocialRelevance is the mode-dependent social relevance between the query
 // and a stored video: exact sJ (naive quadratic, as the unoptimized system
 // the paper starts from) in ModeExact, s̃J over SAR vectors otherwise.
 func (r *Recommender) SocialRelevance(q Query, qvec social.Vector, id string) float64 {
-	rec, ok := r.records[id]
-	if !ok {
-		return 0
-	}
-	if r.opts.Mode == ModeExact {
-		return naiveJaccard(q.Desc, rec.Desc)
-	}
-	return social.ApproxJaccard(qvec, rec.Vec)
+	return r.state.SocialRelevance(q, qvec, id)
 }
 
 // naiveJaccard is the quadratic set comparison the paper attributes to the
@@ -396,15 +404,4 @@ func naiveJaccard(a, b social.Descriptor) float64 {
 		return 0
 	}
 	return float64(inter) / float64(union)
-}
-
-// fuse is Equation 9.
-func (r *Recommender) fuse(content, soc float64) float64 {
-	if r.opts.ContentWeightOnly {
-		return content
-	}
-	if r.opts.SocialOnly {
-		return soc
-	}
-	return (1-r.opts.Omega)*content + r.opts.Omega*soc
 }

@@ -86,7 +86,7 @@ func TestRecommendPanicsWithoutBuild(t *testing.T) {
 
 func TestRecommendExcludesQueryVideo(t *testing.T) {
 	r, _ := buildSmall(t, ModeSARHash)
-	id := r.order[0]
+	id := r.state.order[0]
 	for _, res := range r.RecommendID(id, 10) {
 		if res.VideoID == id {
 			t.Fatalf("query video %s recommended to itself", id)
@@ -96,7 +96,7 @@ func TestRecommendExcludesQueryVideo(t *testing.T) {
 
 func TestRecommendTopKOrderedAndBounded(t *testing.T) {
 	r, _ := buildSmall(t, ModeSARHash)
-	res := r.RecommendID(r.order[1], 7)
+	res := r.RecommendID(r.state.order[1], 7)
 	if len(res) > 7 {
 		t.Fatalf("returned %d > topK", len(res))
 	}
@@ -174,7 +174,7 @@ func TestSARModesAgreeOnScores(t *testing.T) {
 
 func TestExactModeScoresAllVideos(t *testing.T) {
 	r, _ := buildSmall(t, ModeExact)
-	id := r.order[0]
+	id := r.state.order[0]
 	res := r.RecommendID(id, r.Len())
 	if len(res) != r.Len()-1 {
 		t.Errorf("exact mode refined %d videos, want %d", len(res), r.Len()-1)
@@ -245,11 +245,11 @@ func TestNaiveJaccardMatchesLinear(t *testing.T) {
 
 func TestApplyUpdatesGrowsDescriptors(t *testing.T) {
 	r, c := buildSmall(t, ModeSARHash)
-	target := r.order[0]
-	before := r.records[target].Desc.Len()
+	target := r.state.order[0]
+	before := r.state.records[target].Desc.Len()
 	newUsers := []string{"brand-new-1", "brand-new-2", c.Users[0]}
 	rep := r.ApplyUpdates(map[string][]string{target: newUsers})
-	after := r.records[target].Desc.Len()
+	after := r.state.records[target].Desc.Len()
 	if after <= before {
 		t.Errorf("descriptor did not grow: %d -> %d", before, after)
 	}
@@ -304,7 +304,7 @@ func TestVideosPerDim(t *testing.T) {
 
 func TestRecommendZeroK(t *testing.T) {
 	r, _ := buildSmall(t, ModeSARHash)
-	if res := r.RecommendID(r.order[0], 0); res != nil {
+	if res := r.RecommendID(r.state.order[0], 0); res != nil {
 		t.Errorf("topK=0 returned %v", res)
 	}
 }

@@ -1,27 +1,41 @@
 package core
 
 import (
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"videorec/internal/social"
 )
 
+// minParallelRefine is the candidate count below which step-3 refinement
+// stays on the calling goroutine: spawning workers for a handful of κJ
+// computations costs more than it saves.
+const minParallelRefine = 16
+
 // Recommend returns the topK highest-FJ videos for the query, excluding the
 // ids in exclude (normally the query video itself). It implements the KNN
-// search of Figure 6:
+// search of Figure 6 against the frozen view:
 //
 //  1. vectorize the query's social descriptor and rank the inverted-file
 //     candidates by s̃J (SAR modes), or schedule a full exact-sJ scan
 //     (ModeExact — the unoptimized CSF the paper starts from);
 //  2. expand content candidates from the LSB-tree in next-longest-common-
 //     prefix order;
-//  3. refine candidates with the fused FJ relevance, keeping the top K.
+//  3. refine candidates with the fused FJ relevance across a bounded worker
+//     pool, keeping the top K.
 //
 // The repeat-until-K loop of Figure 6 has no tight termination bound under
 // LSH, so the implementation uses the explicit probe budgets of Options
 // (ContentProbe walker pops, CandidateLimit refinements), which plays the
 // role of the paper's stopping rule.
-func (r *Recommender) Recommend(q Query, topK int, exclude ...string) []Result {
+//
+// Refinement is deterministic: each candidate's κJ/s̃J pair is computed
+// independently into a slot indexed by the candidate's position in the
+// sorted id list, so the parallel pool produces bit-identical rankings to
+// the serial path (Options.RefineWorkers = 1) regardless of scheduling.
+func (v *View) Recommend(q Query, topK int, exclude ...string) []Result {
 	if topK <= 0 {
 		return nil
 	}
@@ -31,33 +45,33 @@ func (r *Recommender) Recommend(q Query, topK int, exclude ...string) []Result {
 	}
 
 	var qvec social.Vector
-	useSocial := !r.opts.ContentWeightOnly
-	useContent := !r.opts.SocialOnly
-	if useSocial && r.opts.Mode != ModeExact {
-		r.mustBuild()
-		qvec = social.Vectorize(q.Desc, r.lookupFunc(), r.part.Dim)
+	useSocial := !v.opts.ContentWeightOnly
+	useContent := !v.opts.SocialOnly
+	if useSocial && v.opts.Mode != ModeExact {
+		v.mustBuild()
+		qvec = social.Vectorize(q.Desc, v.lookupFunc(), v.part.Dim)
 	}
 
 	// Candidate gathering.
 	candidates := make(map[string]bool)
 	switch {
-	case r.opts.FullScan || (r.opts.Mode == ModeExact && useSocial):
+	case v.opts.FullScan || (v.opts.Mode == ModeExact && useSocial):
 		// Unoptimized CSF (or an effectiveness run that wants exhaustive
 		// ranking): every stored video is refined.
-		for _, id := range r.order {
+		for _, id := range v.order {
 			candidates[id] = true
 		}
 	default:
 		if useSocial {
 			// Step 1: social candidates ranked by s̃J; keep the budgeted top.
-			socCands := r.inv.Candidates(qvec)
+			socCands := v.inv.Candidates(qvec)
 			type scored struct {
 				id string
 				s  float64
 			}
 			ranked := make([]scored, 0, len(socCands))
 			for _, id := range socCands {
-				ranked = append(ranked, scored{id, social.ApproxJaccard(qvec, r.records[id].Vec)})
+				ranked = append(ranked, scored{id, social.ApproxJaccard(qvec, v.records[id].Vec)})
 			}
 			sort.Slice(ranked, func(a, b int) bool {
 				if ranked[a].s != ranked[b].s {
@@ -65,7 +79,7 @@ func (r *Recommender) Recommend(q Query, topK int, exclude ...string) []Result {
 				}
 				return ranked[a].id < ranked[b].id
 			})
-			budget := r.opts.CandidateLimit
+			budget := v.opts.CandidateLimit
 			for i, sc := range ranked {
 				if i >= budget {
 					break
@@ -75,25 +89,24 @@ func (r *Recommender) Recommend(q Query, topK int, exclude ...string) []Result {
 		}
 		if useContent {
 			// Step 2: content candidates in LCP order.
-			w := r.lsb.NewWalker(q.Series)
-			for pops := 0; pops < r.opts.ContentProbe; pops++ {
+			w := v.lsb.NewWalker(q.Series)
+			for pops := 0; pops < v.opts.ContentProbe; pops++ {
 				e, _, ok := w.Next()
 				if !ok {
 					break
 				}
-				if r.tombstones[e.VideoID] {
+				if v.tombstones[e.VideoID] {
 					continue
 				}
 				candidates[e.VideoID] = true
-				if len(candidates) >= 2*r.opts.CandidateLimit {
+				if len(candidates) >= 2*v.opts.CandidateLimit {
 					break
 				}
 			}
 		}
 	}
 
-	// Step 3: FJ refinement.
-	results := make([]Result, 0, len(candidates))
+	// Step 3: FJ refinement across the worker pool.
 	ids := make([]string, 0, len(candidates))
 	for id := range candidates {
 		if !skip[id] {
@@ -101,21 +114,8 @@ func (r *Recommender) Recommend(q Query, topK int, exclude ...string) []Result {
 		}
 	}
 	sort.Strings(ids)
-	for _, id := range ids {
-		var content, soc float64
-		if useContent {
-			content = r.ContentRelevance(q, id)
-		}
-		if useSocial {
-			soc = r.SocialRelevance(q, qvec, id)
-		}
-		results = append(results, Result{
-			VideoID: id,
-			Score:   r.fuse(content, soc),
-			Content: content,
-			Social:  soc,
-		})
-	}
+	results := v.refine(q, qvec, ids, useContent, useSocial)
+
 	sort.Slice(results, func(a, b int) bool {
 		if results[a].Score != results[b].Score {
 			return results[a].Score > results[b].Score
@@ -128,19 +128,80 @@ func (r *Recommender) Recommend(q Query, topK int, exclude ...string) []Result {
 	return results
 }
 
+// refine computes the fused relevance of every candidate. Candidates are
+// claimed from a shared atomic cursor (κJ cost varies with series length, so
+// static chunking would leave workers idle) and each result lands in the
+// slot of its candidate's index, keeping the output independent of
+// scheduling.
+func (v *View) refine(q Query, qvec social.Vector, ids []string, useContent, useSocial bool) []Result {
+	results := make([]Result, len(ids))
+	score := func(i int) {
+		id := ids[i]
+		var content, soc float64
+		if useContent {
+			content = v.ContentRelevance(q, id)
+		}
+		if useSocial {
+			soc = v.SocialRelevance(q, qvec, id)
+		}
+		results[i] = Result{
+			VideoID: id,
+			Score:   v.fuse(content, soc),
+			Content: content,
+			Social:  soc,
+		}
+	}
+
+	workers := v.opts.RefineWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	if workers <= 1 || len(ids) < minParallelRefine {
+		for i := range ids {
+			score(i)
+		}
+		return results
+	}
+
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(ids) {
+					return
+				}
+				score(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
 // RecommendID recommends for a stored video, excluding the video itself.
-func (r *Recommender) RecommendID(id string, topK int) []Result {
-	q, ok := r.QueryFor(id)
+func (v *View) RecommendID(id string, topK int) []Result {
+	q, ok := v.QueryFor(id)
 	if !ok {
 		return nil
 	}
-	return r.Recommend(q, topK, id)
+	return v.Recommend(q, topK, id)
 }
 
-// mustBuild panics if BuildSocial has not been run — calling the SAR paths
-// without a partition is a programming error, not a runtime condition.
-func (r *Recommender) mustBuild() {
-	if !r.built || r.part == nil {
-		panic("core: BuildSocial must be called before SAR-mode recommendation")
-	}
+// Recommend runs the KNN search against the recommender's current state.
+// Unlike View.Recommend it is not safe for use concurrent with mutations;
+// freeze a View for lock-free serving.
+func (r *Recommender) Recommend(q Query, topK int, exclude ...string) []Result {
+	return r.state.Recommend(q, topK, exclude...)
+}
+
+// RecommendID recommends for a stored video, excluding the video itself.
+func (r *Recommender) RecommendID(id string, topK int) []Result {
+	return r.state.RecommendID(id, topK)
 }

@@ -5,41 +5,45 @@ package core
 // out of walks until the next BuildSocial (which rebuilds the tree without
 // them). It reports whether the id existed.
 func (r *Recommender) RemoveVideo(id string) bool {
-	rec, ok := r.records[id]
-	if !ok {
+	if _, ok := r.state.records[id]; !ok {
 		return false
 	}
-	delete(r.records, id)
-	for i, o := range r.order {
+	r.beforeWrite()
+	s := r.state
+	rec := s.records[id]
+	delete(s.records, id)
+	for i, o := range s.order {
 		if o == id {
-			r.order = append(r.order[:i], r.order[i+1:]...)
+			s.order = append(s.order[:i], s.order[i+1:]...)
 			break
 		}
 	}
-	if r.inv != nil && rec.Vec != nil {
-		r.inv.Remove(id, rec.Vec)
+	if s.inv != nil && rec.Vec != nil {
+		s.inv.Remove(id, rec.Vec)
 	}
-	if r.tombstones == nil {
-		r.tombstones = map[string]bool{}
+	if s.tombstones == nil {
+		s.tombstones = map[string]bool{}
 	}
-	r.tombstones[id] = true
+	s.tombstones[id] = true
 	return true
 }
 
 // Tombstones returns the number of removed videos whose index entries are
 // pending compaction.
-func (r *Recommender) Tombstones() int { return len(r.tombstones) }
+func (r *Recommender) Tombstones() int { return len(r.state.tombstones) }
 
 // compactLSB rebuilds the content index from live records, dropping
-// tombstoned entries. Called from BuildSocial.
+// tombstoned entries. Called from BuildSocial after the copy-on-write check,
+// so it always operates on a privately owned state.
 func (r *Recommender) compactLSB() {
-	if len(r.tombstones) == 0 {
+	s := r.state
+	if len(s.tombstones) == 0 {
 		return
 	}
 	fresh := newLSBFor(r.opts)
-	for _, id := range r.order {
-		fresh.Add(id, r.records[id].Series)
+	for _, id := range s.order {
+		fresh.Add(id, s.records[id].Series)
 	}
-	r.lsb = fresh
-	r.tombstones = nil
+	s.lsb = fresh
+	s.tombstones = nil
 }

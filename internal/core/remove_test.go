@@ -6,7 +6,7 @@ import (
 
 func TestRemoveVideoBasics(t *testing.T) {
 	r, _ := buildSmall(t, ModeSARHash)
-	victim := r.order[2]
+	victim := r.state.order[2]
 	before := r.Len()
 	if !r.RemoveVideo(victim) {
 		t.Fatal("RemoveVideo returned false for existing id")
@@ -21,7 +21,7 @@ func TestRemoveVideoBasics(t *testing.T) {
 		t.Errorf("Tombstones = %d, want 1", r.Tombstones())
 	}
 	// The removed video never appears in results.
-	for _, id := range r.order[:3] {
+	for _, id := range r.state.order[:3] {
 		for _, res := range r.RecommendID(id, r.Len()) {
 			if res.VideoID == victim {
 				t.Fatalf("removed video %s recommended for %s", victim, id)
@@ -32,22 +32,22 @@ func TestRemoveVideoBasics(t *testing.T) {
 
 func TestRemoveThenBuildCompacts(t *testing.T) {
 	r, _ := buildSmall(t, ModeSARHash)
-	victim := r.order[0]
+	victim := r.state.order[0]
 	sigCountBefore := 0
 	if rec, ok := r.Record(victim); ok {
 		sigCountBefore = len(rec.Series)
 	}
-	lsbBefore := r.lsb.Len()
+	lsbBefore := r.state.lsb.Len()
 	r.RemoveVideo(victim)
 	r.BuildSocial()
 	if r.Tombstones() != 0 {
 		t.Errorf("Tombstones after Build = %d, want 0", r.Tombstones())
 	}
-	if got := r.lsb.Len(); got != lsbBefore-sigCountBefore {
+	if got := r.state.lsb.Len(); got != lsbBefore-sigCountBefore {
 		t.Errorf("LSB entries = %d, want %d", got, lsbBefore-sigCountBefore)
 	}
 	// Still answers queries.
-	if res := r.RecommendID(r.order[0], 5); len(res) == 0 {
+	if res := r.RecommendID(r.state.order[0], 5); len(res) == 0 {
 		t.Error("no recommendations after compaction")
 	}
 }

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"videorec/internal/community"
 	"videorec/internal/signature"
@@ -18,6 +17,12 @@ type Snapshot struct {
 	Options Options
 	Records []RecordSnapshot
 	Order   []string
+
+	// Version records the view version of the engine that saved the
+	// snapshot — provenance only. A reloaded engine does not resume this
+	// counter: it publishes its restored state as view version 1, so cache
+	// keys from a previous process can never alias fresh state.
+	Version uint64
 
 	// Social machinery (present when BuildSocial had run).
 	Built         bool
@@ -37,15 +42,17 @@ type RecordSnapshot struct {
 }
 
 // Snapshot captures the recommender's state. The result shares no mutable
-// structure with the recommender and is safe to serialize.
+// structure with the recommender and is safe to serialize. It is a pure
+// read of the build state, so it never triggers a copy-on-write clone.
 func (r *Recommender) Snapshot() *Snapshot {
+	st := r.state
 	s := &Snapshot{
 		Options: r.opts,
-		Order:   append([]string(nil), r.order...),
-		Built:   r.built,
+		Order:   append([]string(nil), st.order...),
+		Built:   st.built,
 	}
-	for _, id := range r.order {
-		rec := r.records[id]
+	for _, id := range st.order {
+		rec := st.records[id]
 		series := make(signature.Series, len(rec.Series))
 		for i, sig := range rec.Series {
 			series[i] = signature.Signature{Cuboids: append([]signature.Cuboid(nil), sig.Cuboids...)}
@@ -56,14 +63,14 @@ func (r *Recommender) Snapshot() *Snapshot {
 			Users:  append([]string(nil), rec.Desc.Users()...),
 		})
 	}
-	if r.built && r.part != nil {
-		s.Assign = make(map[string]int, len(r.part.Assign))
-		for u, c := range r.part.Assign {
+	if st.built && st.part != nil {
+		s.Assign = make(map[string]int, len(st.part.Assign))
+		for u, c := range st.part.Assign {
 			s.Assign[u] = c
 		}
-		s.Dim = r.part.Dim
-		s.K = r.part.K
-		s.LightestIntra = r.part.LightestIntra
+		s.Dim = st.part.Dim
+		s.K = st.part.K
+		s.LightestIntra = st.part.LightestIntra
 		s.GraphEdges = r.graph.Edges()
 		s.GraphUsers = append([]string(nil), r.graph.Users()...)
 	}
@@ -73,7 +80,8 @@ func (r *Recommender) Snapshot() *Snapshot {
 // FromSnapshot reconstructs a recommender: signatures are re-indexed into a
 // fresh LSB tree (deterministic given Options), and when the snapshot was
 // built, the partition and UIG are restored verbatim so incremental updates
-// continue where they left off.
+// continue where they left off. The restored recommender's first Freeze
+// publishes a view identical to what the saving engine served.
 func FromSnapshot(s *Snapshot) (*Recommender, error) {
 	if s == nil {
 		return nil, fmt.Errorf("core: nil snapshot")
@@ -113,7 +121,7 @@ func FromSnapshot(s *Snapshot) (*Recommender, error) {
 		}
 		assign[u] = c
 	}
-	r.part = &community.Partition{
+	r.state.part = &community.Partition{
 		K:             s.K,
 		Dim:           s.Dim,
 		Assign:        assign,
@@ -125,21 +133,23 @@ func FromSnapshot(s *Snapshot) (*Recommender, error) {
 
 // installSocial wires the derived social structures (hash table, linear
 // dictionary, maintainer hooks, vectors, inverted files) around the current
-// graph and partition. BuildSocial and FromSnapshot share it.
+// graph and partition. BuildSocial and FromSnapshot share it. The hooks
+// close over the recommender — not over any particular View — so they keep
+// patching the current build state across copy-on-write clones.
 func (r *Recommender) installSocial() {
 	r.rebuildDictionaries()
 	r.touched = map[int]bool{}
-	r.maint = community.NewMaintainer(r.graph, r.part, community.Hooks{
+	r.maint = community.NewMaintainer(r.graph, r.state.part, community.Hooks{
 		AssignUser: func(u string, cno int) {
-			r.table.Insert(u, cno)
-			r.dict = append(r.dict, dictEntry{user: u, cno: cno})
+			r.state.table.Insert(u, cno)
+			r.state.dict = append(r.state.dict, dictEntry{user: u, cno: cno})
 			r.touched[cno] = true
 		},
 		ReplaceCommunity: func(old, new int) {
-			r.table.ReplaceCno(old, new)
-			for i := range r.dict {
-				if r.dict[i].cno == old {
-					r.dict[i].cno = new
+			r.state.table.ReplaceCno(old, new)
+			for i := range r.state.dict {
+				if r.state.dict[i].cno == old {
+					r.state.dict[i].cno = new
 				}
 			}
 		},
@@ -150,13 +160,9 @@ func (r *Recommender) installSocial() {
 		},
 	})
 	r.vectorizeAll()
-	r.built = true
+	r.state.built = true
 }
 
 // SortedIDs returns the ingested video ids in a stable order (useful for
 // deterministic dumps and diffing snapshots).
-func (r *Recommender) SortedIDs() []string {
-	ids := append([]string(nil), r.order...)
-	sort.Strings(ids)
-	return ids
-}
+func (r *Recommender) SortedIDs() []string { return r.state.SortedIDs() }

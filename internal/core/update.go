@@ -28,7 +28,9 @@ type UpdateReport struct {
 //     touches a changed dimension — or whose descriptor changed — is
 //     re-vectorized and re-posted in the inverted files.
 func (r *Recommender) ApplyUpdates(newComments map[string][]string) UpdateReport {
-	r.mustBuild()
+	r.state.mustBuild()
+	r.beforeWrite()
+	s := r.state
 
 	// Step 1: derive connections.
 	var edges []community.Edge
@@ -39,7 +41,7 @@ func (r *Recommender) ApplyUpdates(newComments map[string][]string) UpdateReport
 	}
 	sort.Strings(vids)
 	for _, vid := range vids {
-		rec, ok := r.records[vid]
+		rec, ok := s.records[vid]
 		if !ok {
 			continue
 		}
@@ -77,14 +79,14 @@ func (r *Recommender) ApplyUpdates(newComments map[string][]string) UpdateReport
 	// Step 3: grow descriptors and re-vectorize affected videos.
 	dirty := map[string]bool{}
 	for _, vid := range vids {
-		if rec, ok := r.records[vid]; ok {
+		if rec, ok := s.records[vid]; ok {
 			rec.Desc = rec.Desc.Add(newComments[vid]...)
 			dirty[vid] = true
 		}
 	}
 	if len(touched) > 0 {
-		for _, id := range r.order {
-			vec := r.records[id].Vec
+		for _, id := range s.order {
+			vec := s.records[id].Vec
 			for d := range touched {
 				if d < len(vec) && vec[d] > 0 {
 					dirty[id] = true
@@ -93,18 +95,18 @@ func (r *Recommender) ApplyUpdates(newComments map[string][]string) UpdateReport
 			}
 		}
 	}
-	r.inv.Grow(r.part.Dim)
+	s.inv.Grow(s.part.Dim)
 	dirtyIDs := make([]string, 0, len(dirty))
 	for id := range dirty {
 		dirtyIDs = append(dirtyIDs, id)
 	}
 	sort.Strings(dirtyIDs)
-	lookup := r.lookupFunc()
+	lookup := s.lookupFunc()
 	for _, id := range dirtyIDs {
-		rec := r.records[id]
-		r.inv.Remove(id, rec.Vec)
-		rec.Vec = social.Vectorize(rec.Desc, lookup, r.part.Dim)
-		r.inv.Add(id, rec.Vec)
+		rec := s.records[id]
+		s.inv.Remove(id, rec.Vec)
+		rec.Vec = social.Vectorize(rec.Desc, lookup, s.part.Dim)
+		s.inv.Add(id, rec.Vec)
 	}
 	return UpdateReport{
 		Maintenance:        st,
@@ -115,16 +117,7 @@ func (r *Recommender) ApplyUpdates(newComments map[string][]string) UpdateReport
 
 // VideosPerDim reports how many videos each inverted-file dimension holds —
 // the N_ui / N_si inputs of the Equation 8 cost model.
-func (r *Recommender) VideosPerDim() []int {
-	if r.inv == nil {
-		return nil
-	}
-	out := make([]int, r.inv.Dims())
-	for d := range out {
-		out[d] = len(r.inv.VideosForDim(d))
-	}
-	return out
-}
+func (r *Recommender) VideosPerDim() []int { return r.state.VideosPerDim() }
 
 func dedupeUsers(in []string) []string {
 	out := append([]string(nil), in...)

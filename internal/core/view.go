@@ -1,0 +1,217 @@
+package core
+
+import (
+	"sort"
+
+	"videorec/internal/community"
+	"videorec/internal/hashing"
+	"videorec/internal/index"
+	"videorec/internal/signature"
+	"videorec/internal/social"
+	"videorec/internal/video"
+)
+
+// View is the frozen, immutable state one recommendation query needs: the
+// signature series and social descriptors of every stored video, the LSB
+// content index, the inverted files, the SAR descriptor vectors, the
+// sub-community partition and the chained-hash dictionary. A View is built by
+// the write-side Recommender and published to readers, after which nothing
+// reachable from it is ever mutated — any number of goroutines may call its
+// query methods concurrently without locking.
+//
+// The write side enforces this with copy-on-write: once a View has been
+// handed out by Freeze, the next mutation first clones every structure the
+// View references (see clone) and applies itself to the private copy, so the
+// published View keeps answering queries from the state it froze.
+type View struct {
+	opts    Options
+	records map[string]*Record
+	order   []string // ingestion order: deterministic full scans
+
+	lsb   *index.LSB
+	inv   *index.Inverted
+	table *hashing.Table
+	dict  []dictEntry // linear-scan dictionary for ModeSAR
+	part  *community.Partition
+
+	tombstones map[string]bool // removed videos with LSB entries pending compaction
+	built      bool
+}
+
+// clone returns a View whose mutable structures are all privately owned:
+// record structs, ingestion order, the LSB trees, the inverted files, the
+// hash table, the linear dictionary, the partition assignment and the
+// tombstone set are copied; immutable payloads (signature series, social
+// descriptors, SAR vectors — all replaced wholesale, never edited in place)
+// are shared. The write side calls this exactly once per freeze→mutate
+// transition.
+func (v *View) clone() *View {
+	nv := &View{
+		opts:    v.opts,
+		records: make(map[string]*Record, len(v.records)),
+		order:   append([]string(nil), v.order...),
+		lsb:     v.lsb.Clone(),
+		dict:    append([]dictEntry(nil), v.dict...),
+		built:   v.built,
+	}
+	for id, rec := range v.records {
+		cp := *rec
+		nv.records[id] = &cp
+	}
+	if v.inv != nil {
+		nv.inv = v.inv.Clone()
+	}
+	if v.table != nil {
+		nv.table = v.table.Clone()
+	}
+	if v.part != nil {
+		assign := make(map[string]int, len(v.part.Assign))
+		for u, c := range v.part.Assign {
+			assign[u] = c
+		}
+		nv.part = &community.Partition{
+			K:             v.part.K,
+			Dim:           v.part.Dim,
+			Assign:        assign,
+			LightestIntra: v.part.LightestIntra,
+		}
+	}
+	if len(v.tombstones) > 0 {
+		nv.tombstones = make(map[string]bool, len(v.tombstones))
+		for id := range v.tombstones {
+			nv.tombstones[id] = true
+		}
+	}
+	return nv
+}
+
+// Options returns the view's configuration.
+func (v *View) Options() Options { return v.opts }
+
+// Len returns the number of stored videos in the view.
+func (v *View) Len() int { return len(v.records) }
+
+// Built reports whether the social machinery had been built when the view
+// was frozen; Recommend in a SAR mode panics on an unbuilt view exactly as
+// it does on an unbuilt Recommender.
+func (v *View) Built() bool { return v.built }
+
+// Has reports whether the video id is stored in the view.
+func (v *View) Has(id string) bool {
+	_, ok := v.records[id]
+	return ok
+}
+
+// Record returns the stored record for a video id.
+func (v *View) Record(id string) (*Record, bool) {
+	rec, ok := v.records[id]
+	return rec, ok
+}
+
+// Partition exposes the view's sub-community partition (nil before the
+// social build). Callers must treat it as read-only.
+func (v *View) Partition() *community.Partition { return v.part }
+
+// SortedIDs returns the stored video ids in a stable order.
+func (v *View) SortedIDs() []string {
+	ids := append([]string(nil), v.order...)
+	sort.Strings(ids)
+	return ids
+}
+
+// QueryFor builds a Query from a stored video id.
+func (v *View) QueryFor(id string) (Query, bool) {
+	rec, ok := v.records[id]
+	if !ok {
+		return Query{}, false
+	}
+	return Query{Series: rec.Series, Desc: rec.Desc}, true
+}
+
+// AdHocQuery builds a Query from a clip that is not part of the collection —
+// the anonymous visitor's currently-watched video. Extraction touches only
+// the view's immutable options, so it runs without any engine lock.
+func (v *View) AdHocQuery(vd *video.Video, desc social.Descriptor) Query {
+	return Query{Series: signature.Extract(vd, v.opts.Sig), Desc: desc}
+}
+
+// ContentRelevance is κJ between the query and a stored video.
+func (v *View) ContentRelevance(q Query, id string) float64 {
+	rec, ok := v.records[id]
+	if !ok {
+		return 0
+	}
+	return signature.KJ(q.Series, rec.Series, v.opts.MatchThreshold)
+}
+
+// SocialRelevance is the mode-dependent social relevance between the query
+// and a stored video: exact sJ (naive quadratic, as the unoptimized system
+// the paper starts from) in ModeExact, s̃J over SAR vectors otherwise.
+func (v *View) SocialRelevance(q Query, qvec social.Vector, id string) float64 {
+	rec, ok := v.records[id]
+	if !ok {
+		return 0
+	}
+	if v.opts.Mode == ModeExact {
+		return naiveJaccard(q.Desc, rec.Desc)
+	}
+	return social.ApproxJaccard(qvec, rec.Vec)
+}
+
+// VideosPerDim reports how many videos each inverted-file dimension holds —
+// the N_ui / N_si inputs of the Equation 8 cost model.
+func (v *View) VideosPerDim() []int {
+	if v.inv == nil {
+		return nil
+	}
+	out := make([]int, v.inv.Dims())
+	for d := range out {
+		out[d] = len(v.inv.VideosForDim(d))
+	}
+	return out
+}
+
+// lookupFunc returns the user → sub-community mapping for the active mode:
+// the chained hash table for ModeSARHash, the deliberately linear dictionary
+// scan for ModeSAR (the unoptimized vectorization the paper's hash scheme
+// speeds up), and the partition map otherwise.
+func (v *View) lookupFunc() social.Lookup {
+	switch v.opts.Mode {
+	case ModeSARHash:
+		return v.table.Lookup
+	case ModeSAR:
+		return func(u string) (int, bool) {
+			for _, e := range v.dict {
+				if e.user == u {
+					return e.cno, true
+				}
+			}
+			return 0, false
+		}
+	default:
+		return func(u string) (int, bool) {
+			c, ok := v.part.Assign[u]
+			return c, ok
+		}
+	}
+}
+
+// fuse is Equation 9.
+func (v *View) fuse(content, soc float64) float64 {
+	if v.opts.ContentWeightOnly {
+		return content
+	}
+	if v.opts.SocialOnly {
+		return soc
+	}
+	return (1-v.opts.Omega)*content + v.opts.Omega*soc
+}
+
+// mustBuild panics if the view was frozen before BuildSocial — calling the
+// SAR paths without a partition is a programming error, not a runtime
+// condition.
+func (v *View) mustBuild() {
+	if !v.built || v.part == nil {
+		panic("core: BuildSocial must be called before SAR-mode recommendation")
+	}
+}

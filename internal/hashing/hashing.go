@@ -52,6 +52,26 @@ func NewTable(nBuckets int, seed uint32) *Table {
 // Len returns the number of stored keys.
 func (t *Table) Len() int { return t.size }
 
+// Clone returns an independent copy of the table. Triads are duplicated
+// chain by chain (Insert and ReplaceCno rewrite cno fields in place, so the
+// chains cannot be shared); each cloned chain preserves its triad order.
+func (t *Table) Clone() *Table {
+	cp := &Table{buckets: make([]*entry, len(t.buckets)), seed: t.seed, size: t.size}
+	for b, head := range t.buckets {
+		var tail *entry
+		for e := head; e != nil; e = e.next {
+			ne := &entry{key: e.key, cno: e.cno}
+			if tail == nil {
+				cp.buckets[b] = ne
+			} else {
+				tail.next = ne
+			}
+			tail = ne
+		}
+	}
+	return cp
+}
+
 // Buckets returns the number of chains.
 func (t *Table) Buckets() int { return len(t.buckets) }
 

@@ -80,6 +80,23 @@ func NewLSB(opts LSBOptions) *LSB {
 // every signature).
 func (ix *LSB) Len() int { return ix.trees[0].Len() }
 
+// Clone returns an independent copy of the index: the B⁺-trees are deep
+// copied while the hash families and the embedder — immutable after
+// construction — are shared. Mutating either copy never affects the other,
+// which is what the copy-on-write read views rely on.
+func (ix *LSB) Clone() *LSB {
+	cp := &LSB{
+		trees:     make([]*btree.Tree[SigEntry], len(ix.trees)),
+		hfs:       ix.hfs,
+		emb:       ix.emb,
+		totalBits: ix.totalBits,
+	}
+	for t, tr := range ix.trees {
+		cp.trees[t] = tr.Clone()
+	}
+	return cp
+}
+
 // Trees returns the forest size.
 func (ix *LSB) Trees() int { return len(ix.trees) }
 
@@ -190,6 +207,19 @@ func NewInverted(k int) *Inverted {
 
 // Dims returns the number of posting lists.
 func (iv *Inverted) Dims() int { return len(iv.lists) }
+
+// Clone returns an independent copy of every posting list.
+func (iv *Inverted) Clone() *Inverted {
+	cp := &Inverted{lists: make([]map[string]bool, len(iv.lists))}
+	for d, list := range iv.lists {
+		m := make(map[string]bool, len(list))
+		for id := range list {
+			m[id] = true
+		}
+		cp.lists[d] = m
+	}
+	return cp
+}
 
 // Add posts the video under every dimension its descriptor vector touches.
 func (iv *Inverted) Add(videoID string, vec social.Vector) {

@@ -2,14 +2,18 @@ package server
 
 import (
 	"container/list"
+	"fmt"
 	"sync"
 
 	"videorec"
 )
 
 // resultCache is a small LRU over recommendation lists, keyed by
-// "clipID\x00topK". Every mutation endpoint purges it wholesale: updates can
-// re-rank anything, and correctness beats cleverness at this size.
+// "viewVersion\x00clipID\x00topK". Keys embed the version of the engine view
+// a result was computed from, so mutations never need to purge anything:
+// a published mutation bumps the view version, new queries key under the new
+// version and miss once, and entries of lapsed views age out of the LRU tail
+// as fresh results displace them.
 type resultCache struct {
 	mu  sync.Mutex
 	cap int
@@ -17,6 +21,12 @@ type resultCache struct {
 	at  map[string]*list.Element
 
 	hits, misses int64
+}
+
+// cacheKey builds the version-qualified lookup key for one stored-clip
+// recommendation.
+func cacheKey(version uint64, clipID string, topK int) string {
+	return fmt.Sprintf("%d\x00%s\x00%d", version, clipID, topK)
 }
 
 type cacheItem struct {
@@ -62,13 +72,6 @@ func (c *resultCache) put(key string, recs []videorec.Recommendation) {
 		c.ll.Remove(oldest)
 		delete(c.at, oldest.Value.(*cacheItem).key)
 	}
-}
-
-func (c *resultCache) purge() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.ll.Init()
-	c.at = make(map[string]*list.Element)
 }
 
 func (c *resultCache) stats() (hits, misses int64, size int) {

@@ -27,7 +27,9 @@ type Server struct {
 
 // New wraps the engine. snapshotPath, when non-empty, is where POST
 // /snapshot persists the engine. Stored-clip recommendations are cached in
-// an LRU that every mutation purges.
+// an LRU keyed by the engine's view version: mutations publish a new view
+// (bumping the version) instead of purging, so hits against the live view
+// keep being served while entries of lapsed views age out of the LRU.
 func New(eng *videorec.Engine, snapshotPath string) *Server {
 	return &Server{eng: eng, snapshotPath: snapshotPath, cache: newResultCache(512)}
 }
@@ -96,15 +98,13 @@ func (s *Server) handleAddVideo(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.cache.purge()
 	w.WriteHeader(http.StatusCreated)
-	writeJSON(w, map[string]any{"id": c.ID, "indexed": true})
+	writeJSON(w, map[string]any{"id": c.ID, "indexed": true, "viewVersion": s.eng.Version()})
 }
 
 func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 	s.eng.Build()
-	s.cache.purge()
-	writeJSON(w, map[string]any{"subCommunities": s.eng.SubCommunities()})
+	writeJSON(w, map[string]any{"subCommunities": s.eng.SubCommunities(), "viewVersion": s.eng.Version()})
 }
 
 func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
@@ -114,18 +114,19 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	k := queryInt(r, "k", 10)
-	key := fmt.Sprintf("%s\x00%d", id, k)
-	if recs, ok := s.cache.get(key); ok {
+	if recs, ok := s.cache.get(cacheKey(s.eng.Version(), id, k)); ok {
 		s.queries.Add(1)
 		writeJSON(w, recs)
 		return
 	}
-	recs, err := s.eng.Recommend(id, k)
+	// Miss: compute against the live view and store under the version that
+	// actually answered (a mutation may have landed since the lookup).
+	recs, version, err := s.eng.RecommendVersioned(id, k)
 	if err != nil {
 		httpError(w, statusFor(err), err)
 		return
 	}
-	s.cache.put(key, recs)
+	s.cache.put(cacheKey(version, id, k), recs)
 	s.queries.Add(1)
 	writeJSON(w, recs)
 }
@@ -157,7 +158,6 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 		httpError(w, statusFor(err), err)
 		return
 	}
-	s.cache.purge()
 	writeJSON(w, sum)
 }
 
@@ -178,6 +178,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{
 		"videos":         s.eng.Len(),
 		"subCommunities": s.eng.SubCommunities(),
+		"viewVersion":    s.eng.Version(),
 		"queriesServed":  s.queries.Load(),
 		"cacheHits":      hits,
 		"cacheMisses":    misses,

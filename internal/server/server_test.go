@@ -235,14 +235,36 @@ func TestCacheLRUBehavior(t *testing.T) {
 	if got, ok := c.get("k3"); !ok || got[0].VideoID != "c" {
 		t.Error("k3 lost")
 	}
-	c.purge()
-	if _, _, size := c.stats(); size != 0 {
-		t.Errorf("size after purge = %d", size)
-	}
 }
 
-func TestRecommendCachedAndPurgedOnUpdate(t *testing.T) {
-	ts, srv := newTestServer(t, "")
+// serverStats reads the /stats endpoint.
+type serverStats struct {
+	Videos      int    `json:"videos"`
+	ViewVersion uint64 `json:"viewVersion"`
+	CacheHits   int64  `json:"cacheHits"`
+	CacheMisses int64  `json:"cacheMisses"`
+	CacheSize   int    `json:"cacheSize"`
+}
+
+func getStats(t *testing.T, ts *httptest.Server) serverStats {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st serverStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// Mutations must not purge the result cache: entries are keyed by view
+// version, so a mutation bumps the version (new keys miss once, then hit)
+// while entries of the lapsed view stay resident until the LRU evicts them.
+func TestVersionKeyedCacheSurvivesMutations(t *testing.T) {
+	ts, _ := newTestServer(t, "")
 	populate(t, ts)
 	fetch := func() {
 		resp, err := http.Get(ts.URL + "/recommend?id=clip-0&k=3")
@@ -253,16 +275,34 @@ func TestRecommendCachedAndPurgedOnUpdate(t *testing.T) {
 	}
 	fetch()
 	fetch()
-	hits, misses, _ := srv.cache.stats()
-	if hits != 1 || misses != 1 {
-		t.Errorf("hits=%d misses=%d, want 1/1", hits, misses)
+	st := getStats(t, ts)
+	if st.CacheHits != 1 || st.CacheMisses != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1", st.CacheHits, st.CacheMisses)
 	}
-	// An update purges the cache → next fetch misses again.
+
+	// An update publishes a new view: the version bumps, nothing is purged.
 	body, _ := json.Marshal(map[string][]string{"clip-0": {"fresh-user", "ann"}})
 	post(t, ts.URL+"/updates", body)
+	st2 := getStats(t, ts)
+	if st2.ViewVersion != st.ViewVersion+1 {
+		t.Errorf("viewVersion = %d after update, want %d", st2.ViewVersion, st.ViewVersion+1)
+	}
+	if st2.CacheSize != st.CacheSize {
+		t.Errorf("cacheSize = %d after update, want %d (mutations must not purge)", st2.CacheSize, st.CacheSize)
+	}
+
+	// First fetch against the new view misses; the second hits again.
 	fetch()
-	hits2, misses2, _ := srv.cache.stats()
-	if hits2 != hits || misses2 != misses+1 {
-		t.Errorf("after purge: hits=%d misses=%d", hits2, misses2)
+	fetch()
+	st3 := getStats(t, ts)
+	if st3.CacheMisses != st.CacheMisses+1 {
+		t.Errorf("misses = %d after version bump, want %d", st3.CacheMisses, st.CacheMisses+1)
+	}
+	if st3.CacheHits != st.CacheHits+1 {
+		t.Errorf("hits = %d after version bump, want %d", st3.CacheHits, st.CacheHits+1)
+	}
+	// The lapsed view's entry is still resident alongside the new one.
+	if st3.CacheSize != st.CacheSize+1 {
+		t.Errorf("cacheSize = %d, want %d (old + new version entries)", st3.CacheSize, st.CacheSize+1)
 	}
 }

@@ -8,27 +8,34 @@ import (
 )
 
 // Save serializes the engine's state — signatures, descriptors, the user
-// interest graph and the sub-community partition — to w. Derived structures
-// (LSB tree, hash dictionary, inverted files) are rebuilt on Load, so
-// snapshots stay compact.
+// interest graph and the sub-community partition — to w, stamped with the
+// current view version. Derived structures (LSB tree, hash dictionary,
+// inverted files) are rebuilt on Load, so snapshots stay compact. Save takes
+// the writer lock for a consistent cut of the build state; lock-free readers
+// keep serving the published view throughout.
 func (e *Engine) Save(w io.Writer) error {
-	e.mu.RLock()
-	snap := e.rec.Snapshot()
-	e.mu.RUnlock()
-	return store.Save(w, snap)
+	return store.Save(w, e.snapshot())
 }
 
 // SaveFile saves the engine atomically to a file path.
 func (e *Engine) SaveFile(path string) error {
-	e.mu.RLock()
+	return store.SaveFile(path, e.snapshot())
+}
+
+func (e *Engine) snapshot() *core.Snapshot {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
 	snap := e.rec.Snapshot()
-	e.mu.RUnlock()
-	return store.SaveFile(path, snap)
+	snap.Version = e.cur.Load().version
+	return snap
 }
 
 // Load restores an engine from a snapshot produced by Save. If the snapshot
 // was built, the engine is immediately ready to Recommend and ApplyUpdates;
-// otherwise call Build after loading.
+// otherwise call Build after loading. The restored state is published as
+// view version 1 — the version counter always resets on load (version 0 is
+// the empty state of a fresh engine), so cache keys minted by a previous
+// process never alias views of this one.
 func Load(r io.Reader) (*Engine, error) {
 	snap, err := store.Load(r)
 	if err != nil {
@@ -51,7 +58,9 @@ func engineFromSnapshot(snap *core.Snapshot) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{rec: rec, built: snap.Built}, nil
+	e := &Engine{rec: rec}
+	e.cur.Store(&engineView{view: rec.Freeze(), version: 1})
+	return e, nil
 }
 
 // AttachJournal opens (or creates) an append-only comment journal at path:
@@ -63,8 +72,8 @@ func (e *Engine) AttachJournal(path string) error {
 	if err != nil {
 		return err
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
 	if e.journal != nil {
 		e.journal.Close()
 	}
@@ -84,8 +93,8 @@ func (e *Engine) ReplayJournal(path string) (int, error) {
 
 // CloseJournal flushes and detaches the journal, if any.
 func (e *Engine) CloseJournal() error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
 	if e.journal == nil {
 		return nil
 	}

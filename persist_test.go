@@ -97,6 +97,86 @@ func TestEngineConcurrentAccess(t *testing.T) {
 	wg.Wait()
 }
 
+// Save takes a consistent cut under the writer lock while lock-free readers
+// keep serving; the reloaded engine answers identically and publishes its
+// state as view version 1 (the counter always resets on load, so cache keys
+// from a previous process never alias views of this one).
+func TestSaveUnderConcurrentReadersAndVersionReset(t *testing.T) {
+	eng, col := buildEngine(t, Options{})
+	// Advance the live engine's version past 1 so the reset is observable.
+	src := col.Queries[0].Sources[0]
+	if _, err := eng.ApplyUpdates(map[string][]string{src: {"pre-save-user", col.Users[0]}}); err != nil {
+		t.Fatal(err)
+	}
+	liveVersion := eng.Version()
+	if liveVersion < 2 {
+		t.Fatalf("live version = %d, want ≥ 2 (ingest+build+update)", liveVersion)
+	}
+
+	// Readers hammer the engine across the whole Save.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := eng.Recommend(src, 5); err != nil {
+					t.Errorf("Recommend during Save: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	var buf bytes.Buffer
+	err := eng.Save(&buf)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != eng.Len() {
+		t.Fatalf("restored Len = %d, want %d", restored.Len(), eng.Len())
+	}
+	if v := restored.Version(); v != 1 {
+		t.Fatalf("restored view version = %d, want 1", v)
+	}
+	if eng.Version() != liveVersion {
+		t.Fatalf("live version moved during save: %d -> %d", liveVersion, eng.Version())
+	}
+
+	// Identical rankings across the round-trip, for every query source.
+	for _, q := range col.Queries {
+		id := q.Sources[0]
+		a, err := eng.Recommend(id, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := restored.Recommend(id, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("%s: lengths %d vs %d", id, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s rank %d: live %+v vs restored %+v", id, i, a[i], b[i])
+			}
+		}
+	}
+}
+
 // Crash-recovery story: snapshot + journal replay reproduces the state of
 // an engine that applied the same updates live.
 func TestJournalRecovery(t *testing.T) {

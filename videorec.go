@@ -35,6 +35,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"videorec/internal/core"
 	"videorec/internal/social"
@@ -77,6 +78,10 @@ type Options struct {
 	// ExhaustiveSearch refines every stored video instead of using the
 	// LSB-tree and inverted-file probes. Slower, exact ranking.
 	ExhaustiveSearch bool
+	// RefineWorkers bounds the worker pool used for step-3 kNN refinement.
+	// 0 uses GOMAXPROCS, 1 forces the serial path. Either way the ranking is
+	// bit-identical: parallelism changes latency, never results.
+	RefineWorkers int
 }
 
 // Frame is one grayscale frame; intensities are clamped to [0, 255].
@@ -129,14 +134,27 @@ type UpdateSummary struct {
 	VideosRevectorized int
 }
 
-// Engine is the recommender. All methods are safe for concurrent use: reads
-// (Recommend, RecommendClip, Len, SubCommunities, Save) run concurrently;
-// mutations (Add, Build, ApplyUpdates) are serialized.
+// Engine is the recommender. All methods are safe for concurrent use.
+//
+// Reads (Recommend, RecommendClip, RecommendSegment, Len, SubCommunities,
+// Version) are lock-free: they load the current immutable view through an
+// atomic pointer and never contend with each other or with writers.
+// Mutations (Add, AddAll, Build, Remove, ApplyUpdates) serialize behind a
+// writer mutex; each builds the next state copy-on-write and publishes it as
+// a new view with a monotonically increasing version, so in-flight readers
+// keep the view they loaded until they finish.
 type Engine struct {
-	mu      sync.RWMutex
-	rec     *core.Recommender
-	built   bool
-	journal *store.Journal // nil unless AttachJournal was called
+	writeMu sync.Mutex        // serializes mutations, Build, Save and journal management
+	rec     *core.Recommender // write-side builder; touch only under writeMu
+	journal *store.Journal    // nil unless AttachJournal was called
+
+	cur atomic.Pointer[engineView] // the published view; never nil after New/Load
+}
+
+// engineView pairs a frozen core view with its publication version.
+type engineView struct {
+	view    *core.View
+	version uint64
 }
 
 // Errors returned by Engine methods.
@@ -167,19 +185,38 @@ func New(opts Options) *Engine {
 	c.ContentWeightOnly = opts.ContentOnly
 	c.SocialOnly = opts.SocialOnly
 	c.FullScan = opts.ExhaustiveSearch
-	return &Engine{rec: core.NewRecommender(c)}
+	c.RefineWorkers = opts.RefineWorkers
+	e := &Engine{rec: core.NewRecommender(c)}
+	e.cur.Store(&engineView{view: e.rec.Freeze(), version: 0})
+	return e
+}
+
+// publishLocked freezes the builder's current state and swaps it in as the
+// next view. Callers must hold writeMu.
+func (e *Engine) publishLocked() {
+	prev := e.cur.Load()
+	e.cur.Store(&engineView{view: e.rec.Freeze(), version: prev.version + 1})
+}
+
+// Version returns the version of the currently published view. It starts at
+// 0 for a fresh engine (1 for a loaded one), and every successful mutation
+// — Add, AddAll, Build, Remove, ApplyUpdates — increments it by exactly one.
+// Serving caches key entries by this version so stale results lapse
+// naturally when a new view is published.
+func (e *Engine) Version() uint64 {
+	return e.cur.Load().version
 }
 
 // Len returns the number of ingested clips.
 func (e *Engine) Len() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.rec.Len()
+	return e.cur.Load().view.Len()
 }
 
 // Add ingests a clip: its cuboid signature series is extracted and indexed,
 // its social descriptor stored. Frames are not retained. Call Build after
-// the last Add (or after a batch of Adds) before recommending.
+// the last Add (or after a batch of Adds) before recommending. Signature
+// extraction runs before the writer lock is taken, so concurrent readers
+// and other writers only wait for the index insertion itself.
 func (e *Engine) Add(clip Clip) error {
 	if clip.ID == "" {
 		return ErrEmptyID
@@ -191,40 +228,52 @@ func (e *Engine) Add(clip Clip) error {
 	if err != nil {
 		return err
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.rec.IngestVideo(clip.ID, v, social.NewDescriptor(clip.Owner, clip.Commenters...))
-	e.built = false
+	series := e.rec.ExtractSeries(v)
+	desc := social.NewDescriptor(clip.Owner, clip.Commenters...)
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	e.rec.IngestSeries(clip.ID, series, desc)
+	e.publishLocked()
 	return nil
 }
 
 // Build constructs the social machinery (user interest graph, k
 // sub-communities, hash dictionary, descriptor vectors, inverted files) over
-// everything added so far.
+// everything added so far, and publishes the result as a new view.
 func (e *Engine) Build() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
 	e.rec.BuildSocial()
-	e.built = true
+	e.publishLocked()
 }
 
 // Recommend returns the topK most relevant stored videos for a stored clip,
-// excluding the clip itself.
+// excluding the clip itself. It runs entirely against the current immutable
+// view: no lock is taken and concurrent mutations never affect a query in
+// flight.
 func (e *Engine) Recommend(clipID string, topK int) ([]Recommendation, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if !e.built {
-		return nil, ErrNotBuilt
+	recs, _, err := e.RecommendVersioned(clipID, topK)
+	return recs, err
+}
+
+// RecommendVersioned is Recommend plus the version of the view that answered
+// the query, so serving layers can key caches by exactly the state a result
+// was computed from.
+func (e *Engine) RecommendVersioned(clipID string, topK int) ([]Recommendation, uint64, error) {
+	cur := e.cur.Load()
+	if !cur.view.Built() {
+		return nil, cur.version, ErrNotBuilt
 	}
-	if _, ok := e.rec.Record(clipID); !ok {
-		return nil, fmt.Errorf("%w: %s", ErrNotFound, clipID)
+	if !cur.view.Has(clipID) {
+		return nil, cur.version, fmt.Errorf("%w: %s", ErrNotFound, clipID)
 	}
-	return convert(e.rec.RecommendID(clipID, topK)), nil
+	return convert(cur.view.RecommendID(clipID, topK)), cur.version, nil
 }
 
 // RecommendClip recommends for an ad-hoc clip that is not in the collection
 // — the anonymous-user scenario the paper targets: the query is whatever the
-// visitor is currently watching.
+// visitor is currently watching. Extraction and search both run lock-free
+// against the current view.
 func (e *Engine) RecommendClip(clip Clip, topK int) ([]Recommendation, error) {
 	if len(clip.Frames) == 0 {
 		return nil, ErrNoFrames
@@ -233,34 +282,35 @@ func (e *Engine) RecommendClip(clip Clip, topK int) ([]Recommendation, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if !e.built {
+	cur := e.cur.Load()
+	if !cur.view.Built() {
 		return nil, ErrNotBuilt
 	}
-	q := e.rec.AdHocQuery(v, social.NewDescriptor(clip.Owner, clip.Commenters...))
-	return convert(e.rec.Recommend(q, topK, clip.ID)), nil
+	q := cur.view.AdHocQuery(v, social.NewDescriptor(clip.Owner, clip.Commenters...))
+	return convert(cur.view.Recommend(q, topK, clip.ID)), nil
 }
 
-// Remove deletes a stored clip. Its index entries are filtered immediately
-// and fully compacted away on the next Build. Returns ErrNotFound for an
-// unknown id.
+// Remove deletes a stored clip and publishes a view without it. Its index
+// entries are filtered immediately and fully compacted away on the next
+// Build. Returns ErrNotFound for an unknown id.
 func (e *Engine) Remove(clipID string) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
 	if !e.rec.RemoveVideo(clipID) {
 		return fmt.Errorf("%w: %s", ErrNotFound, clipID)
 	}
+	e.publishLocked()
 	return nil
 }
 
 // ApplyUpdates ingests a batch of new comments (video id → commenting
-// users) and incrementally maintains the sub-communities, hash dictionary,
-// descriptor vectors and inverted files (Figure 5 of the paper).
+// users), incrementally maintains the sub-communities, hash dictionary,
+// descriptor vectors and inverted files (Figure 5 of the paper), and
+// publishes the maintained state as a new view.
 func (e *Engine) ApplyUpdates(newComments map[string][]string) (UpdateSummary, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if !e.built {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	if !e.rec.Built() {
 		return UpdateSummary{}, ErrNotBuilt
 	}
 	if e.journal != nil {
@@ -269,6 +319,7 @@ func (e *Engine) ApplyUpdates(newComments map[string][]string) (UpdateSummary, e
 		}
 	}
 	rep := e.rec.ApplyUpdates(newComments)
+	e.publishLocked()
 	return UpdateSummary{
 		NewConnections:     rep.Maintenance.NewConnections,
 		Unions:             rep.Maintenance.Unions,
@@ -281,9 +332,7 @@ func (e *Engine) ApplyUpdates(newComments map[string][]string) (UpdateSummary, e
 // SubCommunities returns the current number of extracted sub-communities
 // (the SAR vector dimensionality). Zero before Build.
 func (e *Engine) SubCommunities() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if p := e.rec.Partition(); p != nil {
+	if p := e.cur.Load().view.Partition(); p != nil {
 		return p.Dim
 	}
 	return 0
