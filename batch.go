@@ -1,6 +1,7 @@
 package videorec
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -24,6 +25,14 @@ import (
 // (ErrEmptyID, ErrNoFrames, ...), so callers can both report and classify
 // the failure.
 func (e *Engine) AddAll(clips []Clip, workers int) error {
+	return e.AddAllCtx(context.Background(), clips, workers)
+}
+
+// AddAllCtx is AddAll with cooperative cancellation: the context is polled
+// between per-clip extractions, and a cancellation abandons the batch before
+// anything is ingested — no partial view is published and ctx.Err() is
+// returned, so an aborted bulk upload never leaves half a batch behind.
+func (e *Engine) AddAllCtx(ctx context.Context, clips []Clip, workers int) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -47,6 +56,9 @@ func (e *Engine) AddAll(clips []Clip, workers int) error {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				if ctx.Err() != nil {
+					continue // drain the channel without extracting
+				}
 				clip := clips[i]
 				switch {
 				case clip.ID == "":
@@ -70,6 +82,9 @@ func (e *Engine) AddAll(clips []Clip, workers int) error {
 	}
 	close(jobs)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("videorec: batch ingest aborted: %w", err)
+	}
 
 	// Ingest in input order so collection order stays deterministic, and
 	// publish whatever prefix landed — even when the batch stops early.

@@ -3,9 +3,14 @@
 // and persists one on demand (POST /snapshot) or on shutdown.
 //
 //	vrecd [-addr :8080] [-snapshot engine.snap] [-demo hours]
+//	      [-query-timeout 2s] [-max-inflight 256] [-max-queue N] [-max-k 100]
 //
 // With -demo N the server starts pre-loaded with an N-hour synthetic
-// community, ready to answer /recommend immediately.
+// community, ready to answer /recommend immediately. The resilience flags
+// bound every recommendation query: requests beyond -max-inflight queue up
+// to -max-queue deep and are then shed with 503 + Retry-After, and queries
+// that outlive -query-timeout answer degraded (coarse SAR ranking) instead
+// of erroring.
 package main
 
 import (
@@ -30,6 +35,11 @@ func main() {
 	snapshot := flag.String("snapshot", "", "snapshot path: restored at start if present, saved on shutdown")
 	journal := flag.String("journal", "", "comment journal (WAL): replayed at start, appended on every update")
 	demo := flag.Float64("demo", 0, "pre-load an N-hour synthetic community (0 = start empty)")
+	queryTimeout := flag.Duration("query-timeout", 2*time.Second, "per-query deadline; near-deadline queries answer degraded (0 = none)")
+	maxInflight := flag.Int("max-inflight", 256, "max concurrently executing queries (0 = unlimited)")
+	maxQueue := flag.Int("max-queue", 0, "max queries queued for a slot before shedding (0 = same as -max-inflight)")
+	maxK := flag.Int("max-k", 100, "cap on the k query parameter")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on shed (503) responses")
 	flag.Parse()
 
 	eng, err := bootstrap(*snapshot, *demo)
@@ -49,9 +59,17 @@ func main() {
 	}
 	log.Printf("engine ready: %d videos, %d sub-communities, view v%d", eng.Len(), eng.SubCommunities(), eng.Version())
 
+	handler := server.NewWithConfig(eng, server.Config{
+		SnapshotPath: *snapshot,
+		MaxInFlight:  *maxInflight,
+		MaxQueue:     *maxQueue,
+		QueryTimeout: *queryTimeout,
+		MaxK:         *maxK,
+		RetryAfter:   *retryAfter,
+	}).Handler()
 	srv := &http.Server{
 		Addr:         *addr,
-		Handler:      server.New(eng, *snapshot).Handler(),
+		Handler:      handler,
 		ReadTimeout:  30 * time.Second,
 		WriteTimeout: 60 * time.Second,
 	}

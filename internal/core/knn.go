@@ -1,11 +1,15 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"videorec/internal/faults"
+	"videorec/internal/signature"
 	"videorec/internal/social"
 )
 
@@ -13,6 +17,21 @@ import (
 // stays on the calling goroutine: spawning workers for a handful of κJ
 // computations costs more than it saves.
 const minParallelRefine = 16
+
+// cancelCheckStride bounds how many cheap candidate-gathering steps run
+// between context polls.
+const cancelCheckStride = 64
+
+// RecommendInfo describes how a RecommendCtx query was answered.
+type RecommendInfo struct {
+	// Degraded is true when step-3 EMD refinement was skipped (deadline
+	// already inside the degrade margin) or abandoned (deadline expired
+	// mid-refinement) and the results carry only the coarse social ranking:
+	// Score = s̃J, Content = 0.
+	Degraded bool
+	// Candidates is the number of candidates gathered for refinement.
+	Candidates int
+}
 
 // Recommend returns the topK highest-FJ videos for the query, excluding the
 // ids in exclude (normally the query video itself). It implements the KNN
@@ -36,8 +55,33 @@ const minParallelRefine = 16
 // sorted id list, so the parallel pool produces bit-identical rankings to
 // the serial path (Options.RefineWorkers = 1) regardless of scheduling.
 func (v *View) Recommend(q Query, topK int, exclude ...string) []Result {
+	res, _, _ := v.RecommendCtx(context.Background(), q, topK, exclude...)
+	return res
+}
+
+// RecommendCtx is Recommend with deadline-aware serving semantics:
+//
+//   - Cancellation is cooperative through the whole pipeline: candidate
+//     gathering polls the context between probes and every refinement worker
+//     polls it between EMD evaluations (signature.KJCancel), so a canceled
+//     request stops burning CPU within about one EMD evaluation and returns
+//     ctx.Err().
+//   - Degradation is the deadline policy: when the deadline is already
+//     within Options.DegradeMargin at refinement start — or expires while
+//     refinement runs — the query is answered from the coarse social ranking
+//     it already has (s̃J over SAR vectors; exact sJ in ModeExact) instead of
+//     failing with DeadlineExceeded, and the result is flagged Degraded. A
+//     negative DegradeMargin disables the fallback.
+//
+// Without a deadline or cancellation the results are bit-identical to
+// Recommend.
+func (v *View) RecommendCtx(ctx context.Context, q Query, topK int, exclude ...string) ([]Result, RecommendInfo, error) {
+	var info RecommendInfo
 	if topK <= 0 {
-		return nil
+		return nil, info, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, info, err
 	}
 	skip := make(map[string]bool, len(exclude))
 	for _, id := range exclude {
@@ -52,13 +96,17 @@ func (v *View) Recommend(q Query, topK int, exclude ...string) []Result {
 		qvec = social.Vectorize(q.Desc, v.lookupFunc(), v.part.Dim)
 	}
 
-	// Candidate gathering.
+	// Candidate gathering, polling the context between probe steps.
+	done := ctx.Done()
 	candidates := make(map[string]bool)
 	switch {
 	case v.opts.FullScan || (v.opts.Mode == ModeExact && useSocial):
 		// Unoptimized CSF (or an effectiveness run that wants exhaustive
 		// ranking): every stored video is refined.
-		for _, id := range v.order {
+		for i, id := range v.order {
+			if i%cancelCheckStride == 0 && ctxDone(done) {
+				return nil, info, ctx.Err()
+			}
 			candidates[id] = true
 		}
 	default:
@@ -70,7 +118,10 @@ func (v *View) Recommend(q Query, topK int, exclude ...string) []Result {
 				s  float64
 			}
 			ranked := make([]scored, 0, len(socCands))
-			for _, id := range socCands {
+			for i, id := range socCands {
+				if i%cancelCheckStride == 0 && ctxDone(done) {
+					return nil, info, ctx.Err()
+				}
 				ranked = append(ranked, scored{id, social.ApproxJaccard(qvec, v.records[id].Vec)})
 			}
 			sort.Slice(ranked, func(a, b int) bool {
@@ -91,6 +142,9 @@ func (v *View) Recommend(q Query, topK int, exclude ...string) []Result {
 			// Step 2: content candidates in LCP order.
 			w := v.lsb.NewWalker(q.Series)
 			for pops := 0; pops < v.opts.ContentProbe; pops++ {
+				if pops%cancelCheckStride == 0 && ctxDone(done) {
+					return nil, info, ctx.Err()
+				}
 				e, _, ok := w.Next()
 				if !ok {
 					break
@@ -114,8 +168,63 @@ func (v *View) Recommend(q Query, topK int, exclude ...string) []Result {
 		}
 	}
 	sort.Strings(ids)
-	results := v.refine(q, qvec, ids, useContent, useSocial)
+	info.Candidates = len(ids)
 
+	// Degrade up front when the deadline cannot plausibly fit a full EMD
+	// refinement pass: answer with the coarse social ranking immediately.
+	canDegrade := useContent && useSocial && v.opts.DegradeMargin > 0
+	if canDegrade {
+		if dl, ok := ctx.Deadline(); ok && time.Until(dl) < v.opts.DegradeMargin {
+			return v.finishCoarse(ctx, q, qvec, ids, topK, &info)
+		}
+	}
+
+	results, err := v.refine(ctx, q, qvec, ids, useContent, useSocial)
+	if err != nil {
+		// A deadline that expired mid-refinement still gets the coarse
+		// answer; cancellation and injected faults propagate as errors.
+		if canDegrade && err == context.DeadlineExceeded {
+			return v.finishCoarse(context.WithoutCancel(ctx), q, qvec, ids, topK, &info)
+		}
+		return nil, info, err
+	}
+	return topKResults(results, topK), info, nil
+}
+
+// ctxDone is a non-blocking poll of a context's done channel.
+func ctxDone(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
+// finishCoarse ranks the candidate set by social relevance alone — the
+// coarse SAR scores step 1 already paid for — skipping EMD refinement
+// entirely. s̃J over SAR vectors is a k-dimensional min/max ratio, orders of
+// magnitude cheaper than κJ, so this path answers within any realistic
+// margin. ctx is still honored (a hard cancel beats degradation).
+func (v *View) finishCoarse(ctx context.Context, q Query, qvec social.Vector, ids []string, topK int, info *RecommendInfo) ([]Result, RecommendInfo, error) {
+	done := ctx.Done()
+	results := make([]Result, len(ids))
+	for i, id := range ids {
+		if i%cancelCheckStride == 0 && ctxDone(done) {
+			return nil, *info, ctx.Err()
+		}
+		soc := v.SocialRelevance(q, qvec, id)
+		results[i] = Result{VideoID: id, Score: soc, Social: soc}
+	}
+	info.Degraded = true
+	return topKResults(results, topK), *info, nil
+}
+
+// topKResults sorts by (score desc, id asc) and truncates to topK.
+func topKResults(results []Result, topK int) []Result {
 	sort.Slice(results, func(a, b int) bool {
 		if results[a].Score != results[b].Score {
 			return results[a].Score > results[b].Score
@@ -132,14 +241,43 @@ func (v *View) Recommend(q Query, topK int, exclude ...string) []Result {
 // claimed from a shared atomic cursor (κJ cost varies with series length, so
 // static chunking would leave workers idle) and each result lands in the
 // slot of its candidate's index, keeping the output independent of
-// scheduling.
-func (v *View) refine(q Query, qvec social.Vector, ids []string, useContent, useSocial bool) []Result {
+// scheduling. Workers poll ctx between candidates and, through
+// signature.KJCancel, between individual EMD evaluations; the first
+// cancellation or injected fault stops every worker claiming further work.
+func (v *View) refine(ctx context.Context, q Query, qvec social.Vector, ids []string, useContent, useSocial bool) ([]Result, error) {
+	done := ctx.Done()
+	var cancelled func() bool
+	if done != nil {
+		cancelled = func() bool { return ctxDone(done) }
+	}
+
+	var failure atomic.Pointer[error]
+	fail := func(err error) {
+		e := err
+		failure.CompareAndSwap(nil, &e)
+	}
+
 	results := make([]Result, len(ids))
-	score := func(i int) {
+	score := func(i int) bool {
+		if err := faults.Inject(faults.RefineScore); err != nil {
+			fail(err)
+			return false
+		}
+		if cancelled != nil && cancelled() {
+			fail(ctx.Err())
+			return false
+		}
 		id := ids[i]
 		var content, soc float64
 		if useContent {
-			content = v.ContentRelevance(q, id)
+			if rec, ok := v.records[id]; ok {
+				kj, complete := signature.KJCancel(q.Series, rec.Series, v.opts.MatchThreshold, cancelled)
+				if !complete {
+					fail(ctx.Err())
+					return false
+				}
+				content = kj
+			}
 		}
 		if useSocial {
 			soc = v.SocialRelevance(q, qvec, id)
@@ -150,6 +288,7 @@ func (v *View) refine(q Query, qvec social.Vector, ids []string, useContent, use
 			Content: content,
 			Social:  soc,
 		}
+		return true
 	}
 
 	workers := v.opts.RefineWorkers
@@ -161,9 +300,11 @@ func (v *View) refine(q Query, qvec social.Vector, ids []string, useContent, use
 	}
 	if workers <= 1 || len(ids) < minParallelRefine {
 		for i := range ids {
-			score(i)
+			if !score(i) {
+				return nil, *failure.Load()
+			}
 		}
-		return results
+		return results, nil
 	}
 
 	var cursor atomic.Int64
@@ -172,26 +313,38 @@ func (v *View) refine(q Query, qvec social.Vector, ids []string, useContent, use
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for failure.Load() == nil {
 				i := int(cursor.Add(1)) - 1
 				if i >= len(ids) {
 					return
 				}
-				score(i)
+				if !score(i) {
+					return
+				}
 			}
 		}()
 	}
 	wg.Wait()
-	return results
+	if p := failure.Load(); p != nil {
+		return nil, *p
+	}
+	return results, nil
 }
 
 // RecommendID recommends for a stored video, excluding the video itself.
 func (v *View) RecommendID(id string, topK int) []Result {
+	res, _, _ := v.RecommendIDCtx(context.Background(), id, topK)
+	return res
+}
+
+// RecommendIDCtx is RecommendID with the deadline-aware semantics of
+// RecommendCtx.
+func (v *View) RecommendIDCtx(ctx context.Context, id string, topK int) ([]Result, RecommendInfo, error) {
 	q, ok := v.QueryFor(id)
 	if !ok {
-		return nil
+		return nil, RecommendInfo{}, nil
 	}
-	return v.Recommend(q, topK, id)
+	return v.RecommendCtx(ctx, q, topK, id)
 }
 
 // Recommend runs the KNN search against the recommender's current state.

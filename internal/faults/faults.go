@@ -1,0 +1,135 @@
+// Package faults provides named fault-injection points for resilience
+// testing. Production code calls Inject(site) at the places where a
+// deployment can actually fail — inside the EMD refinement loop, around
+// snapshot commits, at handler entry — and tests arm those sites with
+// latency, errors or panics to exercise the recovery paths. When nothing is
+// armed (the production state) Inject is a single atomic load, so the hooks
+// stay compiled into the hot paths at effectively zero cost.
+package faults
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Injection sites. Each constant names one place in the serving or
+// persistence path where a fault can be armed; the string doubles as the
+// site's identity, so packages outside internal/ could add their own.
+const (
+	// RefineScore fires once per candidate inside the step-3 EMD refinement
+	// worker loop — arm it with Latency to make refinement slow enough to
+	// cancel mid-flight, or with an error to simulate a scoring failure.
+	RefineScore = "core.refine.score"
+	// ServerRecommend fires at the top of the GET/POST /recommend handlers.
+	ServerRecommend = "server.recommend"
+	// SnapshotCommit fires after the snapshot temp file is fully written but
+	// before it is renamed into place — the kill-during-snapshot point.
+	SnapshotCommit = "store.snapshot.commit"
+	// JournalAppend fires before a comment batch is written to the journal.
+	JournalAppend = "store.journal.append"
+)
+
+// ErrInjected is the error returned by the Error and FailN handlers.
+var ErrInjected = errors.New("faults: injected error")
+
+// Handler is an armed fault: it runs every time its site is hit. Returning
+// a non-nil error makes Inject return that error; a Handler may also sleep
+// (latency injection) or panic (crash injection).
+type Handler func() error
+
+var (
+	armed atomic.Int32 // count of armed sites; 0 = fast path
+	mu    sync.RWMutex
+	sites = map[string]Handler{}
+)
+
+// Inject runs the handler armed at site, if any. With nothing armed
+// anywhere it is one atomic load.
+func Inject(site string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	mu.RLock()
+	h := sites[site]
+	mu.RUnlock()
+	if h == nil {
+		return nil
+	}
+	return h()
+}
+
+// Arm installs (or replaces) the handler at site.
+func Arm(site string, h Handler) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := sites[site]; !ok {
+		armed.Add(1)
+	}
+	sites[site] = h
+}
+
+// Disarm removes the handler at site, if armed.
+func Disarm(site string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := sites[site]; ok {
+		delete(sites, site)
+		armed.Add(-1)
+	}
+}
+
+// Reset disarms every site. Tests that arm faults must defer this.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	for site := range sites {
+		delete(sites, site)
+		armed.Add(-1)
+	}
+}
+
+// Latency returns a handler that sleeps d on every hit.
+func Latency(d time.Duration) Handler {
+	return func() error {
+		time.Sleep(d)
+		return nil
+	}
+}
+
+// Error returns a handler that fails every hit with err (ErrInjected when
+// err is nil).
+func Error(err error) Handler {
+	if err == nil {
+		err = ErrInjected
+	}
+	return func() error { return err }
+}
+
+// FailN returns a handler that fails the first n hits with err (ErrInjected
+// when err is nil) and succeeds afterwards.
+func FailN(n int, err error) Handler {
+	if err == nil {
+		err = ErrInjected
+	}
+	var left atomic.Int64
+	left.Store(int64(n))
+	return func() error {
+		if left.Add(-1) >= 0 {
+			return err
+		}
+		return nil
+	}
+}
+
+// PanicEvery returns a handler that panics with msg on every n-th hit.
+func PanicEvery(n int, msg string) Handler {
+	var hits atomic.Int64
+	return func() error {
+		if n > 0 && hits.Add(1)%int64(n) == 0 {
+			panic(msg)
+		}
+		return nil
+	}
+}

@@ -1,0 +1,86 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestInjectUnarmedIsNil(t *testing.T) {
+	if err := Inject("nowhere"); err != nil {
+		t.Fatalf("unarmed inject = %v", err)
+	}
+}
+
+func TestArmDisarm(t *testing.T) {
+	defer Reset()
+	Arm("site", Error(nil))
+	if err := Inject("site"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed inject = %v, want ErrInjected", err)
+	}
+	// A different site stays clean while one is armed.
+	if err := Inject("other"); err != nil {
+		t.Fatalf("other site = %v", err)
+	}
+	Disarm("site")
+	if err := Inject("site"); err != nil {
+		t.Fatalf("disarmed inject = %v", err)
+	}
+	// Double disarm must not corrupt the armed count.
+	Disarm("site")
+	if armed.Load() != 0 {
+		t.Fatalf("armed count = %d after disarms, want 0", armed.Load())
+	}
+}
+
+func TestFailN(t *testing.T) {
+	defer Reset()
+	sentinel := errors.New("boom")
+	Arm("s", FailN(2, sentinel))
+	for i := 0; i < 2; i++ {
+		if err := Inject("s"); !errors.Is(err, sentinel) {
+			t.Fatalf("hit %d = %v, want sentinel", i, err)
+		}
+	}
+	if err := Inject("s"); err != nil {
+		t.Fatalf("post-budget hit = %v, want nil", err)
+	}
+}
+
+func TestLatencySleeps(t *testing.T) {
+	defer Reset()
+	Arm("slow", Latency(10*time.Millisecond))
+	start := time.Now()
+	if err := Inject("slow"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("latency injection slept %v, want >= 10ms", d)
+	}
+}
+
+func TestPanicEvery(t *testing.T) {
+	defer Reset()
+	Arm("p", PanicEvery(2, "kaboom"))
+	if err := Inject("p"); err != nil { // hit 1: no panic
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("second hit did not panic")
+		}
+	}()
+	_ = Inject("p") // hit 2: panics
+}
+
+func TestReset(t *testing.T) {
+	Arm("a", Error(nil))
+	Arm("b", Error(nil))
+	Reset()
+	if armed.Load() != 0 {
+		t.Fatalf("armed count = %d after Reset, want 0", armed.Load())
+	}
+	if err := Inject("a"); err != nil {
+		t.Fatalf("post-reset inject = %v", err)
+	}
+}

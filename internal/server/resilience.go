@@ -1,0 +1,126 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// errShed is returned by the admission controller when both the in-flight
+// slots and the wait queue are full — the request must be shed, not queued.
+var errShed = errors.New("server: overloaded, request shed")
+
+// limiter is a semaphore-based admission controller with a bounded wait
+// queue: up to cap(slots) requests run concurrently, up to maxQueue more
+// wait for a slot, and everything beyond that is shed immediately. Bounding
+// the queue is the point — under a sustained spike an unbounded queue turns
+// into latency debt that is repaid to clients who already left.
+type limiter struct {
+	slots    chan struct{}
+	queued   atomic.Int64
+	maxQueue int64
+}
+
+func newLimiter(maxInFlight, maxQueue int) *limiter {
+	if maxInFlight <= 0 {
+		return nil
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &limiter{slots: make(chan struct{}, maxInFlight), maxQueue: int64(maxQueue)}
+}
+
+// acquire claims an execution slot, waiting in the bounded queue when all
+// slots are busy. It returns a release func on success; errShed when the
+// queue is full; ctx.Err() when the caller's context dies while queued.
+func (l *limiter) acquire(ctx context.Context) (func(), error) {
+	select {
+	case l.slots <- struct{}{}:
+		return func() { <-l.slots }, nil
+	default:
+	}
+	if l.queued.Add(1) > l.maxQueue {
+		l.queued.Add(-1)
+		return nil, errShed
+	}
+	defer l.queued.Add(-1)
+	select {
+	case l.slots <- struct{}{}:
+		return func() { <-l.slots }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// inFlight reports the number of currently admitted requests.
+func (l *limiter) inFlight() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.slots)
+}
+
+// admit wraps the expensive query handlers with the admission controller:
+// shed requests get 503 with a Retry-After hint and are never queued
+// unboundedly. A nil limiter (MaxInFlight <= 0) admits everything.
+func (s *Server) admit(next http.HandlerFunc) http.HandlerFunc {
+	if s.lim == nil {
+		return next
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		release, err := s.lim.acquire(r.Context())
+		if err != nil {
+			s.shed.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
+			httpError(w, http.StatusServiceUnavailable, errShed)
+			return
+		}
+		defer release()
+		next(w, r)
+	}
+}
+
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// withDeadline attaches the per-request query timeout to the request
+// context, so the deadline propagates through Engine.RecommendCtx into the
+// EMD refinement workers.
+func (s *Server) withDeadline(next http.HandlerFunc) http.HandlerFunc {
+	if s.cfg.QueryTimeout <= 0 {
+		return next
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueryTimeout)
+		defer cancel()
+		next(w, r.WithContext(ctx))
+	}
+}
+
+// recoverPanics converts a handler panic into a 500 response and keeps the
+// process alive. net/http would also swallow the panic (per-connection
+// recover), but without this middleware the client sees a torn connection
+// instead of an error body, and nothing counts the event.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				s.panics.Add(1)
+				log.Printf("server: recovered panic in %s %s: %v", r.Method, r.URL.Path, p)
+				httpError(w, http.StatusInternalServerError, fmt.Errorf("internal panic: %v", p))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}

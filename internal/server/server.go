@@ -3,35 +3,105 @@
 // they are uploaded, anonymous viewers ask for recommendations against the
 // clip they are watching, and comment traffic streams through the
 // incremental maintenance path.
+//
+// The serving path is deadline-aware and overload-safe: request contexts
+// thread into the engine's EMD refinement workers (a dropped client stops
+// burning CPU), an admission controller sheds excess load with 503 +
+// Retry-After instead of queueing unboundedly, near-deadline queries answer
+// degraded (coarse SAR ranking) rather than timing out, and handler panics
+// become 500s without killing the process.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"videorec"
+	"videorec/internal/faults"
 )
 
-// Server wraps an engine with HTTP handlers. Create with New, mount
-// Handler().
-type Server struct {
-	eng          *videorec.Engine
-	snapshotPath string
-	queries      atomic.Int64
-	cache        *resultCache
+// StatusClientClosedRequest is the non-standard (nginx-convention) status
+// recorded when the client canceled the request before the answer was
+// ready; nobody reads the response, but logs and stats should not count it
+// as a server fault.
+const StatusClientClosedRequest = 499
+
+// Config tunes the serving resilience layer. The zero value disables
+// admission control and per-request timeouts (suitable for tests and
+// embedded use); cmd/vrecd wires all of it to flags.
+type Config struct {
+	// SnapshotPath, when non-empty, is where POST /snapshot persists the
+	// engine.
+	SnapshotPath string
+	// MaxInFlight bounds concurrently executing recommendation queries.
+	// <= 0 disables admission control.
+	MaxInFlight int
+	// MaxQueue bounds how many queries may wait for an execution slot before
+	// newcomers are shed. 0 with MaxInFlight > 0 defaults to MaxInFlight.
+	MaxQueue int
+	// QueryTimeout is the per-request deadline for recommendation queries;
+	// 0 means no deadline. The engine degrades (coarse SAR answer) rather
+	// than erroring when the deadline is near.
+	QueryTimeout time.Duration
+	// MaxK caps the k query parameter; 0 defaults to 100.
+	MaxK int
+	// RetryAfter is the hint sent with shed (503) responses; 0 defaults to
+	// 1s.
+	RetryAfter time.Duration
+	// CacheSize is the result LRU capacity; 0 defaults to 512.
+	CacheSize int
 }
 
-// New wraps the engine. snapshotPath, when non-empty, is where POST
-// /snapshot persists the engine. Stored-clip recommendations are cached in
-// an LRU keyed by the engine's view version: mutations publish a new view
-// (bumping the version) instead of purging, so hits against the live view
-// keep being served while entries of lapsed views age out of the LRU.
+// Server wraps an engine with HTTP handlers. Create with New or
+// NewWithConfig, mount Handler().
+type Server struct {
+	eng     *videorec.Engine
+	cfg     Config
+	queries atomic.Int64
+	cache   *resultCache
+	lim     *limiter
+
+	snapMu sync.Mutex // serializes POST /snapshot
+
+	shed     atomic.Int64 // requests rejected by admission control
+	degraded atomic.Int64 // queries answered with the coarse ranking
+	panics   atomic.Int64 // handler panics recovered
+}
+
+// New wraps the engine with default (disabled) resilience settings.
+// snapshotPath, when non-empty, is where POST /snapshot persists the
+// engine. Stored-clip recommendations are cached in an LRU keyed by the
+// engine's view version: mutations publish a new view (bumping the version)
+// instead of purging, so hits against the live view keep being served while
+// entries of lapsed views age out of the LRU.
 func New(eng *videorec.Engine, snapshotPath string) *Server {
-	return &Server{eng: eng, snapshotPath: snapshotPath, cache: newResultCache(512)}
+	return NewWithConfig(eng, Config{SnapshotPath: snapshotPath})
+}
+
+// NewWithConfig wraps the engine with explicit resilience settings.
+func NewWithConfig(eng *videorec.Engine, cfg Config) *Server {
+	if cfg.MaxK <= 0 {
+		cfg.MaxK = 100
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 512
+	}
+	if cfg.MaxInFlight > 0 && cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = cfg.MaxInFlight
+	}
+	return &Server{
+		eng:   eng,
+		cfg:   cfg,
+		cache: newResultCache(cfg.CacheSize),
+		lim:   newLimiter(cfg.MaxInFlight, cfg.MaxQueue),
+	}
 }
 
 // ClipJSON is the wire form of videorec.Clip.
@@ -50,6 +120,16 @@ type FrameJSON struct {
 	W   int       `json:"w"`
 	H   int       `json:"h"`
 	Pix []float64 `json:"pix"`
+}
+
+// RecommendResponse is the wire form of a recommendation answer. Degraded
+// marks coarse SAR-ranked results returned because the request deadline
+// left no room for full EMD refinement — still a usable ranking, but worth
+// surfacing to clients that may retry with a longer budget.
+type RecommendResponse struct {
+	Results     []videorec.Recommendation `json:"results"`
+	Degraded    bool                      `json:"degraded"`
+	ViewVersion uint64                    `json:"viewVersion"`
 }
 
 func (c ClipJSON) clip() videorec.Clip {
@@ -76,16 +156,19 @@ func (c ClipJSON) clip() videorec.Clip {
 //	POST /updates           apply new comments ({"videoID": ["user", ...]})
 //	POST /snapshot          persist the engine to the configured path
 //	GET  /stats             engine statistics
+//
+// Recommendation routes run behind the admission controller and the
+// per-request deadline; every route runs behind panic recovery.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /videos", s.handleAddVideo)
 	mux.HandleFunc("POST /build", s.handleBuild)
-	mux.HandleFunc("GET /recommend", s.handleRecommend)
-	mux.HandleFunc("POST /recommend", s.handleRecommendClip)
+	mux.HandleFunc("GET /recommend", s.admit(s.withDeadline(s.handleRecommend)))
+	mux.HandleFunc("POST /recommend", s.admit(s.withDeadline(s.handleRecommendClip)))
 	mux.HandleFunc("POST /updates", s.handleUpdates)
 	mux.HandleFunc("POST /snapshot", s.handleSnapshot)
 	mux.HandleFunc("GET /stats", s.handleStats)
-	return mux
+	return s.recoverPanics(mux)
 }
 
 func (s *Server) handleAddVideo(w http.ResponseWriter, r *http.Request) {
@@ -108,27 +191,42 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	if err := faults.Inject(faults.ServerRecommend); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
 	id := r.URL.Query().Get("id")
 	if id == "" {
 		httpError(w, http.StatusBadRequest, errors.New("missing id parameter"))
 		return
 	}
-	k := queryInt(r, "k", 10)
-	if recs, ok := s.cache.get(cacheKey(s.eng.Version(), id, k)); ok {
+	k, err := s.queryK(r, 10)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	version := s.eng.Version()
+	if recs, ok := s.cache.get(cacheKey(version, id, k)); ok {
 		s.queries.Add(1)
-		writeJSON(w, recs)
+		writeJSON(w, RecommendResponse{Results: recs, ViewVersion: version})
 		return
 	}
 	// Miss: compute against the live view and store under the version that
 	// actually answered (a mutation may have landed since the lookup).
-	recs, version, err := s.eng.RecommendVersioned(id, k)
+	recs, meta, err := s.eng.RecommendCtx(r.Context(), id, k)
 	if err != nil {
 		httpError(w, statusFor(err), err)
 		return
 	}
-	s.cache.put(cacheKey(version, id, k), recs)
+	if meta.Degraded {
+		// Degraded answers are deadline artifacts, not view state — caching
+		// them would serve coarse results to clients with generous budgets.
+		s.degraded.Add(1)
+	} else {
+		s.cache.put(cacheKey(meta.ViewVersion, id, k), recs)
+	}
 	s.queries.Add(1)
-	writeJSON(w, recs)
+	writeJSON(w, RecommendResponse{Results: recs, Degraded: meta.Degraded, ViewVersion: meta.ViewVersion})
 }
 
 func (s *Server) handleRecommendClip(w http.ResponseWriter, r *http.Request) {
@@ -137,14 +235,21 @@ func (s *Server) handleRecommendClip(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decode clip: %w", err))
 		return
 	}
-	k := queryInt(r, "k", 10)
-	recs, err := s.eng.RecommendClip(c.clip(), k)
+	k, err := s.queryK(r, 10)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	recs, meta, err := s.eng.RecommendClipCtx(r.Context(), c.clip(), k)
 	if err != nil {
 		httpError(w, statusFor(err), err)
 		return
 	}
+	if meta.Degraded {
+		s.degraded.Add(1)
+	}
 	s.queries.Add(1)
-	writeJSON(w, recs)
+	writeJSON(w, RecommendResponse{Results: recs, Degraded: meta.Degraded, ViewVersion: meta.ViewVersion})
 }
 
 func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
@@ -162,30 +267,42 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	if s.snapshotPath == "" {
+	if s.cfg.SnapshotPath == "" {
 		httpError(w, http.StatusConflict, errors.New("no snapshot path configured"))
 		return
 	}
-	if err := s.eng.SaveFile(s.snapshotPath); err != nil {
+	// Serialize snapshots: concurrent POSTs would race on the target path's
+	// temp files and hold the engine's writer lock back to back for nothing.
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	if err := s.eng.SaveFile(s.cfg.SnapshotPath); err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, map[string]any{"saved": s.snapshotPath})
+	writeJSON(w, map[string]any{"saved": s.cfg.SnapshotPath})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	hits, misses, size := s.cache.stats()
 	writeJSON(w, map[string]any{
-		"videos":         s.eng.Len(),
-		"subCommunities": s.eng.SubCommunities(),
-		"viewVersion":    s.eng.Version(),
-		"queriesServed":  s.queries.Load(),
-		"cacheHits":      hits,
-		"cacheMisses":    misses,
-		"cacheSize":      size,
+		"videos":          s.eng.Len(),
+		"subCommunities":  s.eng.SubCommunities(),
+		"viewVersion":     s.eng.Version(),
+		"queriesServed":   s.queries.Load(),
+		"cacheHits":       hits,
+		"cacheMisses":     misses,
+		"cacheSize":       size,
+		"inFlight":        s.lim.inFlight(),
+		"shedTotal":       s.shed.Load(),
+		"degradedTotal":   s.degraded.Load(),
+		"panicsRecovered": s.panics.Load(),
 	})
 }
 
+// statusFor maps engine errors to HTTP statuses. Context errors are serving
+// outcomes, not engine faults: a canceled client maps to 499 (nginx
+// convention; nobody reads it) and an expired deadline that could not
+// degrade maps to 504.
 func statusFor(err error) int {
 	switch {
 	case errors.Is(err, videorec.ErrNotFound):
@@ -194,18 +311,35 @@ func statusFor(err error) int {
 		return http.StatusConflict
 	case errors.Is(err, videorec.ErrNoFrames), errors.Is(err, videorec.ErrEmptyID):
 		return http.StatusBadRequest
+	case errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
 	default:
 		return http.StatusInternalServerError
 	}
 }
 
-func queryInt(r *http.Request, key string, def int) int {
-	if v := r.URL.Query().Get(key); v != "" {
-		if n, err := strconv.Atoi(v); err == nil && n > 0 {
-			return n
-		}
+// queryK parses the k query parameter: absent uses def, malformed or
+// non-positive values are a 400-worthy error (they were previously swallowed
+// into the default, masking client bugs), and values above the configured
+// maximum clamp to it.
+func (s *Server) queryK(r *http.Request, def int) (int, error) {
+	v := r.URL.Query().Get("k")
+	if v == "" {
+		return def, nil
 	}
-	return def
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("malformed k parameter %q: %v", v, err)
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("k parameter must be positive, got %d", n)
+	}
+	if n > s.cfg.MaxK {
+		return s.cfg.MaxK, nil
+	}
+	return n, nil
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

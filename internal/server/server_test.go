@@ -74,14 +74,17 @@ func TestIngestBuildRecommend(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("recommend status %d", resp.StatusCode)
 	}
-	var recs []videorec.Recommendation
-	if err := json.NewDecoder(resp.Body).Decode(&recs); err != nil {
+	var rr RecommendResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
 		t.Fatal(err)
 	}
-	if len(recs) == 0 || len(recs) > 3 {
-		t.Fatalf("got %d recommendations", len(recs))
+	if len(rr.Results) == 0 || len(rr.Results) > 3 {
+		t.Fatalf("got %d recommendations", len(rr.Results))
 	}
-	for _, r := range recs {
+	if rr.Degraded {
+		t.Error("undeadlined query flagged degraded")
+	}
+	for _, r := range rr.Results {
 		if r.VideoID == "clip-0" {
 			t.Error("self-recommendation")
 		}
@@ -96,11 +99,11 @@ func TestRecommendAdHocClip(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d", resp.StatusCode)
 	}
-	var recs []videorec.Recommendation
-	if err := json.NewDecoder(resp.Body).Decode(&recs); err != nil {
+	var rr RecommendResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
 		t.Fatal(err)
 	}
-	if len(recs) == 0 {
+	if len(rr.Results) == 0 {
 		t.Fatal("no recommendations for ad-hoc clip")
 	}
 }

@@ -265,8 +265,18 @@ func SimC(a, b Signature) float64 {
 // stay unmatched. |S1 ∪ S2| is |S1| + |S2| − #matched, following the
 // set-based measure of [35], and the numerator sums SimC over matched pairs.
 func KJ(s1, s2 Series, matchThreshold float64) float64 {
+	v, _ := KJCancel(s1, s2, matchThreshold, nil)
+	return v
+}
+
+// KJCancel is KJ with cooperative cancellation: cancelled (when non-nil) is
+// polled between EMD evaluations, and a true return abandons the computation
+// immediately — the second result reports whether the value is complete. A
+// single EMD over cuboid signatures is microseconds, so a deadline-expired
+// recommendation stops burning CPU within one evaluation of noticing.
+func KJCancel(s1, s2 Series, matchThreshold float64, cancelled func() bool) (float64, bool) {
 	if len(s1) == 0 || len(s2) == 0 {
-		return 0
+		return 0, true
 	}
 	type pair struct {
 		i, j int
@@ -286,6 +296,9 @@ func KJ(s1, s2 Series, matchThreshold float64) float64 {
 	pairs := make([]pair, 0, len(s1)*len(s2))
 	for i := range s1 {
 		for j := range s2 {
+			if cancelled != nil && cancelled() {
+				return 0, false
+			}
 			if matchThreshold > 0 {
 				lb := means1[i] - means2[j]
 				if lb < 0 {
@@ -317,7 +330,7 @@ func KJ(s1, s2 Series, matchThreshold float64) float64 {
 	}
 	union := float64(len(s1) + len(s2) - matched)
 	if union <= 0 {
-		return 0
+		return 0, true
 	}
-	return num / union
+	return num / union, true
 }

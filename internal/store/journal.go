@@ -2,12 +2,16 @@ package store
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"os"
 	"sync"
+
+	"videorec/internal/faults"
 )
 
 // Journal is an append-only log of comment batches — the write-ahead
@@ -51,6 +55,9 @@ func OpenJournal(path string) (*Journal, error) {
 func (j *Journal) Append(comments map[string][]string) error {
 	if len(comments) == 0 {
 		return nil
+	}
+	if err := faults.Inject(faults.JournalAppend); err != nil {
+		return fmt.Errorf("store: append journal: %w", err)
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -115,8 +122,73 @@ func ReplayJournal(r io.Reader, fn func(comments map[string][]string) error) (in
 	if err := sc.Err(); err != nil {
 		return replayed, fmt.Errorf("store: read journal: %w", err)
 	}
-	// pendingErr on the final line = truncated tail; tolerated.
+	if pendingErr != nil {
+		// pendingErr on the final line = a crash mid-append tore the tail.
+		// The valid prefix is the log; warn and carry on.
+		log.Printf("store: journal replay tolerating torn tail after %d batches: %v", replayed, pendingErr)
+	}
 	return replayed, nil
+}
+
+// RepairJournal truncates a torn final record (a crash mid-append) from the
+// journal at path, returning the number of bytes dropped. A missing file and
+// a clean journal both return 0. Corruption that is NOT confined to the
+// final record — a bad line with any data after it — is an error, exactly as
+// in ReplayJournal: repair must never silently discard valid batches.
+func RepairJournal(path string) (int64, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("store: open journal: %w", err)
+	}
+	defer f.Close()
+
+	br := bufio.NewReaderSize(f, 1<<16)
+	var offset int64   // bytes consumed so far
+	var validEnd int64 // end offset of the last valid complete record
+	badStart := int64(-1)
+	for {
+		line, rerr := br.ReadBytes('\n')
+		if len(line) == 0 && rerr == io.EOF {
+			break
+		}
+		if rerr != nil && rerr != io.EOF {
+			return 0, fmt.Errorf("store: read journal: %w", rerr)
+		}
+		start := offset
+		offset += int64(len(line))
+		if badStart >= 0 {
+			// Any line after a bad record — valid or not — means the damage
+			// is not a single torn tail.
+			return 0, fmt.Errorf("store: journal %s corrupt at byte %d with %d trailing bytes — not a torn tail", path, badStart, offset-badStart)
+		}
+		complete := rerr == nil // the line ended with '\n'
+		trimmed := bytes.TrimSpace(line)
+		switch {
+		case len(trimmed) == 0 && complete:
+			validEnd = offset // blank line: ReplayJournal skips these
+		case complete && json.Unmarshal(trimmed, new(entry)) == nil:
+			validEnd = offset
+		default:
+			badStart = start
+		}
+		if rerr == io.EOF {
+			break
+		}
+	}
+	if badStart < 0 {
+		return 0, nil
+	}
+	dropped := offset - validEnd
+	if err := f.Truncate(validEnd); err != nil {
+		return 0, fmt.Errorf("store: truncate torn tail: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return 0, fmt.Errorf("store: fsync journal: %w", err)
+	}
+	return dropped, nil
 }
 
 // ReplayJournalFile replays a journal from disk; a missing file replays

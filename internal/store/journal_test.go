@@ -2,10 +2,12 @@ package store
 
 import (
 	"bytes"
+
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"videorec/internal/faults"
 )
 
 func TestJournalAppendReplay(t *testing.T) {
@@ -130,5 +132,102 @@ func TestReplayCallbackErrorStops(t *testing.T) {
 	}
 	if calls != 1 {
 		t.Errorf("callback ran %d times after error, want 1", calls)
+	}
+}
+
+func TestRepairJournalTruncatesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "comments.wal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(map[string][]string{"v1": {"a"}})
+	j.Append(map[string][]string{"v2": {"b"}})
+	j.Close()
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash mid-append: a partial third record with no newline.
+	f, _ := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f.WriteString(`{"seq":3,"comments":{"v3":[`)
+	f.Close()
+
+	dropped, err := RepairJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped == 0 {
+		t.Fatal("torn tail not detected")
+	}
+	repaired, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(repaired, clean) {
+		t.Fatalf("repair did not restore the valid prefix:\n%q\nwant\n%q", repaired, clean)
+	}
+	// Appends after repair land cleanly and the whole file replays.
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.Append(map[string][]string{"v3": {"c"}})
+	j2.Close()
+	n, err := ReplayJournalFile(path, func(map[string][]string) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("replayed %d batches after repair+append, want 3", n)
+	}
+	// A second repair is a no-op.
+	if d, err := RepairJournal(path); err != nil || d != 0 {
+		t.Fatalf("repair of clean journal: dropped=%d err=%v", d, err)
+	}
+}
+
+func TestRepairJournalMissingFile(t *testing.T) {
+	if d, err := RepairJournal(filepath.Join(t.TempDir(), "absent.wal")); err != nil || d != 0 {
+		t.Fatalf("missing journal: dropped=%d err=%v", d, err)
+	}
+}
+
+func TestRepairJournalRejectsMidstreamCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.wal")
+	data := `{"seq":1,"comments":{"v":["a"]}}
+garbage that is not json
+{"seq":3,"comments":{"v":["b"]}}
+`
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RepairJournal(path); err == nil {
+		t.Fatal("midstream corruption repaired as if it were a torn tail")
+	}
+	// The file must be untouched by the refused repair.
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != data {
+		t.Fatal("refused repair still modified the journal")
+	}
+}
+
+func TestJournalAppendInjectedFault(t *testing.T) {
+	defer faults.Reset()
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	faults.Arm(faults.JournalAppend, faults.Error(nil))
+	if err := j.Append(map[string][]string{"v": {"u"}}); err == nil {
+		t.Fatal("injected append fault not surfaced")
+	}
+	if buf.Len() != 0 {
+		t.Fatal("failed append still wrote bytes")
+	}
+	faults.Reset()
+	if err := j.Append(map[string][]string{"v": {"u"}}); err != nil {
+		t.Fatal(err)
 	}
 }

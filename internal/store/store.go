@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"videorec/internal/core"
+	"videorec/internal/faults"
 )
 
 // Format constants.
@@ -71,10 +72,16 @@ func Load(r io.Reader) (*core.Snapshot, error) {
 	return &snap, nil
 }
 
-// SaveFile writes the snapshot to path atomically (write to a temp file in
-// the same directory, then rename).
+// SaveFile writes the snapshot to path crash-safely: the bytes go to a temp
+// file in the target's directory, are fsync'd, and only then rename into
+// place (with a directory fsync so the rename itself survives a power cut).
+// A crash at any point leaves either the old complete snapshot or the new
+// complete snapshot — never a torn file — plus at worst a stale .vrecsnap-*
+// temp that the next successful save of the same directory leaves behind
+// harmlessly.
 func SaveFile(path string, snap *core.Snapshot) error {
-	tmp, err := os.CreateTemp(dirOf(path), ".vrecsnap-*")
+	dir := dirOf(path)
+	tmp, err := os.CreateTemp(dir, ".vrecsnap-*")
 	if err != nil {
 		return fmt.Errorf("store: create temp: %w", err)
 	}
@@ -83,13 +90,36 @@ func SaveFile(path string, snap *core.Snapshot) error {
 		tmp.Close()
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: fsync temp: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("store: close temp: %w", err)
+	}
+	// The kill-during-snapshot point: the new bytes exist only under the
+	// temp name. Fault injection simulates dying here; the target must stay
+	// untouched.
+	if err := faults.Inject(faults.SnapshotCommit); err != nil {
+		return fmt.Errorf("store: commit snapshot: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("store: rename: %w", err)
 	}
+	syncDir(dir)
 	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable. Errors are
+// ignored: some filesystems refuse directory fsync and the rename is still
+// atomic on them.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
 }
 
 // LoadFile reads a snapshot from path.

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"videorec/internal/core"
+	"videorec/internal/faults"
 	"videorec/internal/social"
 	"videorec/internal/video"
 )
@@ -209,5 +210,60 @@ func BenchmarkSaveLoad(b *testing.B) {
 		if _, err := Load(&buf); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// A crash between writing the snapshot temp file and renaming it into place
+// (injected at faults.SnapshotCommit) must leave the previous snapshot
+// intact and loadable — the atomic-rename contract.
+func TestSaveFileCrashDuringCommitLeavesTargetIntact(t *testing.T) {
+	defer faults.Reset()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "eng.snap")
+	r := buildRecommender(t, 8, true)
+	if err := SaveFile(path, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Kill" the process at the commit point of the next save.
+	faults.Arm(faults.SnapshotCommit, faults.Error(nil))
+	r2 := buildRecommender(t, 12, true)
+	if err := SaveFile(path, r2.Snapshot()); err == nil {
+		t.Fatal("injected commit crash did not surface")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("target snapshot changed despite aborted commit")
+	}
+	snap, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("old snapshot unloadable after aborted save: %v", err)
+	}
+	restored, err := core.FromSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != 8 {
+		t.Fatalf("restored %d videos, want the pre-crash 8", restored.Len())
+	}
+
+	// Recovery: with the fault cleared the next save goes through.
+	faults.Reset()
+	if err := SaveFile(path, r2.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	snap2, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored2, err := core.FromSnapshot(snap2); err != nil || restored2.Len() != 12 {
+		t.Fatalf("post-recovery snapshot: len=%v err=%v", restored2.Len(), err)
 	}
 }

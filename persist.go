@@ -2,6 +2,7 @@ package videorec
 
 import (
 	"io"
+	"log"
 
 	"videorec/internal/core"
 	"videorec/internal/store"
@@ -67,7 +68,17 @@ func engineFromSnapshot(snap *core.Snapshot) (*Engine, error) {
 // every subsequent ApplyUpdates batch is logged before it is applied, so a
 // crash between snapshots loses no social updates. Pair with ReplayJournal
 // at startup.
+//
+// A torn final record — the previous process died mid-append — is truncated
+// away (with a logged warning) before the journal is opened for appending,
+// so new batches never land after garbage and the file replays cleanly on
+// the next restart. Corruption beyond a torn tail is an error.
 func (e *Engine) AttachJournal(path string) error {
+	if dropped, err := store.RepairJournal(path); err != nil {
+		return err
+	} else if dropped > 0 {
+		log.Printf("videorec: journal %s: truncated %d-byte torn tail from a previous crash", path, dropped)
+	}
 	j, err := store.OpenJournal(path)
 	if err != nil {
 		return err

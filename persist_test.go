@@ -2,9 +2,12 @@ package videorec
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"sync"
 	"testing"
+
+	"videorec/internal/faults"
 )
 
 func TestEngineSaveLoadRoundTrip(t *testing.T) {
@@ -304,5 +307,103 @@ func TestJournalRecoveryLargeBatches(t *testing.T) {
 				t.Fatalf("%s rank %d: %+v vs %+v", src, i, a[i], b[i])
 			}
 		}
+	}
+}
+
+// A crash mid-journal-append (torn final record) must not block restart:
+// replay tolerates the tail, AttachJournal truncates it, and new updates
+// journal cleanly after the old garbage is gone.
+func TestJournalRecoveryTornTail(t *testing.T) {
+	dir := t.TempDir()
+	snapPath := filepath.Join(dir, "eng.snap")
+	walPath := filepath.Join(dir, "comments.wal")
+
+	live, col := buildEngine(t, Options{})
+	if err := live.SaveFile(snapPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := live.AttachJournal(walPath); err != nil {
+		t.Fatal(err)
+	}
+	src := col.Queries[0].Sources[0]
+	if _, err := live.ApplyUpdates(map[string][]string{src: {"wal-user", col.Users[0]}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := live.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+	// The crash: a partial record at the tail.
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"seq":2,"comments":{"torn":[`)
+	f.Close()
+
+	// Restart: snapshot + tolerant replay + tail-truncating attach.
+	recovered, err := LoadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := recovered.ReplayJournal(walPath)
+	if err != nil {
+		t.Fatalf("replay with torn tail failed startup: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("replayed %d batches, want the 1 valid one", n)
+	}
+	if err := recovered.AttachJournal(walPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := recovered.ApplyUpdates(map[string][]string{src: {"post-crash-user", col.Users[1]}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := recovered.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The repaired journal replays end to end: 1 pre-crash + 1 post-crash.
+	third, err := LoadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, err := third.ReplayJournal(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 2 {
+		t.Fatalf("final replay saw %d batches, want 2", total)
+	}
+}
+
+// A process killed between writing the snapshot temp file and the rename
+// must leave the previous snapshot loadable — restart recovers the old
+// state instead of failing on a torn file.
+func TestSaveFileKillDuringSnapshotRecovers(t *testing.T) {
+	defer faults.Reset()
+	path := filepath.Join(t.TempDir(), "eng.snap")
+	eng, col := buildEngine(t, Options{})
+	if err := eng.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	src := col.Queries[0].Sources[0]
+	if _, err := eng.ApplyUpdates(map[string][]string{src: {"late-user", col.Users[0]}}); err != nil {
+		t.Fatal(err)
+	}
+	faults.Arm(faults.SnapshotCommit, faults.Error(nil))
+	if err := eng.SaveFile(path); err == nil {
+		t.Fatal("injected kill-during-snapshot not surfaced")
+	}
+	faults.Reset()
+
+	restored, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("restart after killed snapshot failed: %v", err)
+	}
+	if restored.Len() != eng.Len() {
+		t.Fatalf("restored %d clips, want %d", restored.Len(), eng.Len())
+	}
+	if _, err := restored.Recommend(src, 5); err != nil {
+		t.Fatalf("recovered engine unserviceable: %v", err)
 	}
 }

@@ -32,10 +32,12 @@
 package videorec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"videorec/internal/core"
 	"videorec/internal/social"
@@ -82,6 +84,11 @@ type Options struct {
 	// 0 uses GOMAXPROCS, 1 forces the serial path. Either way the ranking is
 	// bit-identical: parallelism changes latency, never results.
 	RefineWorkers int
+	// DegradeMargin is the deadline headroom below which the Ctx variants of
+	// Recommend skip (or abandon) EMD refinement and answer with the coarse
+	// SAR ranking, flagged degraded. 0 uses the default (20ms); negative
+	// disables degradation so tight deadlines fail with DeadlineExceeded.
+	DegradeMargin time.Duration
 }
 
 // Frame is one grayscale frame; intensities are clamped to [0, 255].
@@ -186,6 +193,7 @@ func New(opts Options) *Engine {
 	c.SocialOnly = opts.SocialOnly
 	c.FullScan = opts.ExhaustiveSearch
 	c.RefineWorkers = opts.RefineWorkers
+	c.DegradeMargin = opts.DegradeMargin
 	e := &Engine{rec: core.NewRecommender(c)}
 	e.cur.Store(&engineView{view: e.rec.Freeze(), version: 0})
 	return e
@@ -247,12 +255,22 @@ func (e *Engine) Build() {
 	e.publishLocked()
 }
 
+// RecommendMeta describes how a Ctx-variant query was answered: the view
+// version that served it (for version-keyed caches) and whether the answer
+// is degraded — coarse SAR-ranked results returned because the context
+// deadline left no room for full EMD refinement. Degraded results are
+// usable rankings, but serving layers should not cache them.
+type RecommendMeta struct {
+	ViewVersion uint64
+	Degraded    bool
+}
+
 // Recommend returns the topK most relevant stored videos for a stored clip,
 // excluding the clip itself. It runs entirely against the current immutable
 // view: no lock is taken and concurrent mutations never affect a query in
 // flight.
 func (e *Engine) Recommend(clipID string, topK int) ([]Recommendation, error) {
-	recs, _, err := e.RecommendVersioned(clipID, topK)
+	recs, _, err := e.RecommendCtx(context.Background(), clipID, topK)
 	return recs, err
 }
 
@@ -260,14 +278,30 @@ func (e *Engine) Recommend(clipID string, topK int) ([]Recommendation, error) {
 // the query, so serving layers can key caches by exactly the state a result
 // was computed from.
 func (e *Engine) RecommendVersioned(clipID string, topK int) ([]Recommendation, uint64, error) {
+	recs, meta, err := e.RecommendCtx(context.Background(), clipID, topK)
+	return recs, meta.ViewVersion, err
+}
+
+// RecommendCtx is Recommend with deadline-aware serving: cancellation is
+// honored cooperatively through the whole kNN pipeline (a canceled request
+// stops burning CPU within about one EMD evaluation and returns ctx.Err()),
+// and a deadline too tight for full refinement degrades to the coarse SAR
+// ranking instead of failing — see Options.DegradeMargin.
+func (e *Engine) RecommendCtx(ctx context.Context, clipID string, topK int) ([]Recommendation, RecommendMeta, error) {
 	cur := e.cur.Load()
+	meta := RecommendMeta{ViewVersion: cur.version}
 	if !cur.view.Built() {
-		return nil, cur.version, ErrNotBuilt
+		return nil, meta, ErrNotBuilt
 	}
 	if !cur.view.Has(clipID) {
-		return nil, cur.version, fmt.Errorf("%w: %s", ErrNotFound, clipID)
+		return nil, meta, fmt.Errorf("%w: %s", ErrNotFound, clipID)
 	}
-	return convert(cur.view.RecommendID(clipID, topK)), cur.version, nil
+	res, info, err := cur.view.RecommendIDCtx(ctx, clipID, topK)
+	if err != nil {
+		return nil, meta, err
+	}
+	meta.Degraded = info.Degraded
+	return convert(res), meta, nil
 }
 
 // RecommendClip recommends for an ad-hoc clip that is not in the collection
@@ -275,19 +309,36 @@ func (e *Engine) RecommendVersioned(clipID string, topK int) ([]Recommendation, 
 // visitor is currently watching. Extraction and search both run lock-free
 // against the current view.
 func (e *Engine) RecommendClip(clip Clip, topK int) ([]Recommendation, error) {
+	recs, _, err := e.RecommendClipCtx(context.Background(), clip, topK)
+	return recs, err
+}
+
+// RecommendClipCtx is RecommendClip with the deadline-aware semantics of
+// RecommendCtx. Signature extraction runs before the search and is not
+// cancellable; the kNN pipeline after it is.
+func (e *Engine) RecommendClipCtx(ctx context.Context, clip Clip, topK int) ([]Recommendation, RecommendMeta, error) {
+	cur := e.cur.Load()
+	meta := RecommendMeta{ViewVersion: cur.version}
 	if len(clip.Frames) == 0 {
-		return nil, ErrNoFrames
+		return nil, meta, ErrNoFrames
 	}
 	v, err := toVideo(clip)
 	if err != nil {
-		return nil, err
+		return nil, meta, err
 	}
-	cur := e.cur.Load()
 	if !cur.view.Built() {
-		return nil, ErrNotBuilt
+		return nil, meta, ErrNotBuilt
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, meta, err
 	}
 	q := cur.view.AdHocQuery(v, social.NewDescriptor(clip.Owner, clip.Commenters...))
-	return convert(cur.view.Recommend(q, topK, clip.ID)), nil
+	res, info, err := cur.view.RecommendCtx(ctx, q, topK, clip.ID)
+	if err != nil {
+		return nil, meta, err
+	}
+	meta.Degraded = info.Degraded
+	return convert(res), meta, nil
 }
 
 // Remove deletes a stored clip and publishes a view without it. Its index
@@ -389,10 +440,17 @@ func convert(in []core.Result) []Recommendation {
 // clip's frames — "the matched clips in content of a video" scenario: the
 // viewer is reacting to one scene, not the whole clip.
 func (e *Engine) RecommendSegment(clip Clip, from, to, topK int) ([]Recommendation, error) {
+	recs, _, err := e.RecommendSegmentCtx(context.Background(), clip, from, to, topK)
+	return recs, err
+}
+
+// RecommendSegmentCtx is RecommendSegment with the deadline-aware semantics
+// of RecommendCtx.
+func (e *Engine) RecommendSegmentCtx(ctx context.Context, clip Clip, from, to, topK int) ([]Recommendation, RecommendMeta, error) {
 	if from < 0 || to > len(clip.Frames) || from >= to {
-		return nil, fmt.Errorf("videorec: invalid segment [%d, %d) of %d frames", from, to, len(clip.Frames))
+		return nil, RecommendMeta{ViewVersion: e.Version()}, fmt.Errorf("videorec: invalid segment [%d, %d) of %d frames", from, to, len(clip.Frames))
 	}
 	sub := clip
 	sub.Frames = clip.Frames[from:to]
-	return e.RecommendClip(sub, topK)
+	return e.RecommendClipCtx(ctx, sub, topK)
 }
