@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build vet test test-race race bench experiments experiments-paper fuzz examples clean
+.PHONY: all check build vet test test-race race bench vrecbench vrecbench-short experiments experiments-paper fuzz examples clean
 
 all: check
 
@@ -25,6 +25,14 @@ race: test-race
 # One testing.B bench per paper table/figure plus ablations and microbenches.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Serving-path benchmark harness: fixed RecommendCtx workloads, JSON output
+# with ns/op, qps, allocs/op and latency percentiles (see README).
+vrecbench:
+	$(GO) run ./cmd/vrecbench -out BENCH_PR3.json
+
+vrecbench-short:
+	$(GO) run ./cmd/vrecbench -short -out bench-short.json
 
 # Regenerate every table and figure at the default (fast) scale.
 experiments:

@@ -1,0 +1,262 @@
+// Command vrecbench measures the serving-path performance of the
+// recommender over fixed synthetic workloads and writes the measurements as
+// JSON (BENCH_PR3.json checked into the repo records one run). Each workload
+// drives View.RecommendCtx — the same frozen-view entry point vrecd serves —
+// so the numbers include candidate gathering, refinement and top-K
+// selection; two κJ micro-workloads additionally isolate the compiled
+// vs. uncompiled refinement kernels to evidence the per-candidate
+// allocation behavior.
+//
+// Usage:
+//
+//	go run ./cmd/vrecbench -out BENCH_PR3.json
+//	go run ./cmd/vrecbench -short   # CI-sized run, seconds not minutes
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"videorec/internal/core"
+	"videorec/internal/dataset"
+	"videorec/internal/signature"
+	"videorec/internal/social"
+)
+
+// result is one workload's measurement row.
+type result struct {
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	QPS         float64 `json:"qps"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	P50Ns       int64   `json:"p50_ns"`
+	P99Ns       int64   `json:"p99_ns"`
+	Degraded    int     `json:"degraded,omitempty"`
+}
+
+type report struct {
+	GeneratedUnix int64    `json:"generated_unix"`
+	GoVersion     string   `json:"go_version"`
+	GOMAXPROCS    int      `json:"gomaxprocs"`
+	Hours         float64  `json:"hours"`
+	Users         int      `json:"users"`
+	Videos        int      `json:"videos"`
+	Seed          int64    `json:"seed"`
+	TopK          int      `json:"top_k"`
+	Results       []result `json:"results"`
+}
+
+func main() {
+	var (
+		out   = flag.String("out", "BENCH_PR3.json", "output JSON path")
+		short = flag.Bool("short", false, "CI-sized run: smaller collection, fewer iterations")
+		hours = flag.Float64("hours", 8, "collection size in video-hours")
+		users = flag.Int("users", 200, "community size")
+		seed  = flag.Int64("seed", 11, "dataset seed")
+		topK  = flag.Int("topk", 10, "recommendation depth")
+	)
+	flag.Parse()
+
+	iters := 300
+	if *short {
+		*hours, *users, iters = 4, 150, 60
+	}
+
+	log.Printf("generating %.0fh / %d users (seed %d)...", *hours, *users, *seed)
+	o := dataset.DefaultOptions()
+	o.Hours = *hours
+	o.Users = *users
+	o.Seed = *seed
+	col := dataset.Generate(o)
+
+	// Extract once; every workload's recommender ingests the same series.
+	sigOpts := signature.DefaultOptions()
+	series := make(map[string]signature.Series, len(col.Items))
+	descs := make(map[string]social.Descriptor, len(col.Items))
+	for _, it := range col.Items {
+		v := it.Render(o.Synth)
+		series[it.ID] = signature.Extract(v, sigOpts)
+		v.ReleaseFrames()
+		var commenters []string
+		for _, cm := range it.Comments {
+			if cm.Month < col.Opts.MonthsSource {
+				commenters = append(commenters, cm.User)
+			}
+		}
+		descs[it.ID] = social.NewDescriptor(it.Owner, commenters...)
+	}
+
+	build := func(mutate func(*core.Options)) *core.View {
+		opts := core.DefaultOptions()
+		opts.K = 12
+		if mutate != nil {
+			mutate(&opts)
+		}
+		r := core.NewRecommender(opts)
+		for _, it := range col.Items {
+			r.IngestSeries(it.ID, series[it.ID], descs[it.ID])
+		}
+		r.BuildSocial()
+		return r.Freeze()
+	}
+
+	queries := make([]string, 0, len(col.Items))
+	for _, it := range col.Items {
+		queries = append(queries, it.ID)
+	}
+	sort.Strings(queries)
+
+	rep := report{
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Hours:         *hours,
+		Users:         *users,
+		Videos:        len(col.Items),
+		Seed:          *seed,
+		TopK:          *topK,
+	}
+
+	type workload struct {
+		name   string
+		iters  int
+		mutate func(*core.Options)
+		// deadline, when nonzero, is attached to every query's context;
+		// inside the degrade margin it forces the coarse-answer path.
+		deadline time.Duration
+	}
+	workloads := []workload{
+		{name: "recommend/sarhash/parallel", iters: iters, mutate: func(o *core.Options) { o.Mode = core.ModeSARHash }},
+		{name: "recommend/sarhash/serial", iters: iters, mutate: func(o *core.Options) { o.Mode = core.ModeSARHash; o.RefineWorkers = 1 }},
+		{name: "recommend/sar/serial", iters: iters, mutate: func(o *core.Options) { o.Mode = core.ModeSAR; o.RefineWorkers = 1 }},
+		{name: "recommend/exact/fullscan", iters: max(iters/10, 5), mutate: func(o *core.Options) { o.Mode = core.ModeExact }},
+		{name: "recommend/sarhash/degraded", iters: iters, mutate: func(o *core.Options) { o.Mode = core.ModeSARHash }, deadline: 15 * time.Millisecond},
+	}
+
+	for _, wl := range workloads {
+		v := build(wl.mutate)
+		r := runWorkload(wl.name, wl.iters, func(i int) (bool, error) {
+			ctx := context.Background()
+			if wl.deadline > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithDeadline(ctx, time.Now().Add(wl.deadline))
+				defer cancel()
+			}
+			id := queries[i%len(queries)]
+			q, ok := v.QueryFor(id)
+			if !ok {
+				return false, fmt.Errorf("missing query %s", id)
+			}
+			res, info, err := v.RecommendCtx(ctx, q, *topK, id)
+			if err == nil && len(res) == 0 {
+				return false, fmt.Errorf("query %s returned no results", id)
+			}
+			return info.Degraded, err
+		})
+		rep.Results = append(rep.Results, r)
+		log.Printf("%-28s %10.0f ns/op  %8.1f qps  %7.0f allocs/op  p99 %s",
+			r.Name, r.NsPerOp, r.QPS, r.AllocsPerOp, time.Duration(r.P99Ns))
+	}
+
+	// κJ micro-workloads: one refinement step (query vs. stored candidate),
+	// compiled kernel with a warmed scratch vs. the uncompiled reference.
+	// The allocs_per_op gap between these two rows is the per-candidate
+	// allocation reduction of the compiled representation.
+	v := build(nil)
+	ids := v.SortedIDs()
+	q, _ := v.QueryFor(ids[0])
+	recs := make([]*core.Record, 0, len(ids))
+	for _, id := range ids[1:] {
+		rec, _ := v.Record(id)
+		recs = append(recs, rec)
+	}
+	threshold := v.Options().MatchThreshold
+	kjIters := iters * 40
+
+	var scratch signature.KJScratch
+	qc := signature.CompileSeries(q.Series)
+	for _, rec := range recs { // warm the scratch high-water mark
+		signature.KJCancelCompiled(qc, rec.Compiled, threshold, nil, &scratch)
+	}
+	rep.Results = append(rep.Results, logRow(runWorkload("kj/compiled", kjIters, func(i int) (bool, error) {
+		signature.KJCancelCompiled(qc, recs[i%len(recs)].Compiled, threshold, nil, &scratch)
+		return false, nil
+	})))
+	rep.Results = append(rep.Results, logRow(runWorkload("kj/uncompiled", kjIters, func(i int) (bool, error) {
+		signature.KJCancel(q.Series, recs[i%len(recs)].Series, threshold, nil)
+		return false, nil
+	})))
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", *out)
+}
+
+// runWorkload times iters calls of op, recording wall-clock latency per call
+// and heap-allocation deltas across the whole loop.
+func runWorkload(name string, iters int, op func(i int) (bool, error)) result {
+	// A few warm-up calls populate caches (lazy compiles, map growth) so the
+	// measured loop sees steady state.
+	for i := 0; i < min(iters, 3); i++ {
+		if _, err := op(i); err != nil {
+			log.Fatalf("%s warm-up: %v", name, err)
+		}
+	}
+	lat := make([]time.Duration, iters)
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	degraded := 0
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		t0 := time.Now()
+		deg, err := op(i)
+		lat[i] = time.Since(t0)
+		if err != nil {
+			log.Fatalf("%s iter %d: %v", name, i, err)
+		}
+		if deg {
+			degraded++
+		}
+	}
+	total := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+	pct := func(p float64) int64 {
+		idx := int(p * float64(iters-1))
+		return lat[idx].Nanoseconds()
+	}
+	return result{
+		Name:        name,
+		Iters:       iters,
+		NsPerOp:     float64(total.Nanoseconds()) / float64(iters),
+		QPS:         float64(iters) / total.Seconds(),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(iters),
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(iters),
+		P50Ns:       pct(0.50),
+		P99Ns:       pct(0.99),
+		Degraded:    degraded,
+	}
+}
+
+func logRow(r result) result {
+	log.Printf("%-28s %10.0f ns/op  %8.1f qps  %7.0f allocs/op  p99 %s",
+		r.Name, r.NsPerOp, r.QPS, r.AllocsPerOp, time.Duration(r.P99Ns))
+	return r
+}

@@ -4,6 +4,7 @@
 //
 //	vrecd [-addr :8080] [-snapshot engine.snap] [-demo hours]
 //	      [-query-timeout 2s] [-max-inflight 256] [-max-queue N] [-max-k 100]
+//	      [-pprof localhost:6060]
 //
 // With -demo N the server starts pre-loaded with an N-hour synthetic
 // community, ready to answer /recommend immediately. The resilience flags
@@ -20,6 +21,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux; served only via -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -40,7 +42,20 @@ func main() {
 	maxQueue := flag.Int("max-queue", 0, "max queries queued for a slot before shedding (0 = same as -max-inflight)")
 	maxK := flag.Int("max-k", 100, "cap on the k query parameter")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on shed (503) responses")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// The pprof mux stays off the serving listener so profiling endpoints
+		// are never exposed on the public address and profile downloads don't
+		// compete with query traffic for the serving accept loop.
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	eng, err := bootstrap(*snapshot, *demo)
 	if err != nil {

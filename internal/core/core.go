@@ -105,23 +105,40 @@ func DefaultOptions() Options {
 }
 
 // Record is everything the recommender keeps per ingested video: the compact
-// signature series, the social descriptor, and (after BuildSocial) the SAR
-// descriptor vector. Frames are never retained. The fields of a published
-// Record are immutable: updates replace the Descriptor and Vector values
-// wholesale (and, under copy-on-write, the *Record itself), never edit them
-// in place.
+// signature series, its compiled form (sorted values, validated weights,
+// precomputed centroids — the representation the refinement kernel consumes),
+// the social descriptor, and (after BuildSocial) the SAR descriptor vector.
+// Frames are never retained. The fields of a published Record are immutable:
+// updates replace the Descriptor and Vector values wholesale (and, under
+// copy-on-write, the *Record itself), never edit them in place; Series and
+// Compiled are built together at ingest and never change.
 type Record struct {
-	ID     string
-	Series signature.Series
-	Desc   social.Descriptor
-	Vec    social.Vector
+	ID       string
+	Series   signature.Series
+	Compiled *signature.CompiledSeries
+	Desc     social.Descriptor
+	Vec      social.Vector
 }
 
 // Query is a recommendation input: the user-selected clip's signature series
-// and social descriptor (Q = (q_f, q_s) in §3).
+// and social descriptor (Q = (q_f, q_s) in §3). Queries built by QueryFor and
+// AdHocQuery carry a precompiled series; zero-value construction is still
+// valid — the query path compiles on demand.
 type Query struct {
 	Series signature.Series
 	Desc   social.Descriptor
+
+	comp *signature.CompiledSeries
+}
+
+// compiled returns the query's compiled series, building it if the query was
+// constructed without one (compilation is pure, so racing builders at worst
+// duplicate work).
+func (q Query) compiled() *signature.CompiledSeries {
+	if q.comp != nil {
+		return q.comp
+	}
+	return signature.CompileSeries(q.Series)
 }
 
 // Result is one recommended video with its fused score and the two
@@ -259,7 +276,12 @@ func (r *Recommender) IngestSeries(id string, series signature.Series, desc soci
 	if _, exists := s.records[id]; !exists {
 		s.order = append(s.order, id)
 	}
-	s.records[id] = &Record{ID: id, Series: series, Desc: desc}
+	s.records[id] = &Record{
+		ID:       id,
+		Series:   series,
+		Compiled: signature.CompileSeries(series),
+		Desc:     desc,
+	}
 	s.lsb.Add(id, series)
 	s.built = false
 }
@@ -378,7 +400,8 @@ func (r *Recommender) ExtractSeries(v *video.Video) signature.Series {
 // AdHocQuery builds a Query from a clip that is not part of the collection
 // — the anonymous visitor's currently-watched video.
 func (r *Recommender) AdHocQuery(v *video.Video, desc social.Descriptor) Query {
-	return Query{Series: signature.Extract(v, r.opts.Sig), Desc: desc}
+	series := signature.Extract(v, r.opts.Sig)
+	return Query{Series: series, Desc: desc, comp: signature.CompileSeries(series)}
 }
 
 // QueryFor builds a Query from a stored video id.

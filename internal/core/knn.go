@@ -11,6 +11,7 @@ import (
 	"videorec/internal/faults"
 	"videorec/internal/signature"
 	"videorec/internal/social"
+	"videorec/internal/topk"
 )
 
 // minParallelRefine is the candidate count below which step-3 refinement
@@ -83,9 +84,15 @@ func (v *View) RecommendCtx(ctx context.Context, q Query, topK int, exclude ...s
 	if err := ctx.Err(); err != nil {
 		return nil, info, err
 	}
-	skip := make(map[string]bool, len(exclude))
-	for _, id := range exclude {
-		skip[id] = true
+	// The common query excludes nothing (ad-hoc clips) or one id (stored
+	// queries); don't pay for a map when there is nothing to put in it —
+	// lookups on the nil map below are free and always miss.
+	var skip map[string]bool
+	if len(exclude) > 0 {
+		skip = make(map[string]bool, len(exclude))
+		for _, id := range exclude {
+			skip[id] = true
+		}
 	}
 
 	var qvec social.Vector
@@ -98,11 +105,12 @@ func (v *View) RecommendCtx(ctx context.Context, q Query, topK int, exclude ...s
 
 	// Candidate gathering, polling the context between probe steps.
 	done := ctx.Done()
-	candidates := make(map[string]bool)
+	var candidates map[string]bool
 	switch {
 	case v.opts.FullScan || (v.opts.Mode == ModeExact && useSocial):
 		// Unoptimized CSF (or an effectiveness run that wants exhaustive
 		// ranking): every stored video is refined.
+		candidates = make(map[string]bool, len(v.order))
 		for i, id := range v.order {
 			if i%cancelCheckStride == 0 && ctxDone(done) {
 				return nil, info, ctx.Err()
@@ -110,31 +118,31 @@ func (v *View) RecommendCtx(ctx context.Context, q Query, topK int, exclude ...s
 			candidates[id] = true
 		}
 	default:
+		candidates = make(map[string]bool, v.opts.CandidateLimit)
 		if useSocial {
 			// Step 1: social candidates ranked by s̃J; keep the budgeted top.
+			// Only CandidateLimit winners survive, so a bounded heap selects
+			// them in O(n log limit) without materializing or sorting the full
+			// inverted-file candidate list. The (s desc, id asc) order is
+			// total, so the kept set is exactly the full sort's prefix.
 			socCands := v.inv.Candidates(qvec)
 			type scored struct {
 				id string
 				s  float64
 			}
-			ranked := make([]scored, 0, len(socCands))
+			sel := topk.New(v.opts.CandidateLimit, func(a, b scored) bool {
+				if a.s != b.s {
+					return a.s < b.s
+				}
+				return a.id > b.id
+			})
 			for i, id := range socCands {
 				if i%cancelCheckStride == 0 && ctxDone(done) {
 					return nil, info, ctx.Err()
 				}
-				ranked = append(ranked, scored{id, social.ApproxJaccard(qvec, v.records[id].Vec)})
+				sel.Offer(scored{id, social.ApproxJaccard(qvec, v.records[id].Vec)})
 			}
-			sort.Slice(ranked, func(a, b int) bool {
-				if ranked[a].s != ranked[b].s {
-					return ranked[a].s > ranked[b].s
-				}
-				return ranked[a].id < ranked[b].id
-			})
-			budget := v.opts.CandidateLimit
-			for i, sc := range ranked {
-				if i >= budget {
-					break
-				}
+			for _, sc := range sel.Items() {
 				candidates[sc.id] = true
 			}
 		}
@@ -223,32 +231,59 @@ func (v *View) finishCoarse(ctx context.Context, q Query, qvec social.Vector, id
 	return topKResults(results, topK), *info, nil
 }
 
-// topKResults sorts by (score desc, id asc) and truncates to topK.
+// topKResults selects the topK best results under (score desc, id asc). When
+// the candidate set exceeds topK — the normal serving shape, hundreds of
+// refined candidates for a top-10 answer — a bounded heap selects the winners
+// in O(n log topK) instead of sorting everything; the order is total, so the
+// output is identical to sort-and-truncate.
 func topKResults(results []Result, topK int) []Result {
-	sort.Slice(results, func(a, b int) bool {
-		if results[a].Score != results[b].Score {
-			return results[a].Score > results[b].Score
+	worse := func(a, b Result) bool {
+		if a.Score != b.Score {
+			return a.Score < b.Score
 		}
-		return results[a].VideoID < results[b].VideoID
-	})
-	if len(results) > topK {
-		results = results[:topK]
+		return a.VideoID > b.VideoID
 	}
-	return results
+	if len(results) <= topK {
+		sort.Slice(results, func(a, b int) bool { return worse(results[b], results[a]) })
+		return results
+	}
+	sel := topk.New(topK, worse)
+	for _, r := range results {
+		sel.Offer(r)
+	}
+	return sel.Sorted()
 }
+
+// compiledRefine selects the κJ implementation refine uses: the compiled
+// zero-allocation kernel over the view's cached signature.CompiledSeries
+// (production default) or the reference uncompiled path over raw Series.
+// Tests flip it to prove the two produce bit-identical rankings; nothing else
+// should touch it.
+var compiledRefine = true
 
 // refine computes the fused relevance of every candidate. Candidates are
 // claimed from a shared atomic cursor (κJ cost varies with series length, so
 // static chunking would leave workers idle) and each result lands in the
 // slot of its candidate's index, keeping the output independent of
 // scheduling. Workers poll ctx between candidates and, through
-// signature.KJCancel, between individual EMD evaluations; the first
+// signature.KJCancelCompiled, between individual EMD evaluations; the first
 // cancellation or injected fault stops every worker claiming further work.
+//
+// Steady-state the content scoring allocates nothing: the query's series is
+// compiled once per query, every stored candidate's compiled series is cached
+// in the view, and each worker owns one signature.KJScratch reused across all
+// the candidates it claims (strictly per-worker — never shared, never
+// returned).
 func (v *View) refine(ctx context.Context, q Query, qvec social.Vector, ids []string, useContent, useSocial bool) ([]Result, error) {
 	done := ctx.Done()
 	var cancelled func() bool
 	if done != nil {
 		cancelled = func() bool { return ctxDone(done) }
+	}
+
+	var qc *signature.CompiledSeries
+	if useContent && compiledRefine {
+		qc = q.compiled()
 	}
 
 	var failure atomic.Pointer[error]
@@ -258,7 +293,7 @@ func (v *View) refine(ctx context.Context, q Query, qvec social.Vector, ids []st
 	}
 
 	results := make([]Result, len(ids))
-	score := func(i int) bool {
+	score := func(i int, scratch *signature.KJScratch) bool {
 		if err := faults.Inject(faults.RefineScore); err != nil {
 			fail(err)
 			return false
@@ -271,7 +306,13 @@ func (v *View) refine(ctx context.Context, q Query, qvec social.Vector, ids []st
 		var content, soc float64
 		if useContent {
 			if rec, ok := v.records[id]; ok {
-				kj, complete := signature.KJCancel(q.Series, rec.Series, v.opts.MatchThreshold, cancelled)
+				var kj float64
+				var complete bool
+				if qc != nil && rec.Compiled != nil {
+					kj, complete = signature.KJCancelCompiled(qc, rec.Compiled, v.opts.MatchThreshold, cancelled, scratch)
+				} else {
+					kj, complete = signature.KJCancel(q.Series, rec.Series, v.opts.MatchThreshold, cancelled)
+				}
 				if !complete {
 					fail(ctx.Err())
 					return false
@@ -299,8 +340,9 @@ func (v *View) refine(ctx context.Context, q Query, qvec social.Vector, ids []st
 		workers = len(ids)
 	}
 	if workers <= 1 || len(ids) < minParallelRefine {
+		var scratch signature.KJScratch
 		for i := range ids {
-			if !score(i) {
+			if !score(i, &scratch) {
 				return nil, *failure.Load()
 			}
 		}
@@ -313,12 +355,13 @@ func (v *View) refine(ctx context.Context, q Query, qvec social.Vector, ids []st
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var scratch signature.KJScratch
 			for failure.Load() == nil {
 				i := int(cursor.Add(1)) - 1
 				if i >= len(ids) {
 					return
 				}
-				if !score(i) {
+				if !score(i, &scratch) {
 					return
 				}
 			}

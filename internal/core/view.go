@@ -125,14 +125,15 @@ func (v *View) QueryFor(id string) (Query, bool) {
 	if !ok {
 		return Query{}, false
 	}
-	return Query{Series: rec.Series, Desc: rec.Desc}, true
+	return Query{Series: rec.Series, Desc: rec.Desc, comp: rec.Compiled}, true
 }
 
 // AdHocQuery builds a Query from a clip that is not part of the collection —
 // the anonymous visitor's currently-watched video. Extraction touches only
 // the view's immutable options, so it runs without any engine lock.
 func (v *View) AdHocQuery(vd *video.Video, desc social.Descriptor) Query {
-	return Query{Series: signature.Extract(vd, v.opts.Sig), Desc: desc}
+	series := signature.Extract(vd, v.opts.Sig)
+	return Query{Series: series, Desc: desc, comp: signature.CompileSeries(series)}
 }
 
 // ContentRelevance is κJ between the query and a stored video.

@@ -1,0 +1,127 @@
+package emd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// The zero-alloc merge kernel must agree exactly with the validating wrapper:
+// Distance1D is now defined as validate + stable-sort + Distance1DSorted, so
+// feeding the kernel pre-sorted copies of the same input must be bit-equal.
+func TestDistance1DSortedMatchesDistance1D(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v1, w1 := randomHist(r, 1+r.Intn(9))
+		v2, w2 := randomHist(r, 1+r.Intn(9))
+		want, err := Distance1D(v1, w1, v2, w2)
+		if err != nil {
+			return false
+		}
+		s1, ok1 := ValidateWeights(w1)
+		s2, ok2 := ValidateWeights(w2)
+		if !ok1 || !ok2 {
+			return false
+		}
+		SortByValue(v1, w1)
+		SortByValue(v2, w2)
+		got := Distance1DSorted(v1, w1, v2, w2, s1/s2)
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Tie-heavy inputs (duplicate positions within and across the two sets) must
+// still match the wrapper bit-for-bit: the kernel's set-1-first tie rule and
+// the stable per-set sort pin the summation order.
+func TestDistance1DSortedTies(t *testing.T) {
+	v1 := []float64{0.5, 0.5, 0.25, 0.5}
+	w1 := []float64{0.1, 0.2, 0.3, 0.4}
+	v2 := []float64{0.5, 0.25, 0.25}
+	w2 := []float64{0.6, 0.3, 0.1}
+	want, err := Distance1D(v1, w1, v2, w2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, _ := ValidateWeights(w1)
+	s2, _ := ValidateWeights(w2)
+	SortByValue(v1, w1)
+	SortByValue(v2, w2)
+	if got := Distance1DSorted(v1, w1, v2, w2, s1/s2); got != want {
+		t.Fatalf("sorted kernel %v != wrapper %v", got, want)
+	}
+}
+
+// The steady-state kernel must not allocate: it is called once per signature
+// pair inside refinement, hundreds of thousands of times per query workload.
+func TestDistance1DSortedZeroAlloc(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	v1, w1 := randomHist(r, 24)
+	v2, w2 := randomHist(r, 17)
+	SortByValue(v1, w1)
+	SortByValue(v2, w2)
+	var sink float64
+	allocs := testing.AllocsPerRun(200, func() {
+		sink += Distance1DSorted(v1, w1, v2, w2, 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("Distance1DSorted allocates %.1f/op, want 0", allocs)
+	}
+	_ = sink
+}
+
+func TestSortByValueStable(t *testing.T) {
+	v := []float64{2, 1, 2, 1}
+	w := []float64{10, 20, 30, 40}
+	SortByValue(v, w)
+	wantV := []float64{1, 1, 2, 2}
+	wantW := []float64{20, 40, 10, 30} // original order preserved within ties
+	for i := range v {
+		if v[i] != wantV[i] || w[i] != wantW[i] {
+			t.Fatalf("sorted to v=%v w=%v, want v=%v w=%v", v, w, wantV, wantW)
+		}
+	}
+}
+
+func TestValidateWeights(t *testing.T) {
+	if _, ok := ValidateWeights([]float64{0.5, -0.1}); ok {
+		t.Error("negative weight validated")
+	}
+	if _, ok := ValidateWeights([]float64{0, 0}); ok {
+		t.Error("zero mass validated")
+	}
+	if _, ok := ValidateWeights(nil); ok {
+		t.Error("empty weights validated")
+	}
+	mass, ok := ValidateWeights([]float64{0.25, 0.75})
+	if !ok || mass != 1 {
+		t.Errorf("ValidateWeights = (%g, %v), want (1, true)", mass, ok)
+	}
+}
+
+func TestMassMismatch(t *testing.T) {
+	if MassMismatch(1, 1) {
+		t.Error("equal masses flagged")
+	}
+	if MassMismatch(1, 1+5e-7) {
+		t.Error("within-tolerance mismatch flagged")
+	}
+	if !MassMismatch(1, 2) {
+		t.Error("2x mismatch not flagged")
+	}
+}
+
+func BenchmarkDistance1DSorted(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	v1, w1 := randomHist(r, 32)
+	v2, w2 := randomHist(r, 32)
+	SortByValue(v1, w1)
+	SortByValue(v2, w2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Distance1DSorted(v1, w1, v2, w2, 1)
+	}
+}

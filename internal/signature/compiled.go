@@ -1,0 +1,201 @@
+// Compiled signature representations: the per-pair κJ/SimC kernel is the
+// dominant cost of the Figure 6 kNN refinement, so everything that can be
+// derived once per stored video — sorted cuboid values, validated weights,
+// centroid mean, total mass — is precomputed here, and the steady-state
+// comparison path allocates nothing (scratch buffers owned by the caller,
+// one per refine worker).
+package signature
+
+import (
+	"sort"
+
+	"videorec/internal/emd"
+)
+
+// Compiled is one cuboid signature prepared for the zero-allocation EMD
+// kernel: values sorted ascending (stably, so compilation is a pure function
+// of the signature), weights aligned, and the quantities every comparison
+// re-derived — total mass, centroid mean, validity — computed once.
+//
+// Mean and Mass are accumulated in original cuboid order, exactly as
+// Signature.Mean and Signature.TotalMass do, so the compiled path is
+// bit-identical to the uncompiled one.
+type Compiled struct {
+	V, W []float64 // cuboid values/weights, stable-sorted by value
+	Mean float64   // Σ v·μ — the centroid the κJ lower-bound filter compares
+	Mass float64   // Σ μ (1 up to floating point for extracted signatures)
+	OK   bool      // non-empty, no negative weights, mass above solver tolerance
+}
+
+// Compile builds the compiled form of one signature.
+func Compile(s Signature) Compiled {
+	c := Compiled{
+		V: make([]float64, len(s.Cuboids)),
+		W: make([]float64, len(s.Cuboids)),
+	}
+	for i, cb := range s.Cuboids {
+		c.V[i] = cb.V
+		c.W[i] = cb.Mu
+		c.Mean += cb.V * cb.Mu
+	}
+	c.Mass, c.OK = emd.ValidateWeights(c.W)
+	if len(s.Cuboids) == 0 {
+		c.OK = false
+	}
+	emd.SortByValue(c.V, c.W)
+	return c
+}
+
+// CompiledSeries is a signature series compiled for refinement: one Compiled
+// per q-gram signature. It is immutable after construction and safe to share
+// across any number of concurrent readers; views cache one per stored video.
+type CompiledSeries struct {
+	Sigs []Compiled
+}
+
+// CompileSeries compiles every signature of a series. A nil or empty series
+// compiles to an empty CompiledSeries, which κJ treats exactly like the
+// empty raw series (relevance 0).
+func CompileSeries(s Series) *CompiledSeries {
+	cs := &CompiledSeries{Sigs: make([]Compiled, len(s))}
+	for i, sig := range s {
+		cs.Sigs[i] = Compile(sig)
+	}
+	return cs
+}
+
+// Len returns the number of compiled signatures.
+func (cs *CompiledSeries) Len() int { return len(cs.Sigs) }
+
+// SimCCompiled is Equation 3 over two compiled signatures. It is
+// bit-identical to SimC on the corresponding raw signatures and allocates
+// nothing.
+func SimCCompiled(a, b *Compiled) float64 {
+	if !a.OK || !b.OK || emd.MassMismatch(a.Mass, b.Mass) {
+		return 0
+	}
+	return emd.Similarity(emd.Distance1DSorted(a.V, a.W, b.V, b.W, a.Mass/b.Mass))
+}
+
+// kjPair is one above-threshold signature pair awaiting greedy matching.
+type kjPair struct {
+	i, j int
+	sim  float64
+}
+
+// pairHeap orders pairs by (sim desc, i asc, j asc) — the κJ greedy-matching
+// order. The tie-break makes the order total, so any sorting algorithm (and
+// any Go version) produces the same matching.
+type pairHeap []kjPair
+
+func (p *pairHeap) Len() int { return len(*p) }
+func (p *pairHeap) Less(a, b int) bool {
+	s := *p
+	if s[a].sim != s[b].sim {
+		return s[a].sim > s[b].sim
+	}
+	if s[a].i != s[b].i {
+		return s[a].i < s[b].i
+	}
+	return s[a].j < s[b].j
+}
+func (p *pairHeap) Swap(a, b int) {
+	s := *p
+	s[a], s[b] = s[b], s[a]
+}
+
+// KJScratch holds the buffers one κJ evaluation needs — candidate pairs and
+// the matched-row/column marks. A refine worker allocates one scratch and
+// reuses it across every candidate it scores; after the buffers have grown to
+// the workload's high-water mark, KJCancelCompiled performs no heap
+// allocation at all. A scratch must never be shared between concurrently
+// running evaluations.
+type KJScratch struct {
+	pairs pairHeap
+	usedI []bool
+	usedJ []bool
+}
+
+// grow readies the scratch for an s1×s2 evaluation.
+func (sc *KJScratch) grow(n1, n2 int) {
+	sc.pairs = sc.pairs[:0]
+	sc.usedI = growBools(sc.usedI, n1)
+	sc.usedJ = growBools(sc.usedJ, n2)
+}
+
+func growBools(b []bool, n int) []bool {
+	if cap(b) < n {
+		return make([]bool, n)
+	}
+	b = b[:n]
+	clear(b)
+	return b
+}
+
+// KJCompiled is KJ (Equation 4) over compiled series. It is bit-identical to
+// KJ on the corresponding raw series.
+func KJCompiled(s1, s2 *CompiledSeries, matchThreshold float64) float64 {
+	v, _ := KJCancelCompiled(s1, s2, matchThreshold, nil, nil)
+	return v
+}
+
+// KJCancelCompiled is KJCancel over compiled series: the extended Jaccard
+// with cooperative cancellation, computed through the zero-allocation merge
+// EMD kernel. scratch supplies the pair/match buffers; nil falls back to a
+// private allocation (convenience paths — hot loops pass a per-worker
+// scratch). cancelled, when non-nil, is polled between EMD evaluations; a
+// true return abandons the computation and the second result reports false.
+//
+// Results are bit-identical to KJCancel on the corresponding raw series: the
+// same centroid lower-bound filter, the same kernel arithmetic, and the same
+// (sim desc, i asc, j asc) greedy matching order.
+func KJCancelCompiled(s1, s2 *CompiledSeries, matchThreshold float64, cancelled func() bool, scratch *KJScratch) (float64, bool) {
+	if s1 == nil || s2 == nil || len(s1.Sigs) == 0 || len(s2.Sigs) == 0 {
+		return 0, true
+	}
+	if scratch == nil {
+		scratch = &KJScratch{}
+	}
+	scratch.grow(len(s1.Sigs), len(s2.Sigs))
+	for i := range s1.Sigs {
+		for j := range s2.Sigs {
+			if cancelled != nil && cancelled() {
+				return 0, false
+			}
+			// Centroid lower-bound filter ([35]): SimC ≤ 1/(1+|mean₁−mean₂|),
+			// so a pair whose bound is already below the threshold cannot
+			// match and the exact EMD is skipped. Exact pruning — results are
+			// unchanged. Means are precompiled, so the filter is two loads.
+			if matchThreshold > 0 {
+				lb := s1.Sigs[i].Mean - s2.Sigs[j].Mean
+				if lb < 0 {
+					lb = -lb
+				}
+				if 1/(1+lb) < matchThreshold {
+					continue
+				}
+			}
+			if sim := SimCCompiled(&s1.Sigs[i], &s2.Sigs[j]); sim >= matchThreshold {
+				scratch.pairs = append(scratch.pairs, kjPair{i, j, sim})
+			}
+		}
+	}
+	// Greedy maximum matching by similarity, ties broken (i asc, j asc).
+	sort.Sort(&scratch.pairs)
+	var num float64
+	matched := 0
+	for _, p := range scratch.pairs {
+		if scratch.usedI[p.i] || scratch.usedJ[p.j] {
+			continue
+		}
+		scratch.usedI[p.i] = true
+		scratch.usedJ[p.j] = true
+		num += p.sim
+		matched++
+	}
+	union := float64(len(s1.Sigs) + len(s2.Sigs) - matched)
+	if union <= 0 {
+		return 0, true
+	}
+	return num / union, true
+}

@@ -10,7 +10,6 @@ import (
 	"math"
 	"sort"
 
-	"videorec/internal/emd"
 	"videorec/internal/video"
 )
 
@@ -246,18 +245,13 @@ func mergeBlocks(f *video.Frame, g int, thresh float64) []int {
 }
 
 // SimC is Equation 3: 1/(1+EMD) between two signatures, using the 1-D
-// closed-form EMD (cuboid values are scalar).
+// closed-form EMD (cuboid values are scalar). It compiles both signatures on
+// the fly and runs the same merge kernel as SimCCompiled, so the two paths
+// are bit-identical; loops comparing stored signatures repeatedly should
+// compile once and use SimCCompiled instead.
 func SimC(a, b Signature) float64 {
-	if len(a.Cuboids) == 0 || len(b.Cuboids) == 0 {
-		return 0
-	}
-	av, aw := a.Values()
-	bv, bw := b.Values()
-	s, err := emd.Similarity1D(av, aw, bv, bw)
-	if err != nil {
-		return 0
-	}
-	return s
+	ca, cb := Compile(a), Compile(b)
+	return SimCCompiled(&ca, &cb)
 }
 
 // KJ is Equation 4: the extended Jaccard over two signature series. Pairs
@@ -274,6 +268,10 @@ func KJ(s1, s2 Series, matchThreshold float64) float64 {
 // immediately — the second result reports whether the value is complete. A
 // single EMD over cuboid signatures is microseconds, so a deadline-expired
 // recommendation stops burning CPU within one evaluation of noticing.
+//
+// KJCancel is the reference implementation over raw series; the serving hot
+// path uses KJCancelCompiled over precompiled series, which is bit-identical
+// (golden-tested) and allocation-free in steady state.
 func KJCancel(s1, s2 Series, matchThreshold float64, cancelled func() bool) (float64, bool) {
 	if len(s1) == 0 || len(s2) == 0 {
 		return 0, true
@@ -313,8 +311,18 @@ func KJCancel(s1, s2 Series, matchThreshold float64, cancelled func() bool) (flo
 			}
 		}
 	}
-	// Greedy maximum matching by similarity.
-	sort.Slice(pairs, func(a, b int) bool { return pairs[a].sim > pairs[b].sim })
+	// Greedy maximum matching by similarity. Ties are broken (i asc, j asc)
+	// so the order — and therefore the matching and the κJ value — is a pure
+	// function of the input, stable across sort algorithms and Go versions.
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].sim != pairs[b].sim {
+			return pairs[a].sim > pairs[b].sim
+		}
+		if pairs[a].i != pairs[b].i {
+			return pairs[a].i < pairs[b].i
+		}
+		return pairs[a].j < pairs[b].j
+	})
 	usedI := make([]bool, len(s1))
 	usedJ := make([]bool, len(s2))
 	var num float64

@@ -1,0 +1,95 @@
+package topk
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// intWorse orders plain ints: smaller is worse.
+func intWorse(a, b int) bool { return a < b }
+
+// Heap selection must return exactly what sort-everything-and-truncate
+// returns, for any stream and any k — the selector is a drop-in replacement
+// for the full sort, provided the ordering is total.
+func TestSelectorMatchesSort(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200)
+		k := 1 + rng.Intn(40)
+		xs := make([]int, n)
+		for i := range xs {
+			// A narrow value range forces duplicates; the int ordering is
+			// still total so duplicates may appear in any ordering among
+			// themselves — compare as sorted slices.
+			xs[i] = rng.Intn(50)
+		}
+		sel := New(k, intWorse)
+		for _, x := range xs {
+			sel.Offer(x)
+		}
+		got := sel.Sorted()
+
+		want := append([]int(nil), xs...)
+		sort.Sort(sort.Reverse(sort.IntSlice(want))) // best (largest) first
+		if len(want) > k {
+			want = want[:k]
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectorEdges(t *testing.T) {
+	sel := New(0, intWorse)
+	sel.Offer(1)
+	sel.Offer(2)
+	if sel.Len() != 0 || len(sel.Sorted()) != 0 {
+		t.Error("k=0 selector retained items")
+	}
+
+	sel = New(5, intWorse)
+	if got := sel.Sorted(); len(got) != 0 {
+		t.Errorf("empty selector Sorted = %v", got)
+	}
+
+	sel = New(5, intWorse)
+	sel.Offer(3)
+	sel.Offer(1)
+	if sel.Len() != 2 {
+		t.Errorf("Len = %d, want 2", sel.Len())
+	}
+	if got := sel.Items(); len(got) != 2 {
+		t.Errorf("Items = %v, want 2 entries", got)
+	}
+	got := sel.Sorted()
+	if len(got) != 2 || got[0] != 3 || got[1] != 1 {
+		t.Errorf("Sorted = %v, want [3 1]", got)
+	}
+}
+
+// Offer must not allocate once the selector is at capacity: step 1 offers
+// every social candidate through a hot loop.
+func TestSelectorOfferZeroAlloc(t *testing.T) {
+	sel := New(16, intWorse)
+	for i := 0; i < 16; i++ {
+		sel.Offer(i)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		sel.Offer(20)
+	})
+	if allocs != 0 {
+		t.Fatalf("Offer at capacity allocates %.1f/op, want 0", allocs)
+	}
+}
