@@ -50,6 +50,7 @@ fuzz:
 	$(GO) test ./internal/video/ -fuzz FuzzDecode -fuzztime 10s
 	$(GO) test ./internal/store/ -fuzz FuzzLoad -fuzztime 10s
 	$(GO) test ./internal/store/ -fuzz FuzzReplayJournal -fuzztime 10s
+	$(GO) test ./internal/store/ -fuzz FuzzReadTail -fuzztime 10s
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -2,8 +2,9 @@
 // shape of the paper's system. It optionally restores a snapshot at start
 // and persists one on demand (POST /snapshot) or on shutdown.
 //
-//	vrecd [-addr :8080] [-snapshot engine.snap] [-demo hours]
+//	vrecd [-addr :8080] [-snapshot engine.snap] [-journal engine.wal] [-demo hours]
 //	      [-query-timeout 2s] [-max-inflight 256] [-max-queue N] [-max-k 100]
+//	      [-replica-of http://primary:8080] [-max-replica-lag 64]
 //	      [-pprof localhost:6060]
 //
 // With -demo N the server starts pre-loaded with an N-hour synthetic
@@ -12,6 +13,13 @@
 // to -max-queue deep and are then shed with 503 + Retry-After, and queries
 // that outlive -query-timeout answer degraded (coarse SAR ranking) instead
 // of erroring.
+//
+// With -replica-of the process runs as a read-only replica: it bootstraps
+// from the primary's snapshot, tails its journal, rejects mutating requests
+// with 403, and reports ready on /readyz only once its replication lag is
+// within -max-replica-lag batches. -snapshot and -journal then name the
+// replica's local persistence, so restarts resume from local state instead
+// of re-downloading history.
 package main
 
 import (
@@ -29,6 +37,7 @@ import (
 
 	"videorec"
 	"videorec/internal/dataset"
+	"videorec/internal/replica"
 	"videorec/internal/server"
 )
 
@@ -42,6 +51,8 @@ func main() {
 	maxQueue := flag.Int("max-queue", 0, "max queries queued for a slot before shedding (0 = same as -max-inflight)")
 	maxK := flag.Int("max-k", 100, "cap on the k query parameter")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on shed (503) responses")
+	replicaOf := flag.String("replica-of", "", "run as a read-only replica of this primary URL")
+	maxReplicaLag := flag.Uint64("max-replica-lag", 64, "readiness threshold: max replication lag in batches")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 	flag.Parse()
 
@@ -57,34 +68,64 @@ func main() {
 		}()
 	}
 
-	eng, err := bootstrap(*snapshot, *demo)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if *journal != "" {
-		if n, err := eng.ReplayJournal(*journal); err != nil {
-			log.Fatalf("replay journal: %v", err)
-		} else if n > 0 {
-			log.Printf("replayed %d journaled update batches", n)
-		}
-		if err := eng.AttachJournal(*journal); err != nil {
-			log.Fatal(err)
-		}
-		defer eng.CloseJournal()
-	}
-	log.Printf("engine ready: %d videos, %d sub-communities, view v%d", eng.Len(), eng.SubCommunities(), eng.Version())
-
-	handler := server.NewWithConfig(eng, server.Config{
+	cfg := server.Config{
 		SnapshotPath: *snapshot,
 		MaxInFlight:  *maxInflight,
 		MaxQueue:     *maxQueue,
 		QueryTimeout: *queryTimeout,
 		MaxK:         *maxK,
 		RetryAfter:   *retryAfter,
-	}).Handler()
+	}
+
+	var eng *videorec.Engine
+	var runReplica func(context.Context)
+	if *replicaOf != "" {
+		rep, err := replica.Open(replica.Config{
+			Primary:      *replicaOf,
+			SnapshotPath: *snapshot,
+			JournalPath:  *journal,
+			Logf:         log.Printf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng = rep.Engine()
+		cfg.ReadOnly = true
+		cfg.SnapshotPath = "" // POST /snapshot is the primary's concern
+		cfg.ReadyChecks = []server.ReadyCheck{{
+			Name:  "replicaLag",
+			Check: func() error { return rep.Ready(*maxReplicaLag) },
+		}}
+		runReplica = func(ctx context.Context) {
+			rep.Run(ctx)
+			boots, batches, retries := rep.Stats()
+			log.Printf("replica stopped at seq %d (%d bootstraps, %d batches, %d retries)",
+				eng.AppliedSeq(), boots, batches, retries)
+		}
+		log.Printf("replicating from %s (ready under %d batches of lag)", *replicaOf, *maxReplicaLag)
+	} else {
+		var err error
+		if eng, err = bootstrap(*snapshot, *demo); err != nil {
+			log.Fatal(err)
+		}
+		if *journal != "" {
+			if n, err := eng.ReplayJournal(*journal); err != nil {
+				log.Fatalf("replay journal: %v", err)
+			} else if n > 0 {
+				log.Printf("replayed %d journaled update batches", n)
+			}
+			if err := eng.AttachJournal(*journal); err != nil {
+				log.Fatal(err)
+			}
+			cfg.ReadyChecks = append(cfg.ReadyChecks, server.JournalCheck(eng))
+		}
+	}
+	log.Printf("engine ready: %d videos, %d sub-communities, view v%d, seq %d",
+		eng.Len(), eng.SubCommunities(), eng.Version(), eng.AppliedSeq())
+
 	srv := &http.Server{
 		Addr:         *addr,
-		Handler:      handler,
+		Handler:      server.NewWithConfig(eng, cfg).Handler(),
 		ReadTimeout:  30 * time.Second,
 		WriteTimeout: 60 * time.Second,
 	}
@@ -94,22 +135,26 @@ func main() {
 			log.Fatal(err)
 		}
 	}()
+	repCtx, stopReplica := context.WithCancel(context.Background())
+	defer stopReplica()
+	if runReplica != nil {
+		go runReplica(repCtx)
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
 	log.Print("shutting down")
+	stopReplica()
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	if err := srv.Shutdown(ctx); err != nil {
-		log.Printf("shutdown: %v", err)
-	}
-	if *snapshot != "" {
-		if err := eng.SaveFile(*snapshot); err != nil {
-			log.Printf("save snapshot: %v", err)
-		} else {
-			log.Printf("snapshot saved to %s", *snapshot)
-		}
+	// Drain in order: stop accepting and wait out in-flight requests (which
+	// empties the admission limiter), write a final cursor-stamped snapshot,
+	// then flush and close the journal — no torn tail, nothing lost.
+	if err := server.Drain(ctx, srv, eng, *snapshot); err != nil {
+		log.Printf("drain: %v", err)
+	} else if *snapshot != "" {
+		log.Printf("snapshot saved to %s", *snapshot)
 	}
 }
 

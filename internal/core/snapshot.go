@@ -19,10 +19,18 @@ type Snapshot struct {
 	Order   []string
 
 	// Version records the view version of the engine that saved the
-	// snapshot — provenance only. A reloaded engine does not resume this
-	// counter: it publishes its restored state as view version 1, so cache
-	// keys from a previous process can never alias fresh state.
+	// snapshot. A reloaded engine resumes this counter — it publishes the
+	// restored state under the same version — so version-keyed caches and
+	// replication cursors stay monotonic across restarts. Aliasing is safe:
+	// the version identifies exactly the state that was saved.
 	Version uint64
+
+	// JournalSeq is the journal sequence number of the last update batch
+	// included in this snapshot — the replication cursor the snapshot
+	// covers. Replay and replica catch-up skip batches with seq ≤ JournalSeq
+	// instead of double-applying them. Zero for snapshots written before
+	// journal shipping (or by engines without a journal).
+	JournalSeq uint64
 
 	// Social machinery (present when BuildSocial had run).
 	Built         bool

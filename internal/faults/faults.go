@@ -29,6 +29,18 @@ const (
 	SnapshotCommit = "store.snapshot.commit"
 	// JournalAppend fires before a comment batch is written to the journal.
 	JournalAppend = "store.journal.append"
+	// ReplicaFetch fires before each replication HTTP request a replica
+	// makes to its primary — arm it with Latency for a slow link or with
+	// errors to drop requests entirely.
+	ReplicaFetch = "replica.fetch"
+	// ReplicationTail fires at the top of the primary's journal-tail
+	// handler — an armed error refuses the poll before any bytes are sent.
+	ReplicationTail = "server.replication.tail"
+	// ReplicationTailMid fires after the tail handler has computed its
+	// response — an armed error makes the handler send a partial body and
+	// abort the connection, the classic mid-stream failure replicas must
+	// survive.
+	ReplicationTailMid = "server.replication.tail.mid"
 )
 
 // ErrInjected is the error returned by the Error and FailN handlers.

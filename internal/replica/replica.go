@@ -1,0 +1,321 @@
+// Package replica implements the follower side of journal-shipping
+// replication: a puller loop that bootstraps from a primary's snapshot,
+// tails its journal over HTTP, and applies shipped comment batches to a
+// local read-only engine.
+//
+// The loop is self-healing by construction. Every failure mode collapses
+// into one of two recoveries:
+//
+//   - transient (connection refused, dropped response, torn mid-stream
+//     body, 5xx): retry the same request after an exponential backoff with
+//     jitter — delivery is at-least-once and application is idempotent, so
+//     redelivery is always safe;
+//   - unrecoverable locally (primary compacted its journal past our
+//     cursor → 410 Gone, or a sequence gap slipped through): throw the
+//     local state away and re-bootstrap from a fresh snapshot.
+//
+// When Config.JournalPath is set, every applied batch is journaled locally
+// under the primary's sequence numbers before application, so a replica
+// restart resumes from its own snapshot + journal without re-downloading
+// history, and the replica can itself serve as a bootstrap source.
+package replica
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"videorec"
+	"videorec/internal/faults"
+	"videorec/internal/server"
+)
+
+// ErrNotSynced is returned by Ready before the replica has completed its
+// first successful bootstrap or tail poll.
+var ErrNotSynced = errors.New("replica: not yet synced with primary")
+
+// Config tunes one replica's pull loop. Only Primary is required.
+type Config struct {
+	// Primary is the base URL of the primary's HTTP server,
+	// e.g. "http://primary:8080".
+	Primary string
+	// SnapshotPath, when set, persists a local snapshot after every
+	// bootstrap and lets Open resume from it on restart.
+	SnapshotPath string
+	// JournalPath, when set, journals every applied batch locally under the
+	// primary's sequence numbers (crash-safe restart without re-download).
+	JournalPath string
+	// Client is the HTTP client for all primary requests. Defaults to a
+	// client whose timeout accommodates the long-poll window.
+	Client *http.Client
+	// PollWait is the long-poll window requested from the primary's tail
+	// endpoint. Default 2s.
+	PollWait time.Duration
+	// MaxBatch bounds the entries pulled per tail poll. Default 256.
+	MaxBatch int
+	// BackoffMin/BackoffMax bound the exponential retry backoff.
+	// Defaults 50ms / 3s.
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// Logf receives progress and recovery logs. Nil disables logging.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) withDefaults() {
+	if c.PollWait <= 0 {
+		c.PollWait = 2 * time.Second
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.BackoffMin <= 0 {
+		c.BackoffMin = 50 * time.Millisecond
+	}
+	if c.BackoffMax < c.BackoffMin {
+		c.BackoffMax = 3 * time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: c.PollWait + 30*time.Second}
+	}
+}
+
+// Replica owns a local engine kept in sync with a primary. Create with
+// Open, drive with Run, serve reads from Engine().
+type Replica struct {
+	cfg Config
+	eng *videorec.Engine
+
+	needBoot bool // Run-goroutine only: next step must re-bootstrap
+
+	synced atomic.Bool   // at least one successful bootstrap or poll
+	head   atomic.Uint64 // primary's journal head from the last contact
+
+	// Counters for /stats-style introspection and tests.
+	bootstraps atomic.Uint64
+	batches    atomic.Uint64
+	retries    atomic.Uint64
+}
+
+// Open builds a replica, resuming from the local snapshot and journal when
+// they exist: the snapshot restores the engine at its stamped cursor, the
+// journal replays everything past it, and tailing continues from there. With
+// no local state the engine starts empty and the first Run step bootstraps
+// from the primary.
+func Open(cfg Config) (*Replica, error) {
+	cfg.withDefaults()
+	if cfg.Primary == "" {
+		return nil, errors.New("replica: Config.Primary is required")
+	}
+	eng := videorec.New(videorec.Options{})
+	if cfg.SnapshotPath != "" {
+		if _, err := os.Stat(cfg.SnapshotPath); err == nil {
+			restored, err := videorec.LoadFile(cfg.SnapshotPath)
+			if err != nil {
+				return nil, fmt.Errorf("replica: restore local snapshot: %w", err)
+			}
+			eng = restored
+		}
+	}
+	if cfg.JournalPath != "" {
+		if n, err := eng.ReplayJournal(cfg.JournalPath); err != nil {
+			return nil, fmt.Errorf("replica: replay local journal: %w", err)
+		} else if n > 0 && cfg.Logf != nil {
+			cfg.Logf("replica: replayed %d local journal batches", n)
+		}
+		if err := eng.AttachJournal(cfg.JournalPath); err != nil {
+			return nil, fmt.Errorf("replica: attach local journal: %w", err)
+		}
+	}
+	r := &Replica{cfg: cfg, eng: eng, needBoot: !eng.Built()}
+	return r, nil
+}
+
+// Engine returns the replica's local engine for read-only serving.
+func (r *Replica) Engine() *videorec.Engine { return r.eng }
+
+// Run pulls from the primary until ctx is cancelled. Transient errors back
+// off exponentially with jitter and never escape; the only return value is
+// ctx.Err().
+func (r *Replica) Run(ctx context.Context) error {
+	backoff := r.cfg.BackoffMin
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		err := r.step(ctx)
+		if err == nil {
+			backoff = r.cfg.BackoffMin
+			continue
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		r.retries.Add(1)
+		r.logf("replica: %v (retrying in %v)", err, backoff)
+		// Full jitter: sleep a uniformly random slice of the window so a
+		// fleet of replicas reconnecting after a primary restart does not
+		// stampede it in lockstep.
+		sleep := time.Duration(rand.Int63n(int64(backoff))) + backoff/2
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(sleep):
+		}
+		if backoff *= 2; backoff > r.cfg.BackoffMax {
+			backoff = r.cfg.BackoffMax
+		}
+	}
+}
+
+// step performs one unit of progress: a bootstrap when one is needed,
+// otherwise one tail poll.
+func (r *Replica) step(ctx context.Context) error {
+	if r.needBoot {
+		if err := r.bootstrap(ctx); err != nil {
+			return err
+		}
+		r.needBoot = false
+		r.synced.Store(true)
+		return nil
+	}
+	if err := r.tailOnce(ctx); err != nil {
+		return err
+	}
+	r.synced.Store(true)
+	return nil
+}
+
+// bootstrap downloads a full snapshot and reloads the engine in place. The
+// body is buffered before any state changes, so a download torn mid-stream
+// leaves the engine untouched.
+func (r *Replica) bootstrap(ctx context.Context) error {
+	if err := faults.Inject(faults.ReplicaFetch); err != nil {
+		return fmt.Errorf("fetch snapshot: %w", err)
+	}
+	resp, err := r.get(ctx, r.cfg.Primary+"/replication/snapshot")
+	if err != nil {
+		return fmt.Errorf("fetch snapshot: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fetch snapshot: primary answered %s", resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("fetch snapshot: %w", err)
+	}
+	if err := r.eng.Reload(bytes.NewReader(body)); err != nil {
+		return fmt.Errorf("load snapshot: %w", err)
+	}
+	r.head.Store(r.eng.AppliedSeq())
+	r.bootstraps.Add(1)
+	r.logf("replica: bootstrapped from %s at seq %d (view v%s)",
+		r.cfg.Primary, r.eng.AppliedSeq(), resp.Header.Get(server.HeaderViewVersion))
+	if r.cfg.SnapshotPath != "" {
+		if err := r.eng.SaveFile(r.cfg.SnapshotPath); err != nil {
+			// Local persistence is an optimization; replication goes on.
+			r.logf("replica: persist local snapshot: %v", err)
+		}
+	}
+	return nil
+}
+
+// tailOnce long-polls the primary's journal tail once and applies whatever
+// it returns. A 410 (our cursor predates the primary's compaction) and a
+// sequence gap both flip needBoot instead of erroring: they are expected
+// protocol outcomes with a defined recovery, not faults to back off from.
+func (r *Replica) tailOnce(ctx context.Context) error {
+	if err := faults.Inject(faults.ReplicaFetch); err != nil {
+		return fmt.Errorf("tail: %w", err)
+	}
+	after := r.eng.AppliedSeq()
+	url := fmt.Sprintf("%s/replication/tail?after=%d&max=%d&wait=%s",
+		r.cfg.Primary, after, r.cfg.MaxBatch, r.cfg.PollWait)
+	resp, err := r.get(ctx, url)
+	if err != nil {
+		return fmt.Errorf("tail: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		r.logf("replica: cursor %d compacted away on primary — re-bootstrapping", after)
+		r.needBoot = true
+		return nil
+	default:
+		return fmt.Errorf("tail: primary answered %s", resp.Status)
+	}
+	var tr server.TailResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		// Torn mid-stream: nothing was applied, the poll just retries.
+		return fmt.Errorf("tail: decode: %w", err)
+	}
+	for _, ent := range tr.Entries {
+		applied, err := r.eng.ApplyReplicated(ent.Seq, ent.Comments)
+		if errors.Is(err, videorec.ErrReplicationGap) {
+			r.logf("replica: %v — re-bootstrapping", err)
+			r.needBoot = true
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("apply seq %d: %w", ent.Seq, err)
+		}
+		if applied {
+			r.batches.Add(1)
+		}
+	}
+	r.head.Store(tr.Head)
+	return nil
+}
+
+func (r *Replica) get(ctx context.Context, url string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return r.cfg.Client.Do(req)
+}
+
+// Lag is the replica's distance behind the primary's last observed journal
+// head, in batches. Zero when caught up (or when the primary has not been
+// reached yet — pair with Ready, which gates on first contact).
+func (r *Replica) Lag() uint64 {
+	head, applied := r.head.Load(), r.eng.AppliedSeq()
+	if head <= applied {
+		return 0
+	}
+	return head - applied
+}
+
+// Ready reports whether the replica can serve: it has synced with the
+// primary at least once and its lag is within maxLag batches. Shaped for
+// server.ReadyCheck.
+func (r *Replica) Ready(maxLag uint64) error {
+	if !r.synced.Load() {
+		return ErrNotSynced
+	}
+	if lag := r.Lag(); lag > maxLag {
+		return fmt.Errorf("replica: lag %d batches exceeds threshold %d", lag, maxLag)
+	}
+	return nil
+}
+
+// Stats reports the loop's lifetime counters: completed bootstraps, applied
+// batches, and backoff retries.
+func (r *Replica) Stats() (bootstraps, batches, retries uint64) {
+	return r.bootstraps.Load(), r.batches.Load(), r.retries.Load()
+}
+
+func (r *Replica) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}

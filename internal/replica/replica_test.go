@@ -1,0 +1,256 @@
+package replica
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"videorec"
+	"videorec/internal/faults"
+	"videorec/internal/server"
+	"videorec/internal/video"
+)
+
+const clips = 6
+
+// newPrimary builds a journaled primary engine behind a real HTTP server.
+func newPrimary(t testing.TB, dir string) (*videorec.Engine, *httptest.Server) {
+	t.Helper()
+	eng := videorec.New(videorec.Options{SubCommunities: 6})
+	fans := []string{"ann", "ben", "cal", "dee"}
+	for i := 0; i < clips; i++ {
+		rng := rand.New(rand.NewSource(int64(i + 1)))
+		v := video.Synthesize(fmt.Sprintf("clip-%d", i), i%2, video.DefaultSynthOptions(), rng)
+		clip := videorec.Clip{ID: v.ID, FPS: v.FPS, Owner: fans[i%4], Commenters: fans}
+		for _, f := range v.Frames {
+			clip.Frames = append(clip.Frames, videorec.Frame{W: f.W, H: f.H, Pix: f.Pix})
+		}
+		if err := eng.Add(clip); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Build()
+	if err := eng.AttachJournal(filepath.Join(dir, "primary.wal")); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(eng, "").Handler())
+	t.Cleanup(ts.Close)
+	return eng, ts
+}
+
+func fastConfig(primary, dir string) Config {
+	return Config{
+		Primary:      primary,
+		SnapshotPath: filepath.Join(dir, "replica.snap"),
+		JournalPath:  filepath.Join(dir, "replica.wal"),
+		PollWait:     50 * time.Millisecond,
+		BackoffMin:   5 * time.Millisecond,
+		BackoffMax:   40 * time.Millisecond,
+	}
+}
+
+// waitCaughtUp polls until the replica's cursor reaches want.
+func waitCaughtUp(t testing.TB, eng *videorec.Engine, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for eng.AppliedSeq() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("replica stuck at seq %d, want %d", eng.AppliedSeq(), want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// assertIdenticalRankings demands bitwise-equal recommendations — IDs and
+// all three score components — for every clip on both engines.
+func assertIdenticalRankings(t testing.TB, primary, replica *videorec.Engine) {
+	t.Helper()
+	for i := 0; i < clips; i++ {
+		id := fmt.Sprintf("clip-%d", i)
+		want, err := primary.Recommend(id, clips)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := replica.Recommend(id, clips)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want) != len(got) {
+			t.Fatalf("%s: primary ranks %d, replica %d", id, len(want), len(got))
+		}
+		for j := range want {
+			if want[j] != got[j] {
+				t.Fatalf("%s rank %d: primary %+v, replica %+v", id, j, want[j], got[j])
+			}
+		}
+	}
+}
+
+func TestReplicaBootstrapAndCatchUp(t *testing.T) {
+	dir := t.TempDir()
+	primary, ts := newPrimary(t, dir)
+	for i := 0; i < 3; i++ {
+		if _, err := primary.ApplyUpdates(map[string][]string{"clip-0": {fmt.Sprintf("pre-%d", i), "ann"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rep, err := Open(fastConfig(ts.URL, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Ready(0); err == nil {
+		t.Fatal("replica ready before first sync")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { defer close(done); rep.Run(ctx) }()
+
+	waitCaughtUp(t, rep.Engine(), 3)
+	// Writes that land while the replica is tailing.
+	for i := 0; i < 4; i++ {
+		if _, err := primary.ApplyUpdates(map[string][]string{"clip-1": {fmt.Sprintf("live-%d", i), "ben"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitCaughtUp(t, rep.Engine(), 7)
+	if err := rep.Ready(0); err != nil {
+		t.Fatalf("caught-up replica not ready: %v", err)
+	}
+	assertIdenticalRankings(t, primary, rep.Engine())
+	cancel()
+	<-done
+}
+
+func TestReplicaRebootstrapsAfterCompaction(t *testing.T) {
+	dir := t.TempDir()
+	primary, ts := newPrimary(t, dir)
+	rep, err := Open(fastConfig(ts.URL, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); rep.Run(ctx) }()
+	waitCaughtUp(t, rep.Engine(), 0)
+	cancel()
+	<-done // replica offline
+
+	// While it is gone: more writes, then a snapshot+compaction that trims
+	// the journal past the replica's cursor.
+	for i := 0; i < 5; i++ {
+		if _, err := primary.ApplyUpdates(map[string][]string{"clip-2": {fmt.Sprintf("gone-%d", i), "cal"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := primary.SaveFileAndCompact(filepath.Join(dir, "primary.snap")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart from persisted local state: the stale cursor gets 410 from
+	// the tail and the replica must heal by re-bootstrapping.
+	rep2, err := Open(fastConfig(ts.URL, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	done2 := make(chan struct{})
+	go func() { defer close(done2); rep2.Run(ctx2) }()
+	waitCaughtUp(t, rep2.Engine(), primary.AppliedSeq())
+	if boots, _, _ := rep2.Stats(); boots == 0 {
+		t.Fatal("replica caught up without re-bootstrapping — compaction path untested")
+	}
+	assertIdenticalRankings(t, primary, rep2.Engine())
+	cancel2()
+	<-done2
+}
+
+// flaky returns a fault handler that fails with probability p and adds up
+// to maxDelay of latency — a lossy, slow replication link.
+func flaky(p float64, maxDelay time.Duration, seed int64) faults.Handler {
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(seed))
+	return func() error {
+		mu.Lock()
+		fail := rng.Float64() < p
+		delay := time.Duration(rng.Int63n(int64(maxDelay)))
+		mu.Unlock()
+		time.Sleep(delay)
+		if fail {
+			return faults.ErrInjected
+		}
+		return nil
+	}
+}
+
+// TestReplicaChaos is the partition/restart drill: a lossy, laggy link
+// (dropped requests, refused polls, responses torn mid-stream), compactions
+// racing the replica's cursor, and a forced replica restart from persisted
+// state in the middle — after all of which the replica must converge to
+// bitwise-identical recommendations.
+func TestReplicaChaos(t *testing.T) {
+	dir := t.TempDir()
+	primary, ts := newPrimary(t, dir)
+
+	faults.Arm(faults.ReplicaFetch, flaky(0.25, 2*time.Millisecond, 101))
+	faults.Arm(faults.ReplicationTail, flaky(0.15, time.Millisecond, 202))
+	faults.Arm(faults.ReplicationTailMid, flaky(0.20, time.Millisecond, 303))
+	defer faults.Reset()
+
+	cfg := fastConfig(ts.URL, dir)
+	cfg.PollWait = 20 * time.Millisecond
+	rep, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); rep.Run(ctx) }()
+
+	// The write storm: 40 batches, compacting the journal twice mid-storm
+	// so a lagging cursor can fall off the retained log.
+	for i := 0; i < 40; i++ {
+		if _, err := primary.ApplyUpdates(map[string][]string{
+			fmt.Sprintf("clip-%d", i%clips): {fmt.Sprintf("chaos-%d", i), "dee"},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if i == 15 || i == 30 {
+			if err := primary.SaveFileAndCompact(filepath.Join(dir, "primary.snap")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i == 20 {
+			// Forced replica crash mid-storm: kill the loop, then restart a
+			// fresh Replica from whatever state it persisted.
+			cancel()
+			<-done
+			if rep, err = Open(cfg); err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel = context.WithCancel(context.Background())
+			done = make(chan struct{})
+			go func() { defer close(done); rep.Run(ctx) }()
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	defer func() { cancel(); <-done }()
+
+	// The link stays faulty while the replica converges — self-healing must
+	// not depend on the faults going away.
+	waitCaughtUp(t, rep.Engine(), primary.AppliedSeq())
+	if err := rep.Ready(0); err != nil {
+		t.Fatalf("converged replica not ready: %v", err)
+	}
+	assertIdenticalRankings(t, primary, rep.Engine())
+	_, batches, retries := rep.Stats()
+	t.Logf("chaos: converged at seq %d after %d applied batches, %d retries",
+		rep.Engine().AppliedSeq(), batches, retries)
+}

@@ -1,0 +1,102 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"videorec"
+)
+
+// Health and readiness — what a load balancer needs to fail over without
+// guessing from /stats:
+//
+//	GET /healthz   process liveness: 200 whenever the handler can run
+//	GET /readyz    serving readiness: 200 only when every readiness check
+//	               passes (view built, journal attached when configured,
+//	               replica lag under threshold, ...)
+//
+// Liveness failing means restart the process; readiness failing means stop
+// routing queries here but leave it alone — a replica that is catching up
+// is alive and unready at the same time.
+
+// ReadyCheck is one named readiness condition. The name appears in the
+// /readyz response so operators can see which gate is failing.
+type ReadyCheck struct {
+	Name  string
+	Check func() error
+}
+
+// BuiltCheck is the baseline readiness gate every deployment wants: the
+// engine's published view must have its social machinery built, or every
+// /recommend would 409.
+func BuiltCheck(eng *videorec.Engine) ReadyCheck {
+	return ReadyCheck{Name: "viewBuilt", Check: func() error {
+		if !eng.Built() {
+			return errors.New("view not built")
+		}
+		return nil
+	}}
+}
+
+// JournalCheck gates readiness on an attached journal — a primary expected
+// to journal (and to ship its log to replicas) is not ready without one.
+func JournalCheck(eng *videorec.Engine) ReadyCheck {
+	return ReadyCheck{Name: "journalAttached", Check: func() error {
+		if attached, _, _, _ := eng.JournalStatus(); !attached {
+			return errors.New("journal not attached")
+		}
+		return nil
+	}}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{"ok": true})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	checks := make([]ReadyCheck, 0, 1+len(s.cfg.ReadyChecks))
+	checks = append(checks, BuiltCheck(s.eng))
+	checks = append(checks, s.cfg.ReadyChecks...)
+	status := make(map[string]string, len(checks))
+	ready := true
+	for _, c := range checks {
+		if err := c.Check(); err != nil {
+			ready = false
+			status[c.Name] = err.Error()
+		} else {
+			status[c.Name] = "ok"
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if !ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	writeJSON(w, map[string]any{"ready": ready, "checks": status})
+}
+
+// Drain shuts the deployment down without losing anything: stop accepting
+// connections and wait for in-flight requests (which drains the admission
+// limiter — every admitted query holds its slot until its handler returns),
+// then write a final snapshot stamped with the journal cursor, then flush
+// and close the journal. The order matters: queries finish before the
+// state is cut, and the journal outlives the snapshot so a crash inside
+// Drain itself still leaves snapshot + journal covering every batch.
+func Drain(ctx context.Context, hs *http.Server, eng *videorec.Engine, snapshotPath string) error {
+	var errs []error
+	if hs != nil {
+		if err := hs.Shutdown(ctx); err != nil {
+			errs = append(errs, fmt.Errorf("server: drain http: %w", err))
+		}
+	}
+	if snapshotPath != "" {
+		if err := eng.SaveFile(snapshotPath); err != nil {
+			errs = append(errs, fmt.Errorf("server: drain snapshot: %w", err))
+		}
+	}
+	if err := eng.CloseJournal(); err != nil {
+		errs = append(errs, fmt.Errorf("server: drain journal: %w", err))
+	}
+	return errors.Join(errs...)
+}

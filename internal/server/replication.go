@@ -1,0 +1,169 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"videorec/internal/faults"
+	"videorec/internal/store"
+)
+
+// Replication endpoints — the primary side of journal shipping.
+//
+//	GET /replication/snapshot          bootstrap snapshot (binary), cursor
+//	                                   in X-Vrec-Journal-Seq / X-Vrec-View-Version
+//	GET /replication/tail?after=N      journal entries with seq > N (JSON);
+//	    [&wait=2s] [&max=512]          long-polls up to wait when caught up;
+//	                                   410 Gone when N predates compaction
+//
+// Both require an attached journal: without one there is no replication log
+// to ship and the endpoints answer 409.
+
+// Headers carrying the bootstrap cursor alongside the snapshot bytes.
+const (
+	HeaderJournalSeq  = "X-Vrec-Journal-Seq"
+	HeaderViewVersion = "X-Vrec-View-Version"
+)
+
+// maxTailWait caps the long-poll window so load balancers and proxies with
+// conservative idle timeouts never see a tail poll as a hung request.
+const maxTailWait = 30 * time.Second
+
+// defaultTailMax bounds one tail response when the client does not say.
+const defaultTailMax = 512
+
+// TailResponse is the wire form of one journal-tail poll.
+type TailResponse struct {
+	// Head is the primary's newest journal sequence number — the replica's
+	// lag is Head minus its own cursor.
+	Head uint64 `json:"head"`
+	// Base is the compaction base; a future poll with a cursor below it
+	// will get 410.
+	Base uint64 `json:"base"`
+	// Version is the primary's current view version (diagnostics only).
+	Version uint64 `json:"version"`
+	// Entries are the shipped batches, in log order. Empty when the caller
+	// is caught up.
+	Entries []store.Entry `json:"entries"`
+}
+
+func (s *Server) handleReplicationSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.eng.JournalPath() == "" {
+		httpError(w, http.StatusConflict, errors.New("replication requires an attached journal (-journal)"))
+		return
+	}
+	// Buffer the snapshot instead of streaming: WriteReplicationSnapshot
+	// holds the engine's writer lock for a consistent (state, cursor) cut,
+	// and a slow replica must not hold that lock for its download.
+	var buf bytes.Buffer
+	cur, err := s.eng.WriteReplicationSnapshot(&buf)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(HeaderJournalSeq, strconv.FormatUint(cur.Seq, 10))
+	w.Header().Set(HeaderViewVersion, strconv.FormatUint(cur.SnapshotVersion, 10))
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	_, _ = w.Write(buf.Bytes())
+}
+
+func (s *Server) handleReplicationTail(w http.ResponseWriter, r *http.Request) {
+	if err := faults.Inject(faults.ReplicationTail); err != nil {
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	path := s.eng.JournalPath()
+	if path == "" {
+		httpError(w, http.StatusConflict, errors.New("replication requires an attached journal (-journal)"))
+		return
+	}
+	after, err := queryUint(r, "after", 0)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	max, err := queryUint(r, "max", defaultTailMax)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	wait := time.Duration(0)
+	if v := r.URL.Query().Get("wait"); v != "" {
+		wait, err = time.ParseDuration(v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("malformed wait parameter %q: %v", v, err))
+			return
+		}
+		if wait > maxTailWait {
+			wait = maxTailWait
+		}
+	}
+
+	// Long-poll on the engine's lock-free cursor before touching the file:
+	// the common caught-up case costs one atomic load per tick.
+	deadline := time.Now().Add(wait)
+	for s.eng.AppliedSeq() <= after && time.Now().Before(deadline) {
+		select {
+		case <-r.Context().Done():
+			return // client gave up while we waited
+		case <-time.After(15 * time.Millisecond):
+		}
+	}
+
+	tail, err := store.ReadTail(path, after, int(max))
+	if errors.Is(err, store.ErrCompacted) {
+		// The cursor predates the retained log: the only way forward is a
+		// fresh snapshot. 410 tells the replica exactly that.
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusGone)
+		writeJSON(w, map[string]any{"error": err.Error(), "base": tail.Base})
+		return
+	}
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := TailResponse{Head: tail.Head, Base: tail.Base, Version: s.eng.Version(), Entries: tail.Entries}
+	if err := faults.Inject(faults.ReplicationTailMid); err != nil {
+		s.abortMidStream(w, resp)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+// abortMidStream simulates the failure replicas must survive: a response
+// that dies partway through its body. Half the payload goes out, then the
+// connection is torn down via http.ErrAbortHandler (which recoverPanics
+// deliberately re-raises).
+func (s *Server) abortMidStream(w http.ResponseWriter, resp TailResponse) {
+	b, err := json.Marshal(resp)
+	if err != nil || len(b) < 2 {
+		panic(http.ErrAbortHandler)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(b)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(b[:len(b)/2])
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+	panic(http.ErrAbortHandler)
+}
+
+func queryUint(r *http.Request, name string, def uint64) (uint64, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("malformed %s parameter %q: %v", name, v, err)
+	}
+	return n, nil
+}

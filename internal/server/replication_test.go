@@ -1,0 +1,365 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"videorec"
+	"videorec/internal/store"
+	"videorec/internal/video"
+)
+
+// buildJournaledEngine returns a built engine with an attached journal —
+// the primary shape for replication tests.
+func buildJournaledEngine(t testing.TB, dir string) *videorec.Engine {
+	t.Helper()
+	eng := videorec.New(videorec.Options{SubCommunities: 6})
+	populateEngine(t, eng)
+	if err := eng.AttachJournal(filepath.Join(dir, "primary.wal")); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestHealthzAlwaysUp(t *testing.T) {
+	srv := New(videorec.New(videorec.Options{}), "")
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz on an empty engine = %d, want 200 (liveness, not readiness)", resp.StatusCode)
+	}
+}
+
+func TestReadyzGatesOnBuildAndChecks(t *testing.T) {
+	lagging := true
+	eng := videorec.New(videorec.Options{SubCommunities: 6})
+	srv := NewWithConfig(eng, Config{ReadyChecks: []ReadyCheck{{
+		Name: "replicaLag",
+		Check: func() error {
+			if lagging {
+				return errors.New("lag 999 over threshold")
+			}
+			return nil
+		},
+	}}})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	readyz := func() (int, map[string]any) {
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body map[string]any
+		json.NewDecoder(resp.Body).Decode(&body)
+		return resp.StatusCode, body
+	}
+
+	// Unbuilt view: not ready, and the response names the failing gate.
+	code, body := readyz()
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz before build = %d, want 503", code)
+	}
+	checks := body["checks"].(map[string]any)
+	if checks["viewBuilt"] == "ok" {
+		t.Fatalf("viewBuilt = %v, want failure before build", checks["viewBuilt"])
+	}
+
+	populateEngine(t, eng)
+	if code, body = readyz(); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with lagging replica = %d, want 503", code)
+	} else if body["checks"].(map[string]any)["viewBuilt"] != "ok" {
+		t.Fatal("viewBuilt should pass after build")
+	}
+
+	lagging = false
+	if code, _ = readyz(); code != http.StatusOK {
+		t.Fatalf("readyz all green = %d, want 200", code)
+	}
+}
+
+func populateEngine(t testing.TB, eng *videorec.Engine) {
+	t.Helper()
+	fans := []string{"ann", "ben", "cal", "dee"}
+	for i := 0; i < 6; i++ {
+		rng := rand.New(rand.NewSource(int64(i + 1)))
+		v := video.Synthesize(fmt.Sprintf("clip-%d", i), i%2, video.DefaultSynthOptions(), rng)
+		clip := videorec.Clip{ID: v.ID, FPS: v.FPS, Owner: fans[i%4], Commenters: fans}
+		for _, f := range v.Frames {
+			clip.Frames = append(clip.Frames, videorec.Frame{W: f.W, H: f.H, Pix: f.Pix})
+		}
+		if err := eng.Add(clip); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Build()
+}
+
+func TestReadOnlyRejectsMutations(t *testing.T) {
+	eng := videorec.New(videorec.Options{SubCommunities: 6})
+	populateEngine(t, eng)
+	srv := NewWithConfig(eng, Config{ReadOnly: true})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, route := range []string{"/videos", "/build", "/updates"} {
+		resp := post(t, ts.URL+route, []byte(`{}`))
+		if resp.StatusCode != http.StatusForbidden {
+			t.Errorf("POST %s on read-only server = %d, want 403", route, resp.StatusCode)
+		}
+	}
+	// Reads still serve.
+	resp, err := http.Get(ts.URL + "/recommend?id=clip-0&k=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("read-only GET /recommend = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestReplicationSnapshotAndTail(t *testing.T) {
+	dir := t.TempDir()
+	eng := buildJournaledEngine(t, dir)
+	srv := New(eng, "")
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 3; i++ {
+		if _, err := eng.ApplyUpdates(map[string][]string{"clip-0": {fmt.Sprintf("late-%d", i), "ann"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Bootstrap: the snapshot bytes load, and the cursor header matches.
+	resp, err := http.Get(ts.URL + "/replication/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot status %d", resp.StatusCode)
+	}
+	seq, err := strconv.ParseUint(resp.Header.Get(HeaderJournalSeq), 10, 64)
+	if err != nil || seq != 3 {
+		t.Fatalf("%s = %q, want 3", HeaderJournalSeq, resp.Header.Get(HeaderJournalSeq))
+	}
+	boot, err := videorec.Load(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if boot.AppliedSeq() != 3 || boot.Len() != eng.Len() {
+		t.Fatalf("bootstrapped engine: seq=%d len=%d, want 3/%d", boot.AppliedSeq(), boot.Len(), eng.Len())
+	}
+
+	// Tail from the middle.
+	var tr TailResponse
+	getJSON(t, ts.URL+"/replication/tail?after=1", &tr)
+	if tr.Head != 3 || len(tr.Entries) != 2 || tr.Entries[0].Seq != 2 {
+		t.Fatalf("tail after=1 = %+v, want head 3 entries 2,3", tr)
+	}
+	// Caught up: empty entries, head unchanged.
+	getJSON(t, ts.URL+"/replication/tail?after=3", &tr)
+	if tr.Head != 3 || len(tr.Entries) != 0 {
+		t.Fatalf("tail after=3 = %+v, want caught up", tr)
+	}
+
+	// Compaction: an old cursor now gets 410 Gone.
+	if err := eng.SaveFileAndCompact(filepath.Join(dir, "eng.snap")); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := http.Get(ts.URL + "/replication/tail?after=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	if r2.StatusCode != http.StatusGone {
+		t.Fatalf("tail past compaction = %d, want 410", r2.StatusCode)
+	}
+}
+
+func TestSnapshotCompactEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	eng := buildJournaledEngine(t, dir)
+	srv := NewWithConfig(eng, Config{SnapshotPath: filepath.Join(dir, "eng.snap")})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if _, err := eng.ApplyUpdates(map[string][]string{"clip-3": {"zed", "dee"}}); err != nil {
+		t.Fatal(err)
+	}
+	if resp := post(t, ts.URL+"/snapshot?compact=1", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot?compact=1 = %d", resp.StatusCode)
+	}
+	if _, _, base, seq := eng.JournalStatus(); base != 1 || seq != 1 {
+		t.Fatalf("journal base/seq = %d/%d after compaction, want 1/1", base, seq)
+	}
+	resp, err := http.Get(ts.URL + "/replication/tail?after=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("tail with pre-compaction cursor = %d, want 410", resp.StatusCode)
+	}
+}
+
+func TestReplicationTailLongPollWakesOnAppend(t *testing.T) {
+	dir := t.TempDir()
+	eng := buildJournaledEngine(t, dir)
+	srv := New(eng, "")
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	go func() {
+		time.Sleep(80 * time.Millisecond)
+		eng.ApplyUpdates(map[string][]string{"clip-1": {"poll-user", "ben"}})
+	}()
+	start := time.Now()
+	var tr TailResponse
+	getJSON(t, ts.URL+"/replication/tail?after=0&wait=5s", &tr)
+	if len(tr.Entries) != 1 || tr.Entries[0].Seq != 1 {
+		t.Fatalf("long-poll tail = %+v, want the appended entry", tr)
+	}
+	if elapsed := time.Since(start); elapsed >= 5*time.Second {
+		t.Fatalf("long-poll waited the full window (%v) instead of waking on append", elapsed)
+	}
+}
+
+func TestReplicationRequiresJournal(t *testing.T) {
+	eng := videorec.New(videorec.Options{SubCommunities: 6})
+	populateEngine(t, eng)
+	srv := New(eng, "")
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for _, route := range []string{"/replication/snapshot", "/replication/tail"} {
+		resp, err := http.Get(ts.URL + route)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusConflict {
+			t.Errorf("%s without journal = %d, want 409", route, resp.StatusCode)
+		}
+	}
+}
+
+func getJSON(t testing.TB, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Graceful shutdown must leave no torn journal tail: Drain stops accepting,
+// waits out in-flight updates, snapshots, and closes the journal — after
+// which the journal repairs to zero dropped bytes and replays in full
+// against the final snapshot.
+func TestDrainLeavesNoTornTail(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "primary.wal")
+	snapPath := filepath.Join(dir, "final.snap")
+	eng := buildJournaledEngine(t, dir)
+	srv := NewWithConfig(eng, Config{MaxInFlight: 8})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	base := "http://" + ln.Addr().String()
+
+	// A storm of journaled updates racing the drain.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				body, _ := json.Marshal(map[string][]string{"clip-2": {fmt.Sprintf("drain-%d-%d", w, i), "cal"}})
+				resp, err := http.Post(base+"/updates", "application/json", bytes.NewReader(body))
+				if err != nil {
+					return // server shut down mid-request: expected during drain
+				}
+				resp.Body.Close()
+			}
+		}(w)
+	}
+	time.Sleep(50 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := Drain(ctx, hs, eng, snapPath); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+
+	// No torn tail: repair finds nothing to drop.
+	if dropped, err := store.RepairJournal(walPath); err != nil || dropped != 0 {
+		t.Fatalf("journal after drain: dropped=%d err=%v, want a clean tail", dropped, err)
+	}
+	// The final snapshot's cursor covers the whole journal: a restart
+	// replays zero batches and matches the drained engine.
+	restored, err := videorec.LoadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.AppliedSeq() != eng.AppliedSeq() {
+		t.Fatalf("snapshot cursor %d, engine cursor %d", restored.AppliedSeq(), eng.AppliedSeq())
+	}
+	n, err := restored.ReplayJournal(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("replayed %d batches after a drained snapshot, want 0 (all covered)", n)
+	}
+	a, err := eng.Recommend("clip-2", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := restored.Recommend("clip-2", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rank %d differs after drain restart: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

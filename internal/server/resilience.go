@@ -116,6 +116,12 @@ func (s *Server) recoverPanics(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if p := recover(); p != nil {
+				if p == http.ErrAbortHandler {
+					// The idiomatic "tear this connection down" signal —
+					// net/http handles it; swallowing it here would append
+					// an error body to a deliberately aborted response.
+					panic(p)
+				}
 				s.panics.Add(1)
 				log.Printf("server: recovered panic in %s %s: %v", r.Method, r.URL.Path, p)
 				httpError(w, http.StatusInternalServerError, fmt.Errorf("internal panic: %v", p))

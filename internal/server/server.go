@@ -57,6 +57,15 @@ type Config struct {
 	RetryAfter time.Duration
 	// CacheSize is the result LRU capacity; 0 defaults to 512.
 	CacheSize int
+	// ReadOnly rejects every state-mutating endpoint (POST /videos, /build,
+	// /updates) with 403 — the replica serving mode, where mutations arrive
+	// only through journal shipping. POST /snapshot stays available: it
+	// persists local state without changing it.
+	ReadOnly bool
+	// ReadyChecks are additional named conditions /readyz evaluates beyond
+	// the built-in view-built gate — journal attachment, replica lag, or
+	// anything deployment-specific.
+	ReadyChecks []ReadyCheck
 }
 
 // Server wraps an engine with HTTP handlers. Create with New or
@@ -156,19 +165,41 @@ func (c ClipJSON) clip() videorec.Clip {
 //	POST /updates           apply new comments ({"videoID": ["user", ...]})
 //	POST /snapshot          persist the engine to the configured path
 //	GET  /stats             engine statistics
+//	GET  /healthz           process liveness (always 200)
+//	GET  /readyz            serving readiness (503 until every check passes)
+//	GET  /replication/snapshot   bootstrap snapshot + cursor headers
+//	GET  /replication/tail       long-poll journal entries after a cursor
 //
 // Recommendation routes run behind the admission controller and the
-// per-request deadline; every route runs behind panic recovery.
+// per-request deadline; every route runs behind panic recovery. Mutating
+// routes run behind the read-only gate (replicas reject them with 403).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /videos", s.handleAddVideo)
-	mux.HandleFunc("POST /build", s.handleBuild)
+	mux.HandleFunc("POST /videos", s.mutating(s.handleAddVideo))
+	mux.HandleFunc("POST /build", s.mutating(s.handleBuild))
 	mux.HandleFunc("GET /recommend", s.admit(s.withDeadline(s.handleRecommend)))
 	mux.HandleFunc("POST /recommend", s.admit(s.withDeadline(s.handleRecommendClip)))
-	mux.HandleFunc("POST /updates", s.handleUpdates)
+	mux.HandleFunc("POST /updates", s.mutating(s.handleUpdates))
 	mux.HandleFunc("POST /snapshot", s.handleSnapshot)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /replication/snapshot", s.handleReplicationSnapshot)
+	mux.HandleFunc("GET /replication/tail", s.handleReplicationTail)
 	return s.recoverPanics(mux)
+}
+
+// errReadOnly answers mutating requests on a read-only (replica) server.
+var errReadOnly = errors.New("server: read-only replica — mutations arrive via replication only")
+
+// mutating gates a state-changing handler behind Config.ReadOnly.
+func (s *Server) mutating(next http.HandlerFunc) http.HandlerFunc {
+	if !s.cfg.ReadOnly {
+		return next
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		httpError(w, http.StatusForbidden, errReadOnly)
+	}
 }
 
 func (s *Server) handleAddVideo(w http.ResponseWriter, r *http.Request) {
@@ -275,6 +306,17 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	// temp files and hold the engine's writer lock back to back for nothing.
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
+	if r.URL.Query().Get("compact") != "" {
+		// Snapshot + trim the journal to a marker at the snapshot's cursor,
+		// atomically: replicas whose cursor predates the trim heal via 410.
+		if err := s.eng.SaveFileAndCompact(s.cfg.SnapshotPath); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		_, _, base, _ := s.eng.JournalStatus()
+		writeJSON(w, map[string]any{"saved": s.cfg.SnapshotPath, "compactedTo": base})
+		return
+	}
 	if err := s.eng.SaveFile(s.cfg.SnapshotPath); err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return
@@ -284,10 +326,15 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	hits, misses, size := s.cache.stats()
+	_, _, journalBase, journalSeq := s.eng.JournalStatus()
 	writeJSON(w, map[string]any{
 		"videos":          s.eng.Len(),
 		"subCommunities":  s.eng.SubCommunities(),
 		"viewVersion":     s.eng.Version(),
+		"appliedSeq":      s.eng.AppliedSeq(),
+		"journalBase":     journalBase,
+		"journalSeq":      journalSeq,
+		"readOnly":        s.cfg.ReadOnly,
 		"queriesServed":   s.queries.Load(),
 		"cacheHits":       hits,
 		"cacheMisses":     misses,

@@ -2,10 +2,15 @@ package store
 
 import (
 	"bytes"
+	"os"
 	"testing"
 
 	"videorec/internal/core"
 )
+
+func writeFuzzFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o600)
+}
 
 // FuzzLoad: arbitrary bytes must never panic the snapshot decoder — they
 // either decode or return an error.
@@ -31,13 +36,57 @@ func FuzzLoad(f *testing.F) {
 	})
 }
 
-// FuzzReplayJournal: arbitrary journal bytes must never panic replay.
+// FuzzReplayJournal: arbitrary journal bytes must never panic replay — not
+// the legacy uncheckedsummed records, not the CRC32C-stamped v2 records, not
+// compaction markers, and not any mutation of them.
 func FuzzReplayJournal(f *testing.F) {
+	// Legacy (pre-checksum) shapes.
 	f.Add([]byte(`{"seq":1,"comments":{"v":["a"]}}` + "\n"))
 	f.Add([]byte("not json\n"))
 	f.Add([]byte(""))
 	f.Add([]byte(`{"seq":1,"comments":{"v":["a"]}}` + "\n" + `{"seq":2,"comments":{`))
+	// Checksummed records with real CRCs, plus a compaction marker, written
+	// by the journal itself so the corpus tracks the wire format.
+	var crcd bytes.Buffer
+	j := NewJournal(&crcd)
+	for _, user := range []string{"ann", "ben"} {
+		if err := j.Append(map[string][]string{"v": {user, "cal"}}); err != nil {
+			f.Fatal(err)
+		}
+	}
+	f.Add(crcd.Bytes())
+	f.Add([]byte(`{"base":7}` + "\n" + string(crcd.Bytes())))
+	// A CRC that does not match its payload, and a torn CRC'd tail.
+	f.Add([]byte(`{"seq":1,"crc":12345,"comments":{"v":["a"]}}` + "\n"))
+	if b := crcd.Bytes(); len(b) > 4 {
+		f.Add(b[:len(b)-4])
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		_, _ = ReplayJournal(bytes.NewReader(data), func(map[string][]string) error { return nil })
+		_, _ = ReplayJournalSeq(bytes.NewReader(data), func(uint64, map[string][]string) error { return nil })
+	})
+}
+
+// FuzzReadTail: the replication tail reader shares the journal parser but
+// has its own cursor/compaction logic — arbitrary bytes and cursors must
+// never panic it.
+func FuzzReadTail(f *testing.F) {
+	var crcd bytes.Buffer
+	j := NewJournal(&crcd)
+	for _, user := range []string{"ann", "ben", "cal"} {
+		if err := j.Append(map[string][]string{"v": {user}}); err != nil {
+			f.Fatal(err)
+		}
+	}
+	f.Add(crcd.Bytes(), uint64(1))
+	f.Add([]byte(`{"base":2}`+"\n"+`{"seq":3,"comments":{"v":["a"]}}`+"\n"), uint64(1))
+	f.Add([]byte("torn"), uint64(0))
+	f.Fuzz(func(t *testing.T, data []byte, after uint64) {
+		dir := t.TempDir()
+		path := dir + "/fuzz.wal"
+		if err := writeFuzzFile(path, data); err != nil {
+			t.Skip()
+		}
+		_, _ = ReadTail(path, after, 64)
 	})
 }

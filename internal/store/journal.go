@@ -6,9 +6,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"log"
 	"os"
+	"strconv"
 	"sync"
 
 	"videorec/internal/faults"
@@ -19,18 +21,72 @@ import (
 // every ApplyUpdates batch in between, so a crash loses nothing. Entries are
 // newline-delimited JSON objects (one batch per line), trivially greppable
 // and append-safe.
+//
+// The journal doubles as the replication log: every record carries a
+// monotonically increasing sequence number that survives process restarts
+// (opening a file-backed journal scans it and continues from the highest
+// sequence seen) and a CRC32C checksum, so replicas can resume from a
+// cursor and corruption is detected per record rather than per file.
 type Journal struct {
-	mu sync.Mutex
-	w  io.Writer
-	bw *bufio.Writer
-	c  io.Closer
-	n  int
+	mu   sync.Mutex
+	w    io.Writer
+	bw   *bufio.Writer
+	c    io.Closer
+	n    int    // batches appended through this Journal instance
+	seq  uint64 // highest sequence number written or observed
+	base uint64 // sequence the log starts after (compaction marker)
+	path string // non-empty for file-backed journals (enables Compact)
 }
 
-// entry is one journaled batch.
-type entry struct {
-	Seq      int                 `json:"seq"`
-	Comments map[string][]string `json:"comments"`
+// record is the wire form of one journal line. Three shapes share it:
+//
+//   - v2 entry:  {"seq":N,"crc":C,"comments":{...}} — checksummed batch
+//   - v1 entry:  {"seq":N,"comments":{...}}         — legacy, no checksum
+//   - marker:    {"base":N}                          — compaction marker:
+//     entries with seq ≤ N were folded into a snapshot and dropped
+type record struct {
+	Seq      uint64              `json:"seq,omitempty"`
+	CRC      *uint32             `json:"crc,omitempty"`
+	Comments map[string][]string `json:"comments,omitempty"`
+	Base     *uint64             `json:"base,omitempty"`
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// recordCRC computes the CRC32C of an entry: the sequence number and the
+// canonical JSON encoding of the batch (json.Marshal sorts map keys, so the
+// encoding — and therefore the checksum — is deterministic across the
+// append/replay round trip).
+func recordCRC(seq uint64, comments map[string][]string) (uint32, error) {
+	body, err := json.Marshal(comments)
+	if err != nil {
+		return 0, err
+	}
+	buf := strconv.AppendUint(nil, seq, 10)
+	buf = append(buf, ':')
+	buf = append(buf, body...)
+	return crc32.Checksum(buf, castagnoli), nil
+}
+
+// parseRecord decodes one journal line and verifies its checksum when
+// present. isMarker reports a compaction marker (rec.Base set).
+func parseRecord(line []byte) (rec record, isMarker bool, err error) {
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return rec, false, err
+	}
+	if rec.Base != nil && rec.Comments == nil && rec.Seq == 0 {
+		return rec, true, nil
+	}
+	if rec.CRC != nil {
+		want, err := recordCRC(rec.Seq, rec.Comments)
+		if err != nil {
+			return rec, false, err
+		}
+		if want != *rec.CRC {
+			return rec, false, fmt.Errorf("crc mismatch on seq %d: file says %08x, payload is %08x", rec.Seq, *rec.CRC, want)
+		}
+	}
+	return rec, false, nil
 }
 
 // NewJournal wraps a writer. If w is also an io.Closer, Close closes it.
@@ -42,16 +98,49 @@ func NewJournal(w io.Writer) *Journal {
 	return j
 }
 
-// OpenJournal opens (or creates) an append-mode journal file.
+// OpenJournal opens (or creates) an append-mode journal file. The existing
+// file is scanned so sequence numbers continue where the previous process
+// stopped — a torn trailing line is tolerated (AttachJournal repairs it),
+// corruption elsewhere is an error.
 func OpenJournal(path string) (*Journal, error) {
+	base, last, err := scanJournal(path)
+	if err != nil {
+		return nil, err
+	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: open journal: %w", err)
 	}
-	return NewJournal(f), nil
+	j := NewJournal(f)
+	j.path = path
+	j.base = base
+	j.seq = last
+	return j, nil
 }
 
-// Append logs one comment batch and flushes it to the underlying writer.
+// scanJournal reads the journal at path and reports its compaction base and
+// highest sequence number. A missing file is an empty journal. A torn final
+// line is skipped, matching replay semantics.
+func scanJournal(path string) (base, last uint64, err error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, 0, nil
+	}
+	if err != nil {
+		return 0, 0, fmt.Errorf("store: open journal: %w", err)
+	}
+	defer f.Close()
+	// Scan with a cursor beyond any real sequence: positions and bases are
+	// tracked, no entry bodies are retained.
+	tail, err := readTail(f, ^uint64(0), 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	return tail.Base, tail.Head, nil
+}
+
+// Append logs one comment batch under the next sequence number and flushes
+// it to the underlying writer.
 func (j *Journal) Append(comments map[string][]string) error {
 	if len(comments) == 0 {
 		return nil
@@ -61,22 +150,142 @@ func (j *Journal) Append(comments map[string][]string) error {
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	j.n++
-	b, err := json.Marshal(entry{Seq: j.n, Comments: comments})
+	return j.appendLocked(j.seq+1, comments)
+}
+
+// AppendAt logs one batch under an explicit sequence number — the replica
+// side of journal shipping, where the primary assigned the sequence. The
+// number must extend the log contiguously; callers deduplicate already-seen
+// sequences before appending.
+func (j *Journal) AppendAt(seq uint64, comments map[string][]string) error {
+	if len(comments) == 0 {
+		return nil
+	}
+	if err := faults.Inject(faults.JournalAppend); err != nil {
+		return fmt.Errorf("store: append journal: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if seq != j.seq+1 {
+		return fmt.Errorf("store: journal append at seq %d would leave a gap after %d", seq, j.seq)
+	}
+	return j.appendLocked(seq, comments)
+}
+
+func (j *Journal) appendLocked(seq uint64, comments map[string][]string) error {
+	crc, err := recordCRC(seq, comments)
+	if err != nil {
+		return fmt.Errorf("store: encode journal entry: %w", err)
+	}
+	b, err := json.Marshal(record{Seq: seq, CRC: &crc, Comments: comments})
 	if err != nil {
 		return fmt.Errorf("store: encode journal entry: %w", err)
 	}
 	if _, err := j.bw.Write(append(b, '\n')); err != nil {
 		return fmt.Errorf("store: append journal: %w", err)
 	}
-	return j.bw.Flush()
+	if err := j.bw.Flush(); err != nil {
+		return fmt.Errorf("store: append journal: %w", err)
+	}
+	j.seq = seq
+	j.n++
+	return nil
 }
 
-// Entries returns the number of batches appended through this Journal.
+// Entries returns the number of batches appended through this Journal
+// instance (not the file's historical total — see Seq for that).
 func (j *Journal) Entries() int {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.n
+}
+
+// Seq returns the highest sequence number written to (or scanned from) the
+// journal — the head of the replication log.
+func (j *Journal) Seq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
+
+// Base returns the sequence number the retained log starts after: entries
+// with seq ≤ Base were compacted into a snapshot and are no longer
+// available for tailing.
+func (j *Journal) Base() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.base
+}
+
+// Compact atomically replaces the journal file with a single compaction
+// marker at the current head: every retained entry is assumed to have been
+// folded into a snapshot the caller just wrote. Sequence numbers continue
+// from the head, so replicas holding an older cursor get ErrCompacted from
+// the tail reader and know to re-bootstrap. File-backed journals only.
+func (j *Journal) Compact() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.resetLocked(j.seq)
+}
+
+// ResetTo atomically replaces the journal file with a compaction marker at
+// seq, discarding all retained entries — the replica-bootstrap primitive:
+// after loading a primary snapshot covering seq, the local log restarts
+// from there. File-backed journals only.
+func (j *Journal) ResetTo(seq uint64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.resetLocked(seq)
+}
+
+func (j *Journal) resetLocked(seq uint64) error {
+	if j.path == "" {
+		return errors.New("store: compact requires a file-backed journal")
+	}
+	if err := j.bw.Flush(); err != nil {
+		return fmt.Errorf("store: compact journal: %w", err)
+	}
+	if j.c != nil {
+		if err := j.c.Close(); err != nil {
+			return fmt.Errorf("store: compact journal: %w", err)
+		}
+	}
+	dir := dirOf(j.path)
+	tmp, err := os.CreateTemp(dir, ".vrecwal-*")
+	if err != nil {
+		return fmt.Errorf("store: compact journal: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if seq > 0 {
+		b, err := json.Marshal(record{Base: &seq})
+		if err != nil {
+			tmp.Close()
+			return fmt.Errorf("store: compact journal: %w", err)
+		}
+		if _, err := tmp.Write(append(b, '\n')); err != nil {
+			tmp.Close()
+			return fmt.Errorf("store: compact journal: %w", err)
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: compact journal: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: compact journal: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		return fmt.Errorf("store: compact journal: %w", err)
+	}
+	syncDir(dir)
+	f, err := os.OpenFile(j.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: reopen compacted journal: %w", err)
+	}
+	j.w, j.c = f, f
+	j.bw = bufio.NewWriter(f)
+	j.base, j.seq = seq, seq
+	return nil
 }
 
 // Close flushes and closes the underlying writer when it is closable.
@@ -93,9 +302,19 @@ func (j *Journal) Close() error {
 }
 
 // ReplayJournal streams every batch of a journal to fn in append order. A
-// truncated trailing line (crash mid-append) is tolerated and skipped;
-// corruption elsewhere is an error.
+// truncated or corrupt trailing line (crash mid-append) is tolerated and
+// skipped; corruption elsewhere — including a per-record checksum mismatch
+// — is an error. Legacy checksum-less records replay without verification.
 func ReplayJournal(r io.Reader, fn func(comments map[string][]string) error) (int, error) {
+	return ReplayJournalSeq(r, func(_ uint64, comments map[string][]string) error {
+		return fn(comments)
+	})
+}
+
+// ReplayJournalSeq is ReplayJournal with each batch's sequence number —
+// what restart paths use to restore their replication cursor. Compaction
+// markers are skipped (they carry no batch).
+func ReplayJournalSeq(r io.Reader, fn func(seq uint64, comments map[string][]string) error) (int, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
 	replayed := 0
@@ -109,12 +328,15 @@ func ReplayJournal(r io.Reader, fn func(comments map[string][]string) error) (in
 		if len(line) == 0 {
 			continue
 		}
-		var e entry
-		if err := json.Unmarshal(line, &e); err != nil {
+		rec, marker, err := parseRecord(line)
+		if err != nil {
 			pendingErr = fmt.Errorf("store: corrupt journal entry after %d batches: %w", replayed, err)
 			continue
 		}
-		if err := fn(e.Comments); err != nil {
+		if marker {
+			continue
+		}
+		if err := fn(rec.Seq, rec.Comments); err != nil {
 			return replayed, err
 		}
 		replayed++
@@ -134,7 +356,10 @@ func ReplayJournal(r io.Reader, fn func(comments map[string][]string) error) (in
 // journal at path, returning the number of bytes dropped. A missing file and
 // a clean journal both return 0. Corruption that is NOT confined to the
 // final record — a bad line with any data after it — is an error, exactly as
-// in ReplayJournal: repair must never silently discard valid batches.
+// in ReplayJournal: repair must never silently discard valid batches. A
+// complete final record whose checksum does not verify is treated the same
+// as a torn one: it cannot be distinguished from a partially flushed append
+// and the valid prefix is the log.
 func RepairJournal(path string) (int64, error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0)
 	if errors.Is(err, os.ErrNotExist) {
@@ -166,10 +391,15 @@ func RepairJournal(path string) (int64, error) {
 		}
 		complete := rerr == nil // the line ended with '\n'
 		trimmed := bytes.TrimSpace(line)
+		parses := false
+		if complete && len(trimmed) > 0 {
+			_, _, perr := parseRecord(trimmed)
+			parses = perr == nil
+		}
 		switch {
 		case len(trimmed) == 0 && complete:
 			validEnd = offset // blank line: ReplayJournal skips these
-		case complete && json.Unmarshal(trimmed, new(entry)) == nil:
+		case parses:
 			validEnd = offset
 		default:
 			badStart = start
@@ -194,6 +424,14 @@ func RepairJournal(path string) (int64, error) {
 // ReplayJournalFile replays a journal from disk; a missing file replays
 // zero batches.
 func ReplayJournalFile(path string, fn func(comments map[string][]string) error) (int, error) {
+	return ReplayJournalFileSeq(path, func(_ uint64, comments map[string][]string) error {
+		return fn(comments)
+	})
+}
+
+// ReplayJournalFileSeq replays a journal from disk with sequence numbers; a
+// missing file replays zero batches.
+func ReplayJournalFileSeq(path string, fn func(seq uint64, comments map[string][]string) error) (int, error) {
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return 0, nil
@@ -202,5 +440,5 @@ func ReplayJournalFile(path string, fn func(comments map[string][]string) error)
 		return 0, fmt.Errorf("store: open journal: %w", err)
 	}
 	defer f.Close()
-	return ReplayJournal(f, fn)
+	return ReplayJournalSeq(f, fn)
 }

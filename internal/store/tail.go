@@ -1,0 +1,157 @@
+// Journal tailing — the primary side of journal shipping. A replica holds a
+// cursor (the sequence number of the last batch it applied) and repeatedly
+// asks for everything after it; the reader distinguishes "caught up" from
+// "the file ends mid-record" so pollers never mistake an in-flight append
+// for the end of history, and refuses to serve across a compaction gap.
+package store
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Cursor identifies a replication position: the view version stamped into
+// the snapshot a replica bootstrapped from, plus the journal sequence number
+// of the last batch applied on top of it. Cursors are monotonic — snapshot
+// versions and sequence numbers both survive restarts.
+type Cursor struct {
+	SnapshotVersion uint64 `json:"snapshotVersion"`
+	Seq             uint64 `json:"seq"`
+}
+
+// Entry is one journaled batch with its replication sequence number — the
+// unit shipped from primary to replicas.
+type Entry struct {
+	Seq      uint64              `json:"seq"`
+	Comments map[string][]string `json:"comments"`
+}
+
+// ErrCompacted reports that the journal no longer retains the entries a
+// cursor asks for: they were folded into a snapshot. The only way forward
+// is to re-bootstrap from that snapshot.
+var ErrCompacted = errors.New("store: journal compacted past requested cursor")
+
+// TailState reports how a tail read ended.
+type TailState int
+
+const (
+	// TailCaughtUp: the file ended cleanly after the last returned entry —
+	// the reader has everything the journal holds.
+	TailCaughtUp TailState = iota
+	// TailTorn: the file ends in an incomplete or unverifiable record — an
+	// append in flight, or a crash's torn tail. The returned entries are the
+	// valid prefix; poll again rather than treating this as the end.
+	TailTorn
+)
+
+// Tail is the result of one ReadTail pass.
+type Tail struct {
+	// Entries are the batches with seq > the requested cursor, capped at the
+	// requested limit, in log order.
+	Entries []Entry
+	// Head is the highest sequence number present in the journal (including
+	// entries beyond the limit cap). Head > cursor with no Entries returned
+	// never happens except under a limit cap.
+	Head uint64
+	// Base is the compaction base: entries with seq ≤ Base are gone.
+	Base uint64
+	// State distinguishes a clean end of log from a torn/in-flight tail.
+	State TailState
+}
+
+// ReadTail reads the journal at path and returns the entries after cursor
+// seq `after`, at most limit of them (0 = no cap). A missing file is an
+// empty journal when after == 0 and ErrCompacted otherwise (the log the
+// cursor came from is gone). A cursor older than the compaction base gets
+// ErrCompacted. Corruption that is not confined to the final record is an
+// error.
+func ReadTail(path string, after uint64, limit int) (Tail, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		if after > 0 {
+			return Tail{}, fmt.Errorf("%w: journal %s missing, cursor at %d", ErrCompacted, path, after)
+		}
+		return Tail{}, nil
+	}
+	if err != nil {
+		return Tail{}, fmt.Errorf("store: open journal: %w", err)
+	}
+	defer f.Close()
+	return readTail(f, after, limit)
+}
+
+func readTail(r io.Reader, after uint64, limit int) (Tail, error) {
+	var t Tail
+	br := bufio.NewReaderSize(r, 1<<16)
+	var pendingErr error
+	for {
+		line, rerr := br.ReadBytes('\n')
+		if len(line) == 0 && rerr == io.EOF {
+			break
+		}
+		if rerr != nil && rerr != io.EOF {
+			return t, fmt.Errorf("store: read journal: %w", rerr)
+		}
+		if pendingErr != nil {
+			// A bad record with data after it is corruption, not a tear.
+			return t, pendingErr
+		}
+		complete := rerr == nil
+		trimmed := trimLine(line)
+		switch {
+		case len(trimmed) == 0 && complete:
+			// blank line — replay skips these too
+		case !complete:
+			pendingErr = fmt.Errorf("store: journal ends mid-record (%d bytes)", len(line))
+		default:
+			rec, marker, err := parseRecord(trimmed)
+			switch {
+			case err != nil:
+				pendingErr = fmt.Errorf("store: corrupt journal entry at seq %d: %w", t.Head, err)
+			case marker:
+				if *rec.Base > t.Base {
+					t.Base = *rec.Base
+				}
+				if *rec.Base > t.Head {
+					t.Head = *rec.Base
+				}
+			default:
+				if rec.Seq > t.Head {
+					t.Head = rec.Seq
+				}
+				if rec.Seq > after && (limit <= 0 || len(t.Entries) < limit) {
+					t.Entries = append(t.Entries, Entry{Seq: rec.Seq, Comments: rec.Comments})
+				}
+			}
+		}
+		if rerr == io.EOF {
+			break
+		}
+	}
+	if after < t.Base {
+		return Tail{Base: t.Base, Head: t.Head}, fmt.Errorf("%w: cursor at %d, journal starts after %d", ErrCompacted, after, t.Base)
+	}
+	if pendingErr != nil {
+		// The final record is torn or unverifiable — either an append racing
+		// this read or a crash's tail. Not an error: the valid prefix stands
+		// and the poller retries.
+		t.State = TailTorn
+	}
+	return t, nil
+}
+
+// trimLine strips trailing newline/whitespace without allocating.
+func trimLine(line []byte) []byte {
+	for len(line) > 0 {
+		switch line[len(line)-1] {
+		case '\n', '\r', ' ', '\t':
+			line = line[:len(line)-1]
+		default:
+			return line
+		}
+	}
+	return line
+}

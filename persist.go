@@ -26,17 +26,28 @@ func (e *Engine) SaveFile(path string) error {
 func (e *Engine) snapshot() *core.Snapshot {
 	e.writeMu.Lock()
 	defer e.writeMu.Unlock()
+	return e.snapshotLocked()
+}
+
+// snapshotLocked captures the build state stamped with the current view
+// version and replication cursor. Callers must hold writeMu, which makes
+// the (state, version, seq) triple consistent: no update can land between
+// the three reads.
+func (e *Engine) snapshotLocked() *core.Snapshot {
 	snap := e.rec.Snapshot()
 	snap.Version = e.cur.Load().version
+	snap.JournalSeq = e.applied.Load()
 	return snap
 }
 
 // Load restores an engine from a snapshot produced by Save. If the snapshot
 // was built, the engine is immediately ready to Recommend and ApplyUpdates;
-// otherwise call Build after loading. The restored state is published as
-// view version 1 — the version counter always resets on load (version 0 is
-// the empty state of a fresh engine), so cache keys minted by a previous
-// process never alias views of this one.
+// otherwise call Build after loading. The restored state is published under
+// the view version stamped into the snapshot, so version-keyed caches and
+// replication cursors stay monotonic across restarts — the version names
+// exactly the state that was saved, making reuse across processes safe.
+// (Snapshots from before version stamping load as version 0 and behave like
+// a fresh engine's counter.)
 func Load(r io.Reader) (*Engine, error) {
 	snap, err := store.Load(r)
 	if err != nil {
@@ -60,7 +71,8 @@ func engineFromSnapshot(snap *core.Snapshot) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{rec: rec}
-	e.cur.Store(&engineView{view: rec.Freeze(), version: 1})
+	e.cur.Store(&engineView{view: rec.Freeze(), version: snap.Version})
+	e.applied.Store(snap.JournalSeq)
 	return e, nil
 }
 
@@ -88,18 +100,63 @@ func (e *Engine) AttachJournal(path string) error {
 	if e.journal != nil {
 		e.journal.Close()
 	}
+	switch applied := e.applied.Load(); {
+	case j.Seq() > applied:
+		// The file holds batches this engine has not applied — the caller
+		// skipped ReplayJournal, or replayed a different file. Adopt the
+		// file's head so new appends stay contiguous; the cursor tracks the
+		// journal, and the divergence is the operator's to notice.
+		log.Printf("videorec: journal %s is at seq %d but only %d applied — attach after ReplayJournal to avoid gaps", path, j.Seq(), applied)
+		e.applied.Store(j.Seq())
+	case j.Seq() < applied:
+		// The engine (via its snapshot) is ahead of the file: a fresh replica
+		// journal, or a journal deleted after the last snapshot. Start the
+		// log at the cursor so sequence numbers stay aligned with the
+		// snapshot's coverage.
+		if j.Seq() > j.Base() {
+			log.Printf("videorec: journal %s ends at seq %d but snapshot covers %d — restarting log at the snapshot cursor", path, j.Seq(), applied)
+		}
+		if err := j.ResetTo(applied); err != nil {
+			j.Close()
+			return err
+		}
+	}
 	e.journal = j
+	e.jpath = path
 	return nil
 }
 
-// ReplayJournal replays every batch of a journal file through ApplyUpdates
-// (a missing file replays zero batches). Call after loading a snapshot and
-// before AttachJournal.
+// ReplayJournal replays every batch of a journal file through the update
+// path (a missing file replays zero batches). Call after loading a snapshot
+// and before AttachJournal. Batches the snapshot already covers — sequence
+// numbers at or below the snapshot's stamped cursor — are skipped instead
+// of double-applied, so a snapshot saved after journaling started restarts
+// cleanly against the full journal. Returns the number of batches applied.
 func (e *Engine) ReplayJournal(path string) (int, error) {
-	return store.ReplayJournalFile(path, func(comments map[string][]string) error {
-		_, err := e.ApplyUpdates(comments)
-		return err
+	start := e.applied.Load()
+	applied := 0
+	_, err := store.ReplayJournalFileSeq(path, func(seq uint64, comments map[string][]string) error {
+		if seq > 0 && seq <= start {
+			return nil // already folded into the snapshot
+		}
+		e.writeMu.Lock()
+		defer e.writeMu.Unlock()
+		if !e.rec.Built() {
+			return ErrNotBuilt
+		}
+		e.rec.ApplyUpdates(comments)
+		e.publishLocked()
+		if seq > e.applied.Load() {
+			e.applied.Store(seq)
+		} else {
+			// Legacy journals (pre-checksum) restarted sequence numbering on
+			// every reopen; keep the cursor moving so Attach stays aligned.
+			e.applied.Add(1)
+		}
+		applied++
+		return nil
 	})
+	return applied, err
 }
 
 // CloseJournal flushes and detaches the journal, if any.
@@ -111,5 +168,6 @@ func (e *Engine) CloseJournal() error {
 	}
 	err := e.journal.Close()
 	e.journal = nil
+	e.jpath = ""
 	return err
 }

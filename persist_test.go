@@ -102,11 +102,13 @@ func TestEngineConcurrentAccess(t *testing.T) {
 
 // Save takes a consistent cut under the writer lock while lock-free readers
 // keep serving; the reloaded engine answers identically and publishes its
-// state as view version 1 (the counter always resets on load, so cache keys
-// from a previous process never alias views of this one).
-func TestSaveUnderConcurrentReadersAndVersionReset(t *testing.T) {
+// state under the version stamped into the snapshot, so version-keyed
+// caches and replication cursors stay monotonic across restarts (the
+// version names exactly the state that was saved, so reuse never aliases
+// different state).
+func TestSaveUnderConcurrentReadersAndVersionPersistence(t *testing.T) {
 	eng, col := buildEngine(t, Options{})
-	// Advance the live engine's version past 1 so the reset is observable.
+	// Advance the live engine's version past 1 so persistence is observable.
 	src := col.Queries[0].Sources[0]
 	if _, err := eng.ApplyUpdates(map[string][]string{src: {"pre-save-user", col.Users[0]}}); err != nil {
 		t.Fatal(err)
@@ -151,8 +153,8 @@ func TestSaveUnderConcurrentReadersAndVersionReset(t *testing.T) {
 	if restored.Len() != eng.Len() {
 		t.Fatalf("restored Len = %d, want %d", restored.Len(), eng.Len())
 	}
-	if v := restored.Version(); v != 1 {
-		t.Fatalf("restored view version = %d, want 1", v)
+	if v := restored.Version(); v != liveVersion {
+		t.Fatalf("restored view version = %d, want the persisted %d", v, liveVersion)
 	}
 	if eng.Version() != liveVersion {
 		t.Fatalf("live version moved during save: %d -> %d", liveVersion, eng.Version())

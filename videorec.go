@@ -154,8 +154,16 @@ type Engine struct {
 	writeMu sync.Mutex        // serializes mutations, Build, Save and journal management
 	rec     *core.Recommender // write-side builder; touch only under writeMu
 	journal *store.Journal    // nil unless AttachJournal was called
+	jpath   string            // journal file path, "" unless attached
 
 	cur atomic.Pointer[engineView] // the published view; never nil after New/Load
+
+	// applied is the journal sequence number of the last update batch this
+	// engine has applied — the replication cursor. Written only under
+	// writeMu; read lock-free by serving and replication paths. It is
+	// restored from snapshots (Snapshot.JournalSeq), advanced by
+	// ApplyUpdates/ApplyReplicated/journal replay, and reset by Reload.
+	applied atomic.Uint64
 }
 
 // engineView pairs a frozen core view with its publication version.
@@ -368,6 +376,9 @@ func (e *Engine) ApplyUpdates(newComments map[string][]string) (UpdateSummary, e
 		if err := e.journal.Append(newComments); err != nil {
 			return UpdateSummary{}, fmt.Errorf("videorec: journal: %w", err)
 		}
+		e.applied.Store(e.journal.Seq())
+	} else {
+		e.applied.Add(1)
 	}
 	rep := e.rec.ApplyUpdates(newComments)
 	e.publishLocked()
@@ -378,6 +389,21 @@ func (e *Engine) ApplyUpdates(newComments map[string][]string) (UpdateSummary, e
 		UsersMoved:         rep.Maintenance.UsersMoved,
 		VideosRevectorized: rep.VideosRevectorized,
 	}, nil
+}
+
+// Built reports whether the currently published view has its social
+// machinery constructed — the gate readiness probes use: an unbuilt engine
+// cannot answer Recommend or apply updates.
+func (e *Engine) Built() bool {
+	return e.cur.Load().view.Built()
+}
+
+// AppliedSeq returns the journal sequence number of the last update batch
+// this engine has applied — the replication cursor. On a primary it is the
+// journal head; on a replica it trails the primary's head by the current
+// replication lag. Zero before any journaled update.
+func (e *Engine) AppliedSeq() uint64 {
+	return e.applied.Load()
 }
 
 // SubCommunities returns the current number of extracted sub-communities
