@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build vet test test-race race bench vrecbench vrecbench-short experiments experiments-paper fuzz examples clean
+.PHONY: all check build vet test test-race race bench vrecbench vrecbench-short bench-compare experiments experiments-paper fuzz examples clean
 
 all: check
 
@@ -29,10 +29,18 @@ bench:
 # Serving-path benchmark harness: fixed RecommendCtx workloads, JSON output
 # with ns/op, qps, allocs/op and latency percentiles (see README).
 vrecbench:
-	$(GO) run ./cmd/vrecbench -out BENCH_PR3.json
+	$(GO) run ./cmd/vrecbench -out BENCH_PR5.json
 
 vrecbench-short:
 	$(GO) run ./cmd/vrecbench -short -out bench-short.json
+
+# Diff two vrecbench reports (ns_per_op / allocs_per_op per workload).
+# Override the endpoints with OLD=/NEW=, e.g.
+#   make bench-compare OLD=BENCH_PR3.json NEW=bench-short.json
+OLD ?= BENCH_PR3.json
+NEW ?= BENCH_PR5.json
+bench-compare:
+	$(GO) run ./cmd/benchcompare -old $(OLD) -new $(NEW)
 
 # Regenerate every table and figure at the default (fast) scale.
 experiments:

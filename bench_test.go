@@ -436,7 +436,7 @@ func BenchmarkAblationLSBForest(b *testing.B) {
 			o.Trees = trees
 			ix := index.NewLSB(o)
 			for i, s := range seriesSet {
-				ix.Add(fmt.Sprintf("f%d", i), s)
+				ix.Add(uint32(i), s)
 			}
 			q := seriesSet[3]
 			b.ResetTimer()

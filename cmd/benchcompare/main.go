@@ -1,0 +1,115 @@
+// Command benchcompare diffs two vrecbench JSON reports, printing per-
+// workload deltas of ns_per_op and allocs_per_op. It powers `make
+// bench-compare`, which tracks serving-path performance from one checked-in
+// BENCH_PR*.json to the next.
+//
+// Usage:
+//
+//	go run ./cmd/benchcompare -old BENCH_PR3.json -new BENCH_PR5.json
+//
+// Exit status is always 0 when both files parse — regressions are reported,
+// not enforced; the numbers depend on the machine, so CI treats the diff as
+// an informational artifact.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+)
+
+type result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	QPS         float64 `json:"qps"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+type report struct {
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Videos     int      `json:"videos"`
+	Results    []result `json:"results"`
+}
+
+func load(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// delta formats a relative change, signed, as a percentage. A negative
+// ns_per_op or allocs_per_op delta is an improvement.
+func delta(oldV, newV float64) string {
+	if oldV == 0 {
+		if newV == 0 {
+			return "      ="
+		}
+		return "    new"
+	}
+	return fmt.Sprintf("%+6.1f%%", (newV-oldV)/oldV*100)
+}
+
+func main() {
+	var (
+		oldPath = flag.String("old", "", "baseline vrecbench JSON")
+		newPath = flag.String("new", "", "candidate vrecbench JSON")
+	)
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		log.Fatal("benchcompare: -old and -new are both required")
+	}
+	oldRep, err := load(*oldPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	newRep, err := load(*newPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	oldBy := make(map[string]result, len(oldRep.Results))
+	for _, r := range oldRep.Results {
+		oldBy[r.Name] = r
+	}
+	newBy := make(map[string]result, len(newRep.Results))
+	names := make([]string, 0, len(newRep.Results))
+	for _, r := range newRep.Results {
+		newBy[r.Name] = r
+		names = append(names, r.Name)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("baseline:  %s (go %s, GOMAXPROCS %d, %d videos)\n", *oldPath, oldRep.GoVersion, oldRep.GOMAXPROCS, oldRep.Videos)
+	fmt.Printf("candidate: %s (go %s, GOMAXPROCS %d, %d videos)\n\n", *newPath, newRep.GoVersion, newRep.GOMAXPROCS, newRep.Videos)
+	fmt.Printf("%-28s %14s %14s %8s   %12s %12s %8s\n",
+		"workload", "ns/op old", "ns/op new", "Δns", "allocs old", "allocs new", "Δallocs")
+	for _, name := range names {
+		n := newBy[name]
+		o, ok := oldBy[name]
+		if !ok {
+			fmt.Printf("%-28s %14s %14.0f %8s   %12s %12.1f %8s\n",
+				name, "-", n.NsPerOp, "new", "-", n.AllocsPerOp, "new")
+			continue
+		}
+		fmt.Printf("%-28s %14.0f %14.0f %8s   %12.1f %12.1f %8s\n",
+			name, o.NsPerOp, n.NsPerOp, delta(o.NsPerOp, n.NsPerOp),
+			o.AllocsPerOp, n.AllocsPerOp, delta(o.AllocsPerOp, n.AllocsPerOp))
+	}
+	for _, r := range oldRep.Results {
+		if _, ok := newBy[r.Name]; !ok {
+			fmt.Printf("%-28s %14.0f %14s %8s   %12.1f %12s %8s\n",
+				r.Name, r.NsPerOp, "-", "gone", r.AllocsPerOp, "-", "gone")
+		}
+	}
+}

@@ -1,16 +1,19 @@
 // Command vrecbench measures the serving-path performance of the
 // recommender over fixed synthetic workloads and writes the measurements as
-// JSON (BENCH_PR3.json checked into the repo records one run). Each workload
-// drives View.RecommendCtx — the same frozen-view entry point vrecd serves —
-// so the numbers include candidate gathering, refinement and top-K
-// selection; two κJ micro-workloads additionally isolate the compiled
-// vs. uncompiled refinement kernels to evidence the per-candidate
-// allocation behavior.
+// JSON (BENCH_PR*.json files checked into the repo record one run per PR).
+// Each recommend workload drives View.RecommendCtx — the same frozen-view
+// entry point vrecd serves — so the numbers include candidate gathering,
+// refinement and top-K selection. The candidates/* workloads isolate
+// candidate generation (steps 1–2: posting-list union, social top-K, LCP
+// walk) through View.GatherCandidates, and two κJ micro-workloads isolate
+// the compiled vs. uncompiled refinement kernels.
 //
 // Usage:
 //
-//	go run ./cmd/vrecbench -out BENCH_PR3.json
+//	go run ./cmd/vrecbench -out BENCH_PR5.json
 //	go run ./cmd/vrecbench -short   # CI-sized run, seconds not minutes
+//
+// Compare two runs with cmd/benchcompare (make bench-compare).
 package main
 
 import (
@@ -57,7 +60,7 @@ type report struct {
 
 func main() {
 	var (
-		out   = flag.String("out", "BENCH_PR3.json", "output JSON path")
+		out   = flag.String("out", "BENCH_PR5.json", "output JSON path")
 		short = flag.Bool("short", false, "CI-sized run: smaller collection, fewer iterations")
 		hours = flag.Float64("hours", 8, "collection size in video-hours")
 		users = flag.Int("users", 200, "community size")
@@ -165,6 +168,35 @@ func main() {
 		rep.Results = append(rep.Results, r)
 		log.Printf("%-28s %10.0f ns/op  %8.1f qps  %7.0f allocs/op  p99 %s",
 			r.Name, r.NsPerOp, r.QPS, r.AllocsPerOp, time.Duration(r.P99Ns))
+	}
+
+	// Candidate-generation micro-workloads: steps 1–2 in isolation.
+	// candidates/social exercises the posting-list k-way merge plus the
+	// bounded s̃J selection; candidates/content exercises the heap-driven LCP
+	// walk with bitset dedupe. Both run against a warm pooled scratch, so
+	// allocs_per_op directly reports the steady-state gathering allocations
+	// (the dense-ID design holds this at zero).
+	gatherIters := iters * 20
+	for _, cw := range []struct {
+		name   string
+		mutate func(*core.Options)
+	}{
+		{name: "candidates/social", mutate: func(o *core.Options) { o.Mode = core.ModeSARHash; o.SocialOnly = true }},
+		{name: "candidates/content", mutate: func(o *core.Options) { o.Mode = core.ModeSARHash; o.ContentWeightOnly = true }},
+	} {
+		cv := build(cw.mutate)
+		rep.Results = append(rep.Results, logRow(runWorkload(cw.name, gatherIters, func(i int) (bool, error) {
+			id := queries[i%len(queries)]
+			q, ok := cv.QueryFor(id)
+			if !ok {
+				return false, fmt.Errorf("missing query %s", id)
+			}
+			n, err := cv.GatherCandidates(context.Background(), q, id)
+			if err == nil && n == 0 {
+				return false, fmt.Errorf("query %s gathered no candidates", id)
+			}
+			return false, err
+		})))
 	}
 
 	// κJ micro-workloads: one refinement step (query vs. stored candidate),

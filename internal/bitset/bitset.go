@@ -1,0 +1,70 @@
+// Package bitset provides a dense bitset over uint32 indices. The
+// candidate-generation path of the KNN search keys every per-video set —
+// tombstones, the per-query exclude set, the gathered candidate set — by the
+// view's interned dense video index, so membership is one shift and mask
+// instead of a string hash.
+package bitset
+
+import "math/bits"
+
+// Set is a bitset addressed by uint32 index. The zero value is an empty set
+// of capacity zero; Grow before Add.
+type Set []uint64
+
+// Make returns a set able to hold indices [0, n).
+func Make(n int) Set { return make(Set, (n+63)/64) }
+
+// Grow extends the set to hold indices [0, n), preserving existing bits.
+func (s *Set) Grow(n int) {
+	words := (n + 63) / 64
+	if words <= len(*s) {
+		return
+	}
+	if words <= cap(*s) {
+		old := len(*s)
+		*s = (*s)[:words]
+		clear((*s)[old:])
+		return
+	}
+	ns := make(Set, words)
+	copy(ns, *s)
+	*s = ns
+}
+
+// Cap returns the number of indices the set can currently hold.
+func (s Set) Cap() int { return len(s) * 64 }
+
+// Add sets bit i. i must be within Cap.
+func (s Set) Add(i uint32) { s[i>>6] |= 1 << (i & 63) }
+
+// Remove clears bit i. i must be within Cap.
+func (s Set) Remove(i uint32) { s[i>>6] &^= 1 << (i & 63) }
+
+// Has reports whether bit i is set. Indices past Cap are absent, not a
+// panic — callers probe with indices minted after the set was sized.
+func (s Set) Has(i uint32) bool {
+	w := i >> 6
+	return int(w) < len(s) && s[w]&(1<<(i&63)) != 0
+}
+
+// Reset clears every bit, keeping capacity.
+func (s Set) Reset() { clear(s) }
+
+// Count returns the number of set bits.
+func (s Set) Count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Clone returns an independent copy.
+func (s Set) Clone() Set {
+	if len(s) == 0 {
+		return nil
+	}
+	cp := make(Set, len(s))
+	copy(cp, s)
+	return cp
+}

@@ -1,0 +1,104 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := Make(130)
+	if s.Cap() < 130 {
+		t.Fatalf("Cap = %d, want >= 130", s.Cap())
+	}
+	for _, i := range []uint32{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Has(i) {
+			t.Fatalf("fresh set has %d", i)
+		}
+		s.Add(i)
+		if !s.Has(i) {
+			t.Fatalf("Add(%d) not visible", i)
+		}
+	}
+	if got := s.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	s.Remove(64)
+	if s.Has(64) {
+		t.Fatal("Remove(64) not visible")
+	}
+	s.Reset()
+	if got := s.Count(); got != 0 {
+		t.Fatalf("Count after Reset = %d", got)
+	}
+}
+
+func TestHasPastCap(t *testing.T) {
+	var s Set
+	if s.Has(7) {
+		t.Fatal("zero-value set claims membership")
+	}
+	s = Make(10)
+	if s.Has(1 << 20) {
+		t.Fatal("probe past Cap claims membership")
+	}
+}
+
+// Grow must preserve bits, and reusing freed capacity must not resurrect
+// stale bits from a prior larger incarnation.
+func TestGrowPreservesAndZeroes(t *testing.T) {
+	s := Make(64)
+	s.Add(3)
+	s.Grow(256)
+	if !s.Has(3) {
+		t.Fatal("Grow dropped a bit")
+	}
+	s.Add(200)
+	// Shrink the view of the slice, then regrow into existing capacity.
+	s = s[:1]
+	s.Grow(256)
+	if s.Has(200) {
+		t.Fatal("Grow into retained capacity resurrected a stale bit")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	s := Make(64)
+	s.Add(5)
+	cp := s.Clone()
+	s.Add(6)
+	if cp.Has(6) {
+		t.Fatal("clone shares storage")
+	}
+	if !cp.Has(5) {
+		t.Fatal("clone missing bit")
+	}
+	if Set(nil).Clone() != nil {
+		t.Fatal("empty clone should be nil")
+	}
+}
+
+// Randomized cross-check against a map reference.
+func TestAgainstMapReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 2000
+	s := Make(n)
+	ref := map[uint32]bool{}
+	for step := 0; step < 10000; step++ {
+		i := uint32(rng.Intn(n))
+		if rng.Intn(3) == 0 {
+			s.Remove(i)
+			delete(ref, i)
+		} else {
+			s.Add(i)
+			ref[i] = true
+		}
+	}
+	if s.Count() != len(ref) {
+		t.Fatalf("Count = %d, ref %d", s.Count(), len(ref))
+	}
+	for i := uint32(0); i < n; i++ {
+		if s.Has(i) != ref[i] {
+			t.Fatalf("bit %d: set %v, ref %v", i, s.Has(i), ref[i])
+		}
+	}
+}

@@ -13,6 +13,14 @@ type Iterator[V any] struct {
 // Seek returns an iterator at the first slot with key >= key. The iterator
 // is invalid when every key is smaller.
 func (t *Tree[V]) Seek(key uint64) *Iterator[V] {
+	it := t.SeekAt(key)
+	return &it
+}
+
+// SeekAt is Seek returning the iterator by value, for callers that embed
+// iterators in their own reusable structures (the LCP walker holds two per
+// query front) and must not allocate per seek.
+func (t *Tree[V]) SeekAt(key uint64) Iterator[V] {
 	n := t.root
 	for {
 		in, ok := n.(*inner[V])
@@ -23,7 +31,7 @@ func (t *Tree[V]) Seek(key uint64) *Iterator[V] {
 	}
 	lf := n.(*leaf[V])
 	i := sort.Search(len(lf.keys), func(i int) bool { return lf.keys[i] >= key })
-	it := &Iterator[V]{leaf: lf, idx: i}
+	it := Iterator[V]{leaf: lf, idx: i}
 	if i == len(lf.keys) {
 		it.Next() // roll over to the next leaf (or become invalid)
 	}
@@ -32,11 +40,11 @@ func (t *Tree[V]) Seek(key uint64) *Iterator[V] {
 	// separators equal to key, so stepping back while the previous slot is
 	// still >= key fixes the position.
 	for {
-		prev := *it
+		prev := it
 		if !prev.Prev() || prev.Key() < key {
 			break
 		}
-		*it = prev
+		it = prev
 	}
 	return it
 }

@@ -212,14 +212,34 @@ func NewRecommender(opts Options) *Recommender {
 	if opts.DegradeMargin == 0 {
 		opts.DegradeMargin = DefaultDegradeMargin
 	}
-	return &Recommender{
-		opts: opts,
-		state: &View{
-			opts:    opts,
-			records: make(map[string]*Record),
-			lsb:     newLSBFor(opts),
-		},
+	st := &View{
+		opts:        opts,
+		intern:      newIntern(),
+		internOwned: true,
+		lsb:         newLSBFor(opts),
 	}
+	st.newPools()
+	return &Recommender{opts: opts, state: st}
+}
+
+// internID resolves a video id to its dense index, minting the next index if
+// the id is new. Indices are forever: a removed id keeps its slot and gets it
+// back on re-ingest. Minting appends to the intern table, which may still be
+// shared with published views — copy-on-intern makes the table private first,
+// so readers keep walking the table they froze.
+func (r *Recommender) internID(id string) uint32 {
+	s := r.state
+	if i, ok := s.intern.idx[id]; ok {
+		return i
+	}
+	if !s.internOwned {
+		s.intern = s.intern.clone()
+		s.internOwned = true
+	}
+	i := uint32(len(s.intern.ids))
+	s.intern.ids = append(s.intern.ids, id)
+	s.intern.idx[id] = i
+	return i
 }
 
 // Options returns the recommender's configuration.
@@ -273,16 +293,20 @@ func (r *Recommender) IngestVideo(id string, v *video.Video, desc social.Descrip
 func (r *Recommender) IngestSeries(id string, series signature.Series, desc social.Descriptor) {
 	r.beforeWrite()
 	s := r.state
-	if _, exists := s.records[id]; !exists {
+	i := r.internID(id)
+	if int(i) >= len(s.recs) {
+		s.recs = append(s.recs, make([]*Record, int(i)+1-len(s.recs))...)
+	}
+	if s.recs[i] == nil {
 		s.order = append(s.order, id)
 	}
-	s.records[id] = &Record{
+	s.recs[i] = &Record{
 		ID:       id,
 		Series:   series,
 		Compiled: signature.CompileSeries(series),
 		Desc:     desc,
 	}
-	s.lsb.Add(id, series)
+	s.lsb.Add(i, series)
 	s.built = false
 }
 
@@ -302,9 +326,9 @@ func (r *Recommender) BuildSocial() {
 	r.beforeWrite()
 	r.compactLSB()
 	s := r.state
-	audiences := make(map[string][]string, len(s.records))
+	audiences := make(map[string][]string, len(s.order))
 	for _, id := range s.order {
-		audiences[id] = capAudience(s.records[id].Desc.Users(), r.opts.UIGMaxAudience)
+		audiences[id] = capAudience(s.record(id).Desc.Users(), r.opts.UIGMaxAudience)
 	}
 	audiences = FilterAudiences(audiences, r.opts.MinUserVideos)
 	r.graph = community.BuildUIG(audiences)
@@ -377,15 +401,18 @@ func (r *Recommender) rebuildDictionaries() {
 }
 
 // vectorizeAll recomputes every video's descriptor vector and rebuilds the
-// inverted files.
+// inverted files. Iterating in dense-index order makes every posting-list
+// insert hit the sorted-append fast path.
 func (r *Recommender) vectorizeAll() {
 	s := r.state
 	s.inv = index.NewInverted(s.part.Dim)
 	lookup := s.lookupFunc()
-	for _, id := range s.order {
-		rec := s.records[id]
+	for i, rec := range s.recs {
+		if rec == nil {
+			continue
+		}
 		rec.Vec = social.Vectorize(rec.Desc, lookup, s.part.Dim)
-		s.inv.Add(id, rec.Vec)
+		s.inv.Add(uint32(i), rec.Vec)
 	}
 }
 

@@ -246,10 +246,10 @@ func TestNaiveJaccardMatchesLinear(t *testing.T) {
 func TestApplyUpdatesGrowsDescriptors(t *testing.T) {
 	r, c := buildSmall(t, ModeSARHash)
 	target := r.state.order[0]
-	before := r.state.records[target].Desc.Len()
+	before := r.state.record(target).Desc.Len()
 	newUsers := []string{"brand-new-1", "brand-new-2", c.Users[0]}
 	rep := r.ApplyUpdates(map[string][]string{target: newUsers})
-	after := r.state.records[target].Desc.Len()
+	after := r.state.record(target).Desc.Len()
 	if after <= before {
 		t.Errorf("descriptor did not grow: %d -> %d", before, after)
 	}

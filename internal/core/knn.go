@@ -8,7 +8,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"videorec/internal/bitset"
 	"videorec/internal/faults"
+	"videorec/internal/index"
 	"videorec/internal/signature"
 	"videorec/internal/social"
 	"videorec/internal/topk"
@@ -34,6 +36,100 @@ type RecommendInfo struct {
 	Candidates int
 }
 
+// scoredCand is one social candidate (by dense index) with its s̃J score.
+type scoredCand struct {
+	i uint32
+	s float64
+}
+
+// queryScratch is everything one query needs beyond its inputs: the query
+// vector, the candidate and exclude bitsets, the merged candidate-index
+// buffer, the LCP walker, the social top-K selector, the refinement result
+// slots and a serial-path EMD scratch. It is pooled per view (View.scratch),
+// so steady-state candidate gathering allocates nothing.
+type queryScratch struct {
+	qvec    social.Vector
+	cand    bitset.Set // candidate membership, keyed by dense index
+	excl    bitset.Set // per-query exclusions, keyed by dense index
+	exclIdx []uint32   // bits set in excl, for cheap clearing
+	touched []uint32   // bits set in cand, for cheap clearing
+	merged  []uint32   // gathered candidates (exclusions already applied)
+	union   index.UnionScratch
+	walker  index.Walker
+	results []Result
+	sel     *topk.Selector[scoredCand]
+	kj      signature.KJScratch // serial refinement scratch, warm across queries
+}
+
+// selector returns the scratch's social top-K selector, creating it on
+// first use and resetting it otherwise. The order is total — s̃J descending,
+// video id (string, not dense index) ascending — so the kept set is exactly
+// the full sort's prefix, bit-identical to the pre-dense string-sorted path.
+func (qs *queryScratch) selector(v *View, k int) *topk.Selector[scoredCand] {
+	if qs.sel == nil {
+		// Capture the view, not a snapshot of its id slice: on the write-side
+		// view the intern table can grow between queries, and the pooled
+		// selector must always read the current table.
+		qs.sel = topk.New(k, func(a, b scoredCand) bool {
+			if a.s != b.s {
+				return a.s < b.s
+			}
+			ids := v.intern.ids
+			return ids[a.i] > ids[b.i]
+		})
+		return qs.sel
+	}
+	qs.sel.Reset(k)
+	return qs.sel
+}
+
+// addCandidate marks a dense index as gathered. Excluded indices still join
+// the candidate bitset (they occupy budget exactly as the map-based path's
+// post-hoc filtering behaved) but never reach the merged refinement list.
+func (qs *queryScratch) addCandidate(i uint32) {
+	qs.cand.Add(i)
+	qs.touched = append(qs.touched, i)
+	if !qs.excl.Has(i) {
+		qs.merged = append(qs.merged, i)
+	}
+}
+
+// getScratch hands out a pooled, cleared query scratch.
+func (v *View) getScratch() *queryScratch {
+	return v.scratch.Get().(*queryScratch)
+}
+
+// putScratch clears the scratch by undoing exactly the bits it set —
+// O(candidates), not O(collection) — and returns it to the pool.
+func (v *View) putScratch(qs *queryScratch) {
+	for _, i := range qs.touched {
+		qs.cand.Remove(i)
+	}
+	for _, i := range qs.exclIdx {
+		qs.excl.Remove(i)
+	}
+	qs.touched = qs.touched[:0]
+	qs.exclIdx = qs.exclIdx[:0]
+	qs.merged = qs.merged[:0]
+	qs.results = qs.results[:0]
+	v.scratch.Put(qs)
+}
+
+// resolveExcludes maps the excluded ids into the scratch's exclude bitset.
+// Unknown ids are ignored — they cannot be candidates.
+func (v *View) resolveExcludes(qs *queryScratch, exclude []string) {
+	if len(exclude) == 0 {
+		return
+	}
+	qs.excl.Grow(len(v.intern.ids))
+	for _, id := range exclude {
+		if i, ok := v.intern.idx[id]; ok {
+			qs.excl.Add(i)
+			qs.exclIdx = append(qs.exclIdx, i)
+		}
+	}
+}
+
 // Recommend returns the topK highest-FJ videos for the query, excluding the
 // ids in exclude (normally the query video itself). It implements the KNN
 // search of Figure 6 against the frozen view:
@@ -53,8 +149,8 @@ type RecommendInfo struct {
 //
 // Refinement is deterministic: each candidate's κJ/s̃J pair is computed
 // independently into a slot indexed by the candidate's position in the
-// sorted id list, so the parallel pool produces bit-identical rankings to
-// the serial path (Options.RefineWorkers = 1) regardless of scheduling.
+// gathered index list, so the parallel pool produces bit-identical rankings
+// to the serial path (Options.RefineWorkers = 1) regardless of scheduling.
 func (v *View) Recommend(q Query, topK int, exclude ...string) []Result {
 	res, _, _ := v.RecommendCtx(context.Background(), q, topK, exclude...)
 	return res
@@ -84,119 +180,127 @@ func (v *View) RecommendCtx(ctx context.Context, q Query, topK int, exclude ...s
 	if err := ctx.Err(); err != nil {
 		return nil, info, err
 	}
-	// The common query excludes nothing (ad-hoc clips) or one id (stored
-	// queries); don't pay for a map when there is nothing to put in it —
-	// lookups on the nil map below are free and always miss.
-	var skip map[string]bool
-	if len(exclude) > 0 {
-		skip = make(map[string]bool, len(exclude))
-		for _, id := range exclude {
-			skip[id] = true
-		}
-	}
+	qs := v.getScratch()
+	defer v.putScratch(qs)
+	v.resolveExcludes(qs, exclude)
 
-	var qvec social.Vector
-	useSocial := !v.opts.ContentWeightOnly
-	useContent := !v.opts.SocialOnly
-	if useSocial && v.opts.Mode != ModeExact {
-		v.mustBuild()
-		qvec = social.Vectorize(q.Desc, v.lookupFunc(), v.part.Dim)
+	useContent, useSocial, err := v.gather(ctx, q, qs)
+	if err != nil {
+		return nil, info, err
 	}
-
-	// Candidate gathering, polling the context between probe steps.
-	done := ctx.Done()
-	var candidates map[string]bool
-	switch {
-	case v.opts.FullScan || (v.opts.Mode == ModeExact && useSocial):
-		// Unoptimized CSF (or an effectiveness run that wants exhaustive
-		// ranking): every stored video is refined.
-		candidates = make(map[string]bool, len(v.order))
-		for i, id := range v.order {
-			if i%cancelCheckStride == 0 && ctxDone(done) {
-				return nil, info, ctx.Err()
-			}
-			candidates[id] = true
-		}
-	default:
-		candidates = make(map[string]bool, v.opts.CandidateLimit)
-		if useSocial {
-			// Step 1: social candidates ranked by s̃J; keep the budgeted top.
-			// Only CandidateLimit winners survive, so a bounded heap selects
-			// them in O(n log limit) without materializing or sorting the full
-			// inverted-file candidate list. The (s desc, id asc) order is
-			// total, so the kept set is exactly the full sort's prefix.
-			socCands := v.inv.Candidates(qvec)
-			type scored struct {
-				id string
-				s  float64
-			}
-			sel := topk.New(v.opts.CandidateLimit, func(a, b scored) bool {
-				if a.s != b.s {
-					return a.s < b.s
-				}
-				return a.id > b.id
-			})
-			for i, id := range socCands {
-				if i%cancelCheckStride == 0 && ctxDone(done) {
-					return nil, info, ctx.Err()
-				}
-				sel.Offer(scored{id, social.ApproxJaccard(qvec, v.records[id].Vec)})
-			}
-			for _, sc := range sel.Items() {
-				candidates[sc.id] = true
-			}
-		}
-		if useContent {
-			// Step 2: content candidates in LCP order.
-			w := v.lsb.NewWalker(q.Series)
-			for pops := 0; pops < v.opts.ContentProbe; pops++ {
-				if pops%cancelCheckStride == 0 && ctxDone(done) {
-					return nil, info, ctx.Err()
-				}
-				e, _, ok := w.Next()
-				if !ok {
-					break
-				}
-				if v.tombstones[e.VideoID] {
-					continue
-				}
-				candidates[e.VideoID] = true
-				if len(candidates) >= 2*v.opts.CandidateLimit {
-					break
-				}
-			}
-		}
-	}
-
-	// Step 3: FJ refinement across the worker pool.
-	ids := make([]string, 0, len(candidates))
-	for id := range candidates {
-		if !skip[id] {
-			ids = append(ids, id)
-		}
-	}
-	sort.Strings(ids)
-	info.Candidates = len(ids)
+	info.Candidates = len(qs.merged)
 
 	// Degrade up front when the deadline cannot plausibly fit a full EMD
 	// refinement pass: answer with the coarse social ranking immediately.
 	canDegrade := useContent && useSocial && v.opts.DegradeMargin > 0
 	if canDegrade {
 		if dl, ok := ctx.Deadline(); ok && time.Until(dl) < v.opts.DegradeMargin {
-			return v.finishCoarse(ctx, q, qvec, ids, topK, &info)
+			return v.finishCoarse(ctx, q, qs, topK, &info)
 		}
 	}
 
-	results, err := v.refine(ctx, q, qvec, ids, useContent, useSocial)
+	results, err := v.refine(ctx, q, qs, useContent, useSocial)
 	if err != nil {
 		// A deadline that expired mid-refinement still gets the coarse
 		// answer; cancellation and injected faults propagate as errors.
 		if canDegrade && err == context.DeadlineExceeded {
-			return v.finishCoarse(context.WithoutCancel(ctx), q, qvec, ids, topK, &info)
+			return v.finishCoarse(context.WithoutCancel(ctx), q, qs, topK, &info)
 		}
 		return nil, info, err
 	}
 	return topKResults(results, topK), info, nil
+}
+
+// GatherCandidates runs candidate generation only — steps 1–2 of the
+// Figure 6 KNN search, exactly as RecommendCtx performs them, without the
+// step-3 refinement — and reports how many candidates survived exclusion.
+// It exists for benchmarking and testing the gathering path in isolation;
+// with a warm view it allocates nothing.
+func (v *View) GatherCandidates(ctx context.Context, q Query, exclude ...string) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	qs := v.getScratch()
+	defer v.putScratch(qs)
+	v.resolveExcludes(qs, exclude)
+	if _, _, err := v.gather(ctx, q, qs); err != nil {
+		return 0, err
+	}
+	return len(qs.merged), nil
+}
+
+// gather fills qs.merged with the candidate set of steps 1–2, polling the
+// context between probe steps. Candidates are dense video indices; the
+// dense-index order is the deterministic order — no per-query id sort.
+func (v *View) gather(ctx context.Context, q Query, qs *queryScratch) (useContent, useSocial bool, err error) {
+	useSocial = !v.opts.ContentWeightOnly
+	useContent = !v.opts.SocialOnly
+	if useSocial && v.opts.Mode != ModeExact {
+		v.mustBuild()
+		qs.qvec = social.VectorizeInto(qs.qvec, q.Desc, v.look, v.part.Dim)
+	}
+
+	done := ctx.Done()
+	switch {
+	case v.opts.FullScan || (v.opts.Mode == ModeExact && useSocial):
+		// Unoptimized CSF (or an effectiveness run that wants exhaustive
+		// ranking): every stored video is refined.
+		for i, rec := range v.recs {
+			if i%cancelCheckStride == 0 && ctxDone(done) {
+				return false, false, ctx.Err()
+			}
+			if rec == nil || qs.excl.Has(uint32(i)) {
+				continue
+			}
+			qs.merged = append(qs.merged, uint32(i))
+		}
+	default:
+		qs.cand.Grow(len(v.intern.ids))
+		if useSocial {
+			// Step 1: social candidates ranked by s̃J; keep the budgeted top.
+			// The inverted-file union is a k-way merge of sorted posting
+			// lists, and only CandidateLimit winners survive, so a bounded
+			// heap selects them in O(n log limit). The (s desc, id asc)
+			// order is total, so the kept set is exactly the full sort's
+			// prefix.
+			socCands := v.inv.Union(qs.qvec, &qs.union)
+			sel := qs.selector(v, v.opts.CandidateLimit)
+			for i, idx := range socCands {
+				if i%cancelCheckStride == 0 && ctxDone(done) {
+					return false, false, ctx.Err()
+				}
+				sel.Offer(scoredCand{i: idx, s: social.ApproxJaccard(qs.qvec, v.recs[idx].Vec)})
+			}
+			for _, sc := range sel.Items() {
+				qs.addCandidate(sc.i)
+			}
+		}
+		if useContent {
+			// Step 2: content candidates in LCP order. The expansion budget
+			// counts candidates *content itself adds*: a full social step no
+			// longer starves content expansion by pre-filling the shared cap.
+			qs.walker.Reset(v.lsb, q.Series)
+			added := 0
+			for pops := 0; pops < v.opts.ContentProbe; pops++ {
+				if pops%cancelCheckStride == 0 && ctxDone(done) {
+					return false, false, ctx.Err()
+				}
+				e, _, ok := qs.walker.Next()
+				if !ok {
+					break
+				}
+				if v.tombstones.Has(e.Video) || qs.cand.Has(e.Video) {
+					continue
+				}
+				qs.addCandidate(e.Video)
+				added++
+				if added >= 2*v.opts.CandidateLimit {
+					break
+				}
+			}
+		}
+	}
+	return useContent, useSocial, nil
 }
 
 // ctxDone is a non-blocking poll of a context's done channel.
@@ -217,25 +321,36 @@ func ctxDone(done <-chan struct{}) bool {
 // entirely. s̃J over SAR vectors is a k-dimensional min/max ratio, orders of
 // magnitude cheaper than κJ, so this path answers within any realistic
 // margin. ctx is still honored (a hard cancel beats degradation).
-func (v *View) finishCoarse(ctx context.Context, q Query, qvec social.Vector, ids []string, topK int, info *RecommendInfo) ([]Result, RecommendInfo, error) {
+func (v *View) finishCoarse(ctx context.Context, q Query, qs *queryScratch, topK int, info *RecommendInfo) ([]Result, RecommendInfo, error) {
 	done := ctx.Done()
-	results := make([]Result, len(ids))
-	for i, id := range ids {
+	results := qs.resultSlots(len(qs.merged))
+	for i, idx := range qs.merged {
 		if i%cancelCheckStride == 0 && ctxDone(done) {
 			return nil, *info, ctx.Err()
 		}
-		soc := v.SocialRelevance(q, qvec, id)
-		results[i] = Result{VideoID: id, Score: soc, Social: soc}
+		soc := v.socialRelevanceRec(q, qs.qvec, v.recs[idx])
+		results[i] = Result{VideoID: v.intern.ids[idx], Score: soc, Social: soc}
 	}
 	info.Degraded = true
 	return topKResults(results, topK), *info, nil
+}
+
+// resultSlots returns the scratch's result buffer resized to n.
+func (qs *queryScratch) resultSlots(n int) []Result {
+	if cap(qs.results) >= n {
+		qs.results = qs.results[:n]
+	} else {
+		qs.results = make([]Result, n)
+	}
+	return qs.results
 }
 
 // topKResults selects the topK best results under (score desc, id asc). When
 // the candidate set exceeds topK — the normal serving shape, hundreds of
 // refined candidates for a top-10 answer — a bounded heap selects the winners
 // in O(n log topK) instead of sorting everything; the order is total, so the
-// output is identical to sort-and-truncate.
+// output is identical to sort-and-truncate. The returned slice is always
+// freshly allocated — the input may be pooled scratch storage.
 func topKResults(results []Result, topK int) []Result {
 	worse := func(a, b Result) bool {
 		if a.Score != b.Score {
@@ -244,8 +359,9 @@ func topKResults(results []Result, topK int) []Result {
 		return a.VideoID > b.VideoID
 	}
 	if len(results) <= topK {
-		sort.Slice(results, func(a, b int) bool { return worse(results[b], results[a]) })
-		return results
+		out := append([]Result(nil), results...)
+		sort.Slice(out, func(a, b int) bool { return worse(out[b], out[a]) })
+		return out
 	}
 	sel := topk.New(topK, worse)
 	for _, r := range results {
@@ -261,20 +377,23 @@ func topKResults(results []Result, topK int) []Result {
 // should touch it.
 var compiledRefine = true
 
-// refine computes the fused relevance of every candidate. Candidates are
-// claimed from a shared atomic cursor (κJ cost varies with series length, so
-// static chunking would leave workers idle) and each result lands in the
-// slot of its candidate's index, keeping the output independent of
-// scheduling. Workers poll ctx between candidates and, through
-// signature.KJCancelCompiled, between individual EMD evaluations; the first
-// cancellation or injected fault stops every worker claiming further work.
+// refine computes the fused relevance of every gathered candidate.
+// Candidates are claimed from a shared atomic cursor (κJ cost varies with
+// series length, so static chunking would leave workers idle) and each
+// result lands in the slot of its candidate's position in qs.merged, keeping
+// the output independent of scheduling. Workers poll ctx between candidates
+// and, through signature.KJCancelCompiled, between individual EMD
+// evaluations; the first cancellation or injected fault stops every worker
+// claiming further work.
 //
-// Steady-state the content scoring allocates nothing: the query's series is
-// compiled once per query, every stored candidate's compiled series is cached
-// in the view, and each worker owns one signature.KJScratch reused across all
-// the candidates it claims (strictly per-worker — never shared, never
-// returned).
-func (v *View) refine(ctx context.Context, q Query, qvec social.Vector, ids []string, useContent, useSocial bool) ([]Result, error) {
+// Steady-state refinement allocates nothing but the worker goroutines: the
+// query's series is compiled once per query, every stored candidate's
+// compiled series is cached in the view and resolved by dense index (no
+// string re-hash per score), the result slots live in the pooled query
+// scratch, and each worker draws a warm signature.KJScratch from the view's
+// per-worker pool (strictly private while held — never shared).
+func (v *View) refine(ctx context.Context, q Query, qs *queryScratch, useContent, useSocial bool) ([]Result, error) {
+	cands := qs.merged
 	done := ctx.Done()
 	var cancelled func() bool
 	if done != nil {
@@ -292,7 +411,7 @@ func (v *View) refine(ctx context.Context, q Query, qvec social.Vector, ids []st
 		failure.CompareAndSwap(nil, &e)
 	}
 
-	results := make([]Result, len(ids))
+	results := qs.resultSlots(len(cands))
 	score := func(i int, scratch *signature.KJScratch) bool {
 		if err := faults.Inject(faults.RefineScore); err != nil {
 			fail(err)
@@ -302,29 +421,28 @@ func (v *View) refine(ctx context.Context, q Query, qvec social.Vector, ids []st
 			fail(ctx.Err())
 			return false
 		}
-		id := ids[i]
+		idx := cands[i]
+		rec := v.recs[idx]
 		var content, soc float64
-		if useContent {
-			if rec, ok := v.records[id]; ok {
-				var kj float64
-				var complete bool
-				if qc != nil && rec.Compiled != nil {
-					kj, complete = signature.KJCancelCompiled(qc, rec.Compiled, v.opts.MatchThreshold, cancelled, scratch)
-				} else {
-					kj, complete = signature.KJCancel(q.Series, rec.Series, v.opts.MatchThreshold, cancelled)
-				}
-				if !complete {
-					fail(ctx.Err())
-					return false
-				}
-				content = kj
+		if useContent && rec != nil {
+			var kj float64
+			var complete bool
+			if qc != nil && rec.Compiled != nil {
+				kj, complete = signature.KJCancelCompiled(qc, rec.Compiled, v.opts.MatchThreshold, cancelled, scratch)
+			} else {
+				kj, complete = signature.KJCancel(q.Series, rec.Series, v.opts.MatchThreshold, cancelled)
 			}
+			if !complete {
+				fail(ctx.Err())
+				return false
+			}
+			content = kj
 		}
-		if useSocial {
-			soc = v.SocialRelevance(q, qvec, id)
+		if useSocial && rec != nil {
+			soc = v.socialRelevanceRec(q, qs.qvec, rec)
 		}
 		results[i] = Result{
-			VideoID: id,
+			VideoID: v.intern.ids[idx],
 			Score:   v.fuse(content, soc),
 			Content: content,
 			Social:  soc,
@@ -336,13 +454,12 @@ func (v *View) refine(ctx context.Context, q Query, qvec social.Vector, ids []st
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(ids) {
-		workers = len(ids)
+	if workers > len(cands) {
+		workers = len(cands)
 	}
-	if workers <= 1 || len(ids) < minParallelRefine {
-		var scratch signature.KJScratch
-		for i := range ids {
-			if !score(i, &scratch) {
+	if workers <= 1 || len(cands) < minParallelRefine {
+		for i := range cands {
+			if !score(i, &qs.kj) {
 				return nil, *failure.Load()
 			}
 		}
@@ -355,13 +472,14 @@ func (v *View) refine(ctx context.Context, q Query, qvec social.Vector, ids []st
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var scratch signature.KJScratch
+			scratch := v.kjScratch.Get().(*signature.KJScratch)
+			defer v.kjScratch.Put(scratch)
 			for failure.Load() == nil {
 				i := int(cursor.Add(1)) - 1
-				if i >= len(ids) {
+				if i >= len(cands) {
 					return
 				}
-				if !score(i, &scratch) {
+				if !score(i, scratch) {
 					return
 				}
 			}

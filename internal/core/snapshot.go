@@ -60,7 +60,7 @@ func (r *Recommender) Snapshot() *Snapshot {
 		Built:   st.built,
 	}
 	for _, id := range st.order {
-		rec := st.records[id]
+		rec := st.record(id)
 		series := make(signature.Series, len(rec.Series))
 		for i, sig := range rec.Series {
 			series[i] = signature.Signature{Cuboids: append([]signature.Cuboid(nil), sig.Cuboids...)}
@@ -168,6 +168,7 @@ func (r *Recommender) installSocial() {
 		},
 	})
 	r.vectorizeAll()
+	r.state.look = r.state.lookupFunc()
 	r.state.built = true
 }
 

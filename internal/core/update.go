@@ -41,8 +41,8 @@ func (r *Recommender) ApplyUpdates(newComments map[string][]string) UpdateReport
 	}
 	sort.Strings(vids)
 	for _, vid := range vids {
-		rec, ok := s.records[vid]
-		if !ok {
+		rec := s.record(vid)
+		if rec == nil {
 			continue
 		}
 		fresh := dedupeUsers(newComments[vid])
@@ -76,41 +76,46 @@ func (r *Recommender) ApplyUpdates(newComments map[string][]string) UpdateReport
 	st := r.maint.ApplyConnections(edges)
 	touched := r.touched
 
-	// Step 3: grow descriptors and re-vectorize affected videos.
-	dirty := map[string]bool{}
+	// Step 3: grow descriptors and re-vectorize affected videos. Dirty
+	// tracking is by dense index; re-posting in ascending index order keeps
+	// the sorted posting-list edits cache-friendly.
+	dirty := map[uint32]bool{}
 	for _, vid := range vids {
-		if rec, ok := s.records[vid]; ok {
+		if i, ok := s.intern.idx[vid]; ok && s.recs[i] != nil {
+			rec := s.recs[i]
 			rec.Desc = rec.Desc.Add(newComments[vid]...)
-			dirty[vid] = true
+			dirty[i] = true
 		}
 	}
 	if len(touched) > 0 {
-		for _, id := range s.order {
-			vec := s.records[id].Vec
+		for i, rec := range s.recs {
+			if rec == nil {
+				continue
+			}
 			for d := range touched {
-				if d < len(vec) && vec[d] > 0 {
-					dirty[id] = true
+				if d < len(rec.Vec) && rec.Vec[d] > 0 {
+					dirty[uint32(i)] = true
 					break
 				}
 			}
 		}
 	}
 	s.inv.Grow(s.part.Dim)
-	dirtyIDs := make([]string, 0, len(dirty))
-	for id := range dirty {
-		dirtyIDs = append(dirtyIDs, id)
+	dirtyIdx := make([]uint32, 0, len(dirty))
+	for i := range dirty {
+		dirtyIdx = append(dirtyIdx, i)
 	}
-	sort.Strings(dirtyIDs)
+	sort.Slice(dirtyIdx, func(a, b int) bool { return dirtyIdx[a] < dirtyIdx[b] })
 	lookup := s.lookupFunc()
-	for _, id := range dirtyIDs {
-		rec := s.records[id]
-		s.inv.Remove(id, rec.Vec)
+	for _, i := range dirtyIdx {
+		rec := s.recs[i]
+		s.inv.Remove(i, rec.Vec)
 		rec.Vec = social.Vectorize(rec.Desc, lookup, s.part.Dim)
-		s.inv.Add(id, rec.Vec)
+		s.inv.Add(i, rec.Vec)
 	}
 	return UpdateReport{
 		Maintenance:        st,
-		VideosRevectorized: len(dirtyIDs),
+		VideosRevectorized: len(dirtyIdx),
 		DimensionsTouched:  len(touched),
 	}
 }

@@ -2,7 +2,9 @@ package core
 
 import (
 	"sort"
+	"sync"
 
+	"videorec/internal/bitset"
 	"videorec/internal/community"
 	"videorec/internal/hashing"
 	"videorec/internal/index"
@@ -10,6 +12,36 @@ import (
 	"videorec/internal/social"
 	"videorec/internal/video"
 )
+
+// intern is the dense video-id table: every ingested id is assigned the
+// next uint32 index, forever. Indices are stable across removal and
+// re-ingest (a resurrected id reuses its slot), so every index structure —
+// posting lists, tombstones, the record table — can be integer-addressed.
+//
+// The table is shared copy-on-write across view clones exactly like the
+// compiled signatures: clone hands out the same pointer, and the first
+// mutation that mints a new id copies the table before appending (see
+// Recommender.internID). Most mutations (updates, removals) mint nothing
+// and share the table indefinitely.
+type intern struct {
+	ids []string          // dense index → video id
+	idx map[string]uint32 // video id → dense index
+}
+
+func newIntern() *intern {
+	return &intern{idx: make(map[string]uint32)}
+}
+
+func (t *intern) clone() *intern {
+	cp := &intern{
+		ids: append([]string(nil), t.ids...),
+		idx: make(map[string]uint32, len(t.idx)),
+	}
+	for id, i := range t.idx {
+		cp.idx[id] = i
+	}
+	return cp
+}
 
 // View is the frozen, immutable state one recommendation query needs: the
 // signature series and social descriptors of every stored video, the LSB
@@ -24,9 +56,12 @@ import (
 // View references (see clone) and applies itself to the private copy, so the
 // published View keeps answering queries from the state it froze.
 type View struct {
-	opts    Options
-	records map[string]*Record
-	order   []string // ingestion order: deterministic full scans
+	opts Options
+
+	intern      *intern   // dense id table, shared COW (see internID)
+	internOwned bool      // this view may append to intern without copying
+	recs        []*Record // dense index → record; nil marks a dead slot
+	order       []string  // ingestion order of live videos: deterministic builds
 
 	lsb   *index.LSB
 	inv   *index.Inverted
@@ -34,29 +69,62 @@ type View struct {
 	dict  []dictEntry // linear-scan dictionary for ModeSAR
 	part  *community.Partition
 
-	tombstones map[string]bool // removed videos with LSB entries pending compaction
+	tombstones bitset.Set // removed videos with LSB entries pending compaction
+	tombCount  int
 	built      bool
+
+	// look caches lookupFunc's closure for the query path — vectorizing the
+	// query descriptor must not allocate a fresh closure per query. Set by
+	// installSocial and rebuilt on clone (it binds the view's own table).
+	look social.Lookup
+
+	// scratch hands out per-query gather scratch (candidate bitset, qvec,
+	// merged index buffer, LCP walker, social selector); kjScratch hands out
+	// per-refinement-worker EMD scratch. Both are per-view so every pooled
+	// buffer is already sized for this view's id space, and both survive only
+	// as long as the view — a clone starts fresh pools.
+	scratch   *sync.Pool
+	kjScratch *sync.Pool
+}
+
+// newPools builds the view's scratch pools. Called by NewRecommender and
+// clone; the pool pointers are never shared between views.
+func (v *View) newPools() {
+	v.scratch = &sync.Pool{New: func() any { return new(queryScratch) }}
+	v.kjScratch = &sync.Pool{New: func() any { return new(signature.KJScratch) }}
 }
 
 // clone returns a View whose mutable structures are all privately owned:
-// record structs, ingestion order, the LSB trees, the inverted files, the
-// hash table, the linear dictionary, the partition assignment and the
-// tombstone set are copied; immutable payloads (signature series, social
-// descriptors, SAR vectors — all replaced wholesale, never edited in place)
-// are shared. The write side calls this exactly once per freeze→mutate
-// transition.
+// record structs, ingestion order, the LSB trees, the inverted-file table,
+// the hash table, the linear dictionary, the partition assignment and the
+// tombstone bitset are copied; immutable payloads (signature series, social
+// descriptors, SAR vectors, posting lists, the intern table — all replaced
+// wholesale, never edited in place) are shared copy-on-write. The write side
+// calls this exactly once per freeze→mutate transition.
 func (v *View) clone() *View {
 	nv := &View{
-		opts:    v.opts,
-		records: make(map[string]*Record, len(v.records)),
-		order:   append([]string(nil), v.order...),
-		lsb:     v.lsb.Clone(),
-		dict:    append([]dictEntry(nil), v.dict...),
-		built:   v.built,
+		opts:        v.opts,
+		intern:      v.intern, // shared until a new id is interned
+		internOwned: false,
+		order:       append([]string(nil), v.order...),
+		lsb:         v.lsb.Clone(),
+		dict:        append([]dictEntry(nil), v.dict...),
+		tombstones:  v.tombstones.Clone(),
+		tombCount:   v.tombCount,
+		built:       v.built,
 	}
-	for id, rec := range v.records {
-		cp := *rec
-		nv.records[id] = &cp
+	nv.newPools()
+	if len(v.recs) > 0 {
+		// One backing array for every record struct: two allocations total
+		// instead of one per record.
+		backing := make([]Record, len(v.recs))
+		nv.recs = make([]*Record, len(v.recs))
+		for i, rec := range v.recs {
+			if rec != nil {
+				backing[i] = *rec
+				nv.recs[i] = &backing[i]
+			}
+		}
 	}
 	if v.inv != nil {
 		nv.inv = v.inv.Clone()
@@ -76,20 +144,26 @@ func (v *View) clone() *View {
 			LightestIntra: v.part.LightestIntra,
 		}
 	}
-	if len(v.tombstones) > 0 {
-		nv.tombstones = make(map[string]bool, len(v.tombstones))
-		for id := range v.tombstones {
-			nv.tombstones[id] = true
-		}
+	if v.look != nil {
+		// Rebind to the clone's own table/dict/partition copies.
+		nv.look = nv.lookupFunc()
 	}
 	return nv
+}
+
+// record returns the dense-indexed record for a video id, or nil.
+func (v *View) record(id string) *Record {
+	if i, ok := v.intern.idx[id]; ok {
+		return v.recs[i]
+	}
+	return nil
 }
 
 // Options returns the view's configuration.
 func (v *View) Options() Options { return v.opts }
 
 // Len returns the number of stored videos in the view.
-func (v *View) Len() int { return len(v.records) }
+func (v *View) Len() int { return len(v.order) }
 
 // Built reports whether the social machinery had been built when the view
 // was frozen; Recommend in a SAR mode panics on an unbuilt view exactly as
@@ -97,15 +171,12 @@ func (v *View) Len() int { return len(v.records) }
 func (v *View) Built() bool { return v.built }
 
 // Has reports whether the video id is stored in the view.
-func (v *View) Has(id string) bool {
-	_, ok := v.records[id]
-	return ok
-}
+func (v *View) Has(id string) bool { return v.record(id) != nil }
 
 // Record returns the stored record for a video id.
 func (v *View) Record(id string) (*Record, bool) {
-	rec, ok := v.records[id]
-	return rec, ok
+	rec := v.record(id)
+	return rec, rec != nil
 }
 
 // Partition exposes the view's sub-community partition (nil before the
@@ -121,8 +192,8 @@ func (v *View) SortedIDs() []string {
 
 // QueryFor builds a Query from a stored video id.
 func (v *View) QueryFor(id string) (Query, bool) {
-	rec, ok := v.records[id]
-	if !ok {
+	rec := v.record(id)
+	if rec == nil {
 		return Query{}, false
 	}
 	return Query{Series: rec.Series, Desc: rec.Desc, comp: rec.Compiled}, true
@@ -138,8 +209,8 @@ func (v *View) AdHocQuery(vd *video.Video, desc social.Descriptor) Query {
 
 // ContentRelevance is κJ between the query and a stored video.
 func (v *View) ContentRelevance(q Query, id string) float64 {
-	rec, ok := v.records[id]
-	if !ok {
+	rec := v.record(id)
+	if rec == nil {
 		return 0
 	}
 	return signature.KJ(q.Series, rec.Series, v.opts.MatchThreshold)
@@ -149,10 +220,17 @@ func (v *View) ContentRelevance(q Query, id string) float64 {
 // and a stored video: exact sJ (naive quadratic, as the unoptimized system
 // the paper starts from) in ModeExact, s̃J over SAR vectors otherwise.
 func (v *View) SocialRelevance(q Query, qvec social.Vector, id string) float64 {
-	rec, ok := v.records[id]
-	if !ok {
+	rec := v.record(id)
+	if rec == nil {
 		return 0
 	}
+	return v.socialRelevanceRec(q, qvec, rec)
+}
+
+// socialRelevanceRec is SocialRelevance for a record already in hand — the
+// step-3 scoring loop resolves candidates by dense index and must not
+// re-hash the string id.
+func (v *View) socialRelevanceRec(q Query, qvec social.Vector, rec *Record) float64 {
 	if v.opts.Mode == ModeExact {
 		return naiveJaccard(q.Desc, rec.Desc)
 	}
@@ -160,14 +238,15 @@ func (v *View) SocialRelevance(q Query, qvec social.Vector, id string) float64 {
 }
 
 // VideosPerDim reports how many videos each inverted-file dimension holds —
-// the N_ui / N_si inputs of the Equation 8 cost model.
+// the N_ui / N_si inputs of the Equation 8 cost model — read directly off
+// the posting-list headers.
 func (v *View) VideosPerDim() []int {
 	if v.inv == nil {
 		return nil
 	}
 	out := make([]int, v.inv.Dims())
 	for d := range out {
-		out[d] = len(v.inv.VideosForDim(d))
+		out[d] = v.inv.DimLen(d)
 	}
 	return out
 }

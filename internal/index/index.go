@@ -3,6 +3,11 @@
 // LSH-hashed, Z-ordered and stored in a B⁺-tree whose entries carry the
 // video id — and the k inverted files mapping each sub-community id to the
 // videos whose descriptors touch it.
+//
+// Videos are identified by dense uint32 indices (interned by the owner — the
+// core view assigns them in ingestion order), so posting lists are flat
+// sorted integer arrays, set membership is a bitset probe, and candidate
+// union is a k-way merge instead of a hash-map union.
 package index
 
 import (
@@ -15,11 +20,11 @@ import (
 )
 
 // SigEntry is one LSB-tree payload: which video a stored signature belongs
-// to, and the signature itself so the refinement step can compute exact
-// SimC without a side lookup.
+// to (by dense index), and the signature itself so the refinement step can
+// compute exact SimC without a side lookup.
 type SigEntry struct {
-	VideoID string
-	Sig     signature.Signature
+	Video uint32
+	Sig   signature.Signature
 }
 
 // LSBOptions tunes the content index.
@@ -107,9 +112,9 @@ func (ix *LSB) key(t int, sig signature.Signature) uint64 {
 }
 
 // Add indexes every signature of a video's series into every tree.
-func (ix *LSB) Add(videoID string, series signature.Series) {
+func (ix *LSB) Add(video uint32, series signature.Series) {
 	for _, sig := range series {
-		e := SigEntry{VideoID: videoID, Sig: sig}
+		e := SigEntry{Video: video, Sig: sig}
 		for t := range ix.trees {
 			ix.trees[t].Insert(ix.key(t, sig), e)
 		}
@@ -119,38 +124,86 @@ func (ix *LSB) Add(videoID string, series signature.Series) {
 // Walker streams indexed signatures in decreasing order of the longest
 // common Z-order prefix with any signature of the query series — the "next
 // longest common prefix" search order of Figure 6. Each query signature
-// expands bidirectionally from its tree position; a tournament across all
-// fronts yields globally prefix-descending entries.
+// expands bidirectionally from its tree position; a max-heap keyed by each
+// front's current common-prefix length yields globally prefix-descending
+// entries in O(log F) per pop instead of a linear scan over all fronts.
+//
+// A Walker is reusable: Reset re-seeds it for a new query without
+// reallocating the front and heap storage, so pooled per-query scratch pays
+// no per-query allocation.
 type Walker struct {
 	ix     *LSB
-	fronts []*front
+	fronts []walkFront
+	heap   []walkItem
+
+	// Reusable keying buffers: Reset re-keys every query signature per tree,
+	// and these keep that free of allocation once warm.
+	v, mu []float64
+	ks    lsh.KeyScratch
 }
 
-type front struct {
+type walkFront struct {
 	qkey uint64
-	fwd  *btree.Iterator[SigEntry]
-	bwd  *btree.Iterator[SigEntry]
+	fwd  btree.Iterator[SigEntry]
+	bwd  btree.Iterator[SigEntry]
+}
+
+// walkItem is one heap entry: a front direction positioned on a live slot,
+// keyed by the common-prefix length of that slot with the front's query key.
+type walkItem struct {
+	p   int32 // common-prefix length of the current position
+	fi  int32 // front index, ascending tie-break
+	fwd bool  // forward direction wins ties within a front
+}
+
+// before is the heap's strict total order: longer prefixes pop first; among
+// equal prefixes the earliest front wins, forward before backward. This is
+// exactly the order the former linear tournament produced (first strict
+// improvement scanning fronts in creation order, fwd checked before bwd),
+// so the yield sequence is unchanged.
+func (a walkItem) before(b walkItem) bool {
+	if a.p != b.p {
+		return a.p > b.p
+	}
+	if a.fi != b.fi {
+		return a.fi < b.fi
+	}
+	return a.fwd && !b.fwd
 }
 
 // NewWalker prepares an LCP walk for the query series: one bidirectional
 // front per (query signature, tree) pair.
 func (ix *LSB) NewWalker(q signature.Series) *Walker {
-	w := &Walker{ix: ix}
+	w := &Walker{}
+	w.Reset(ix, q)
+	return w
+}
+
+// Reset re-seeds the walker for a new query against ix, reusing storage.
+func (w *Walker) Reset(ix *LSB, q signature.Series) {
+	w.ix = ix
+	w.fronts = w.fronts[:0]
+	w.heap = w.heap[:0]
 	for _, sig := range q {
+		w.v, w.mu = sig.ValuesInto(w.v, w.mu)
 		for t := range ix.trees {
-			k := ix.key(t, sig)
-			f := &front{qkey: k, fwd: ix.trees[t].Seek(k)}
-			f.bwd = f.fwd.Clone()
-			if !f.bwd.Prev() {
-				f.bwd = nil
+			k := ix.hfs[t].KeyInto(ix.emb, w.v, w.mu, &w.ks)
+			f := walkFront{qkey: k, fwd: ix.trees[t].SeekAt(k)}
+			f.bwd = f.fwd
+			fi := int32(len(w.fronts))
+			if f.bwd.Prev() {
+				w.push(walkItem{p: w.prefix(k, f.bwd.Key()), fi: fi, fwd: false})
 			}
-			if !f.fwd.Valid() {
-				f.fwd = nil
+			if f.fwd.Valid() {
+				w.push(walkItem{p: w.prefix(k, f.fwd.Key()), fi: fi, fwd: true})
 			}
 			w.fronts = append(w.fronts, f)
 		}
 	}
-	return w
+}
+
+func (w *Walker) prefix(qkey, key uint64) int32 {
+	return int32(lsh.CommonPrefixLen(qkey, key, w.ix.totalBits))
 }
 
 // Next returns the indexed entry with the globally longest remaining common
@@ -158,85 +211,156 @@ func (ix *LSB) NewWalker(q signature.Series) *Walker {
 // yielded at most once per front but a video naturally recurs across
 // signatures; the caller deduplicates at video level.
 func (w *Walker) Next() (SigEntry, int, bool) {
-	bestLen := -1
-	var bestFront *front
-	var takeFwd bool
-	for _, f := range w.fronts {
-		if f.fwd != nil {
-			if p := lsh.CommonPrefixLen(f.qkey, f.fwd.Key(), w.ix.totalBits); p > bestLen {
-				bestLen, bestFront, takeFwd = p, f, true
-			}
-		}
-		if f.bwd != nil {
-			if p := lsh.CommonPrefixLen(f.qkey, f.bwd.Key(), w.ix.totalBits); p > bestLen {
-				bestLen, bestFront, takeFwd = p, f, false
-			}
-		}
-	}
-	if bestFront == nil {
+	if len(w.heap) == 0 {
 		return SigEntry{}, 0, false
 	}
-	if takeFwd {
-		e := bestFront.fwd.Value()
-		if !bestFront.fwd.Next() {
-			bestFront.fwd = nil
+	top := w.heap[0]
+	yielded := int(top.p)
+	f := &w.fronts[top.fi]
+	var e SigEntry
+	var alive bool
+	if top.fwd {
+		e = f.fwd.Value()
+		alive = f.fwd.Next()
+		if alive {
+			top.p = w.prefix(f.qkey, f.fwd.Key())
 		}
-		return e, bestLen, true
+	} else {
+		e = f.bwd.Value()
+		alive = f.bwd.Prev()
+		if alive {
+			top.p = w.prefix(f.qkey, f.bwd.Key())
+		}
 	}
-	e := bestFront.bwd.Value()
-	if !bestFront.bwd.Prev() {
-		bestFront.bwd = nil
+	if alive {
+		// Replace the root with the advanced position and restore heap order.
+		w.heap[0] = top
+		w.down(0)
+	} else {
+		last := len(w.heap) - 1
+		w.heap[0] = w.heap[last]
+		w.heap = w.heap[:last]
+		if last > 0 {
+			w.down(0)
+		}
 	}
-	return e, bestLen, true
+	return e, yielded, true
 }
 
-// Inverted is the set of k inverted files of §4.4: one posting list of video
-// ids per sub-community dimension.
+func (w *Walker) push(it walkItem) {
+	w.heap = append(w.heap, it)
+	i := len(w.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !w.heap[i].before(w.heap[parent]) {
+			return
+		}
+		w.heap[i], w.heap[parent] = w.heap[parent], w.heap[i]
+		i = parent
+	}
+}
+
+func (w *Walker) down(i int) {
+	n := len(w.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && w.heap[l].before(w.heap[best]) {
+			best = l
+		}
+		if r < n && w.heap[r].before(w.heap[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		w.heap[i], w.heap[best] = w.heap[best], w.heap[i]
+		i = best
+	}
+}
+
+// Inverted is the set of k inverted files of §4.4: one posting list of
+// dense video indices per sub-community dimension. Posting lists are sorted
+// ascending and treated as immutable once shared: Clone copies only the
+// outer table (O(k)), and the first mutation of a dimension after a clone
+// replaces that dimension's list with a private copy. Views therefore share
+// posting lists copy-on-write exactly like compiled signatures.
 type Inverted struct {
-	lists []map[string]bool
+	lists [][]uint32
+	owned []bool // lists[d] is privately owned and may be mutated in place
 }
 
 // NewInverted allocates k empty posting lists.
 func NewInverted(k int) *Inverted {
-	iv := &Inverted{lists: make([]map[string]bool, k)}
-	for i := range iv.lists {
-		iv.lists[i] = make(map[string]bool)
-	}
-	return iv
+	return &Inverted{lists: make([][]uint32, k), owned: make([]bool, k)}
 }
 
 // Dims returns the number of posting lists.
 func (iv *Inverted) Dims() int { return len(iv.lists) }
 
-// Clone returns an independent copy of every posting list.
+// Clone returns a copy sharing every posting list copy-on-write: O(k)
+// regardless of how many postings exist. Both copies may afterwards be
+// mutated independently — the single-writer discipline of the core engine
+// guarantees the cloned-from side is a frozen view that never mutates.
 func (iv *Inverted) Clone() *Inverted {
-	cp := &Inverted{lists: make([]map[string]bool, len(iv.lists))}
-	for d, list := range iv.lists {
-		m := make(map[string]bool, len(list))
-		for id := range list {
-			m[id] = true
-		}
-		cp.lists[d] = m
+	cp := &Inverted{
+		lists: append([][]uint32(nil), iv.lists...),
+		owned: make([]bool, len(iv.lists)),
 	}
 	return cp
 }
 
-// Add posts the video under every dimension its descriptor vector touches.
-func (iv *Inverted) Add(videoID string, vec social.Vector) {
+// own makes dimension d's list privately mutable, copying it if shared.
+func (iv *Inverted) own(d int) {
+	if !iv.owned[d] {
+		iv.lists[d] = append([]uint32(nil), iv.lists[d]...)
+		iv.owned[d] = true
+	}
+}
+
+// Add posts the video under every dimension its descriptor vector touches,
+// keeping each posting list sorted. Appending videos in ascending index
+// order (the bulk-build path — ingestion order is interning order) is O(1)
+// amortized per posting; out-of-order inserts pay one memmove.
+func (iv *Inverted) Add(video uint32, vec social.Vector) {
 	for d, x := range vec {
-		if x > 0 && d < len(iv.lists) {
-			iv.lists[d][videoID] = true
+		if x <= 0 || d >= len(iv.lists) {
+			continue
 		}
+		list := iv.lists[d]
+		n := len(list)
+		if n == 0 || list[n-1] < video {
+			iv.own(d)
+			iv.lists[d] = append(iv.lists[d], video)
+			continue
+		}
+		i := sort.Search(n, func(i int) bool { return list[i] >= video })
+		if i < n && list[i] == video {
+			continue // already posted
+		}
+		iv.own(d)
+		list = append(iv.lists[d], 0)
+		copy(list[i+1:], list[i:])
+		list[i] = video
+		iv.lists[d] = list
 	}
 }
 
 // Remove unposts the video from every dimension of the given vector (use
 // the vector it was added with).
-func (iv *Inverted) Remove(videoID string, vec social.Vector) {
+func (iv *Inverted) Remove(video uint32, vec social.Vector) {
 	for d, x := range vec {
-		if x > 0 && d < len(iv.lists) {
-			delete(iv.lists[d], videoID)
+		if x <= 0 || d >= len(iv.lists) {
+			continue
 		}
+		list := iv.lists[d]
+		i := sort.Search(len(list), func(i int) bool { return list[i] >= video })
+		if i >= len(list) || list[i] != video {
+			continue
+		}
+		iv.own(d)
+		list = iv.lists[d]
+		iv.lists[d] = append(list[:i], list[i+1:]...)
 	}
 }
 
@@ -244,39 +368,105 @@ func (iv *Inverted) Remove(videoID string, vec social.Vector) {
 // sub-community ids past the original k).
 func (iv *Inverted) Grow(k int) {
 	for len(iv.lists) < k {
-		iv.lists = append(iv.lists, make(map[string]bool))
+		iv.lists = append(iv.lists, nil)
+		iv.owned = append(iv.owned, true)
 	}
 }
 
-// VideosForDim returns the sorted posting list of one dimension.
-func (iv *Inverted) VideosForDim(d int) []string {
+// DimLen returns the posting-list length of one dimension — the N_ui / N_si
+// inputs of the Equation 8 cost model, read directly off the list header.
+func (iv *Inverted) DimLen(d int) int {
+	if d < 0 || d >= len(iv.lists) {
+		return 0
+	}
+	return len(iv.lists[d])
+}
+
+// Postings returns one dimension's sorted posting list. The caller must
+// treat it as immutable — it is shared with every clone of the index.
+func (iv *Inverted) Postings(d int) []uint32 {
 	if d < 0 || d >= len(iv.lists) {
 		return nil
 	}
-	out := make([]string, 0, len(iv.lists[d]))
-	for id := range iv.lists[d] {
-		out = append(out, id)
+	return iv.lists[d]
+}
+
+// UnionScratch is reusable storage for Union, pooled per query by the
+// caller so steady-state candidate gathering allocates nothing.
+type UnionScratch struct {
+	heads [][]uint32 // cursor per active posting list (remaining suffix)
+	out   []uint32
+}
+
+// Union returns every video sharing at least one non-zero dimension with
+// the query vector, as a sorted, deduplicated slice of dense indices — the
+// k-way merge of the touched posting lists. The dense-index order is the
+// deterministic order; no per-query sort happens. The result aliases either
+// scratch storage or a single shared posting list and is only valid until
+// the next Union with the same scratch; callers must not mutate it.
+func (iv *Inverted) Union(q social.Vector, scratch *UnionScratch) []uint32 {
+	heads := scratch.heads[:0]
+	for d, x := range q {
+		if x <= 0 || d >= len(iv.lists) || len(iv.lists[d]) == 0 {
+			continue
+		}
+		heads = append(heads, iv.lists[d])
 	}
-	sort.Strings(out)
+	scratch.heads = heads
+	switch len(heads) {
+	case 0:
+		return nil
+	case 1:
+		// A single touched list is already the union; hand it out directly
+		// (the caller's read-only contract makes sharing safe).
+		return heads[0]
+	}
+
+	// Min-heap of cursors keyed by each list's next value. Pop the global
+	// minimum, emit it, advance the popped cursor; duplicates across lists
+	// collapse against the last emitted value.
+	out := scratch.out[:0]
+	for i := len(heads)/2 - 1; i >= 0; i-- {
+		mergeDown(heads, i)
+	}
+	for len(heads) > 0 {
+		v := heads[0][0]
+		if len(out) == 0 || out[len(out)-1] != v {
+			out = append(out, v)
+		}
+		if rest := heads[0][1:]; len(rest) > 0 {
+			heads[0] = rest
+			mergeDown(heads, 0)
+		} else {
+			last := len(heads) - 1
+			heads[0] = heads[last]
+			heads = heads[:last]
+			if last > 0 {
+				mergeDown(heads, 0)
+			}
+		}
+	}
+	scratch.out = out
 	return out
 }
 
-// Candidates returns every video sharing at least one non-zero dimension
-// with the query vector, sorted for determinism.
-func (iv *Inverted) Candidates(q social.Vector) []string {
-	seen := map[string]bool{}
-	for d, x := range q {
-		if x <= 0 || d >= len(iv.lists) {
-			continue
+// mergeDown restores the min-heap property for the cursor heap (keyed by
+// each cursor's head value) from position i downward.
+func mergeDown(heads [][]uint32, i int) {
+	n := len(heads)
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && heads[l][0] < heads[least][0] {
+			least = l
 		}
-		for id := range iv.lists[d] {
-			seen[id] = true
+		if r < n && heads[r][0] < heads[least][0] {
+			least = r
 		}
+		if least == i {
+			return
+		}
+		heads[i], heads[least] = heads[least], heads[i]
+		i = least
 	}
-	out := make([]string, 0, len(seen))
-	for id := range seen {
-		out = append(out, id)
-	}
-	sort.Strings(out)
-	return out
 }

@@ -2,8 +2,10 @@ package index
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 
+	"videorec/internal/lsh"
 	"videorec/internal/signature"
 	"videorec/internal/social"
 	"videorec/internal/video"
@@ -18,7 +20,7 @@ func series(topic int, seed int64) signature.Series {
 func TestLSBAddAndLen(t *testing.T) {
 	ix := NewLSB(DefaultLSBOptions())
 	s := series(1, 1)
-	ix.Add("v1", s)
+	ix.Add(1, s)
 	if ix.Len() != len(s) {
 		t.Errorf("Len = %d, want %d", ix.Len(), len(s))
 	}
@@ -29,7 +31,7 @@ func TestWalkerYieldsEverythingOnce(t *testing.T) {
 	total := 0
 	for i := 0; i < 5; i++ {
 		s := series(i, int64(i+1))
-		ix.Add(vid(i), s)
+		ix.Add(uint32(i), s)
 		total += len(s)
 	}
 	w := ix.NewWalker(series(1, 99)[:1]) // single query signature
@@ -52,7 +54,7 @@ func TestWalkerYieldsEverythingOnce(t *testing.T) {
 func TestWalkerPrefixDescendingPerFront(t *testing.T) {
 	ix := NewLSB(DefaultLSBOptions())
 	for i := 0; i < 6; i++ {
-		ix.Add(vid(i), series(i, int64(i+1)))
+		ix.Add(uint32(i), series(i, int64(i+1)))
 	}
 	w := ix.NewWalker(series(2, 50)[:1])
 	last := 1 << 30
@@ -71,19 +73,20 @@ func TestWalkerPrefixDescendingPerFront(t *testing.T) {
 func TestWalkerFindsNearDuplicateFirst(t *testing.T) {
 	ix := NewLSB(DefaultLSBOptions())
 	orig := series(3, 7)
-	ix.Add("orig", orig)
+	const origIdx = 100
+	ix.Add(origIdx, orig)
 	for i := 0; i < 8; i++ {
-		ix.Add(vid(i), series(10+i, int64(i+20)))
+		ix.Add(uint32(i), series(10+i, int64(i+20)))
 	}
 	// Query with the original's own signatures: the first few entries must
-	// come from "orig" (identical keys → maximal prefix).
+	// come from origIdx (identical keys → maximal prefix).
 	w := ix.NewWalker(orig)
 	e, p, ok := w.Next()
 	if !ok {
 		t.Fatal("walker empty")
 	}
-	if e.VideoID != "orig" {
-		t.Errorf("first hit = %s (prefix %d), want orig", e.VideoID, p)
+	if e.Video != origIdx {
+		t.Errorf("first hit = %d (prefix %d), want %d", e.Video, p, origIdx)
 	}
 	if p != 64 {
 		t.Errorf("self prefix = %d, want 64", p)
@@ -96,33 +99,187 @@ func TestWalkerEmptyIndexAndQuery(t *testing.T) {
 	if _, _, ok := w.Next(); ok {
 		t.Error("walker on empty index yielded an entry")
 	}
-	ix.Add("v", series(1, 1))
+	ix.Add(7, series(1, 1))
 	w = ix.NewWalker(nil)
 	if _, _, ok := w.Next(); ok {
 		t.Error("walker with empty query yielded an entry")
 	}
 }
 
-func TestInvertedAddCandidates(t *testing.T) {
-	iv := NewInverted(4)
-	iv.Add("a", social.Vector{1, 0, 2, 0})
-	iv.Add("b", social.Vector{0, 3, 0, 0})
-	iv.Add("c", social.Vector{0, 1, 1, 0})
-	got := iv.Candidates(social.Vector{0, 0, 5, 0})
-	if len(got) != 2 || got[0] != "a" || got[1] != "c" {
-		t.Errorf("Candidates = %v, want [a c]", got)
+// linearWalkerYield replays the pre-heap walker's selection rule — scan every
+// front in creation order, fwd before bwd, take the first strict improvement —
+// over a private set of iterators, yielding (video, prefix) pairs. The heap
+// walker must produce the identical sequence.
+func linearWalkerYield(ix *LSB, q signature.Series, maxYields int) [][2]int {
+	type front struct {
+		qkey     uint64
+		fwd, bwd int // positions into the collected key/entry arrays; -1 = dead
 	}
-	if got := iv.Candidates(social.Vector{0, 0, 0, 1}); len(got) != 0 {
-		t.Errorf("empty dim candidates = %v", got)
+	// Materialize each tree's ordered (key, video) sequence once.
+	type kv struct {
+		key   uint64
+		video uint32
+	}
+	flat := make([][]kv, ix.Trees())
+	for t := range ix.trees {
+		it := ix.trees[t].SeekAt(0)
+		for ; it.Valid(); it.Next() {
+			flat[t] = append(flat[t], kv{it.Key(), it.Value().Video})
+		}
+	}
+	type ffront struct {
+		tree int
+		front
+	}
+	var fronts []ffront
+	for _, sig := range q {
+		for t := range ix.trees {
+			k := ix.key(t, sig)
+			pos := sort.Search(len(flat[t]), func(i int) bool { return flat[t][i].key >= k })
+			f := ffront{tree: t, front: front{qkey: k, fwd: pos, bwd: pos - 1}}
+			if f.fwd >= len(flat[t]) {
+				f.fwd = -1
+				// Matches the production walker: when the seek runs past the
+				// end of the tree, the backward front is never seeded.
+				f.bwd = -1
+			}
+			fronts = append(fronts, f)
+		}
+	}
+	var out [][2]int
+	for len(out) < maxYields {
+		bestP, bestF, bestFwd := -1, -1, false
+		for fi := range fronts {
+			f := &fronts[fi]
+			if f.fwd >= 0 {
+				p := lsh.CommonPrefixLen(f.qkey, flat[f.tree][f.fwd].key, ix.totalBits)
+				if p > bestP {
+					bestP, bestF, bestFwd = p, fi, true
+				}
+			}
+			if f.bwd >= 0 {
+				p := lsh.CommonPrefixLen(f.qkey, flat[f.tree][f.bwd].key, ix.totalBits)
+				if p > bestP {
+					bestP, bestF, bestFwd = p, fi, false
+				}
+			}
+		}
+		if bestF < 0 {
+			break
+		}
+		f := &fronts[bestF]
+		if bestFwd {
+			out = append(out, [2]int{int(flat[f.tree][f.fwd].video), bestP})
+			f.fwd++
+			if f.fwd >= len(flat[f.tree]) {
+				f.fwd = -1
+			}
+		} else {
+			out = append(out, [2]int{int(flat[f.tree][f.bwd].video), bestP})
+			f.bwd--
+		}
+	}
+	return out
+}
+
+// TestWalkerMatchesLinearReference proves the heap-driven walker yields the
+// exact sequence of the linear-tournament walker it replaced — same videos,
+// same prefixes, same order — across several query shapes.
+func TestWalkerMatchesLinearReference(t *testing.T) {
+	ix := NewLSB(DefaultLSBOptions())
+	for i := 0; i < 14; i++ {
+		ix.Add(uint32(i*3), series(i%7, int64(i+1)))
+	}
+	queries := []signature.Series{
+		series(2, 50)[:1],
+		series(4, 81),
+		series(0, 7)[:2],
+	}
+	for qi, q := range queries {
+		want := linearWalkerYield(ix, q, 1<<30)
+		w := ix.NewWalker(q)
+		var got [][2]int
+		for {
+			e, p, ok := w.Next()
+			if !ok {
+				break
+			}
+			got = append(got, [2]int{int(e.Video), p})
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %d: heap walker yielded %d entries, reference %d", qi, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("query %d: yield %d = %v, reference %v", qi, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestWalkerResetReuses verifies a Reset walker behaves like a fresh one.
+func TestWalkerResetReuses(t *testing.T) {
+	ix := NewLSB(DefaultLSBOptions())
+	for i := 0; i < 6; i++ {
+		ix.Add(uint32(i), series(i, int64(i+1)))
+	}
+	q := series(3, 9)[:1]
+	collect := func(w *Walker) [][2]int {
+		var out [][2]int
+		for {
+			e, p, ok := w.Next()
+			if !ok {
+				break
+			}
+			out = append(out, [2]int{int(e.Video), p})
+		}
+		return out
+	}
+	w := ix.NewWalker(series(1, 2))
+	collect(w) // drain with an unrelated query
+	w.Reset(ix, q)
+	got := collect(w)
+	want := collect(ix.NewWalker(q))
+	if len(got) != len(want) {
+		t.Fatalf("reset walker yielded %d entries, fresh %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("yield %d: reset %v, fresh %v", i, got[i], want[i])
+		}
+	}
+}
+
+func unionOf(t *testing.T, iv *Inverted, q social.Vector) []uint32 {
+	t.Helper()
+	var sc UnionScratch
+	out := iv.Union(q, &sc)
+	return append([]uint32(nil), out...)
+}
+
+func TestInvertedAddUnion(t *testing.T) {
+	iv := NewInverted(4)
+	iv.Add(0, social.Vector{1, 0, 2, 0}) // a
+	iv.Add(1, social.Vector{0, 3, 0, 0}) // b
+	iv.Add(2, social.Vector{0, 1, 1, 0}) // c
+	got := unionOf(t, iv, social.Vector{0, 0, 5, 0})
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("Union = %v, want [0 2]", got)
+	}
+	if got := unionOf(t, iv, social.Vector{0, 0, 0, 1}); len(got) != 0 {
+		t.Errorf("empty dim union = %v", got)
+	}
+	if got := unionOf(t, iv, social.Vector{1, 1, 1, 0}); len(got) != 3 {
+		t.Errorf("full union = %v, want 3 videos", got)
 	}
 }
 
 func TestInvertedRemove(t *testing.T) {
 	iv := NewInverted(3)
 	vec := social.Vector{1, 1, 0}
-	iv.Add("a", vec)
-	iv.Remove("a", vec)
-	if got := iv.Candidates(social.Vector{1, 1, 1}); len(got) != 0 {
+	iv.Add(5, vec)
+	iv.Remove(5, vec)
+	if got := unionOf(t, iv, social.Vector{1, 1, 1}); len(got) != 0 {
 		t.Errorf("after remove: %v", got)
 	}
 }
@@ -133,9 +290,12 @@ func TestInvertedGrow(t *testing.T) {
 	if iv.Dims() != 5 {
 		t.Errorf("Dims = %d, want 5", iv.Dims())
 	}
-	iv.Add("a", social.Vector{0, 0, 0, 0, 2})
-	if got := iv.VideosForDim(4); len(got) != 1 || got[0] != "a" {
-		t.Errorf("VideosForDim(4) = %v", got)
+	iv.Add(9, social.Vector{0, 0, 0, 0, 2})
+	if got := iv.Postings(4); len(got) != 1 || got[0] != 9 {
+		t.Errorf("Postings(4) = %v", got)
+	}
+	if iv.DimLen(4) != 1 {
+		t.Errorf("DimLen(4) = %d, want 1", iv.DimLen(4))
 	}
 	iv.Grow(3) // shrink requests are ignored
 	if iv.Dims() != 5 {
@@ -143,29 +303,200 @@ func TestInvertedGrow(t *testing.T) {
 	}
 }
 
-func TestVideosForDimBounds(t *testing.T) {
+func TestPostingsBounds(t *testing.T) {
 	iv := NewInverted(2)
-	if got := iv.VideosForDim(-1); got != nil {
+	if got := iv.Postings(-1); got != nil {
 		t.Errorf("dim -1 = %v", got)
 	}
-	if got := iv.VideosForDim(9); got != nil {
+	if got := iv.Postings(9); got != nil {
 		t.Errorf("dim 9 = %v", got)
+	}
+	if iv.DimLen(-1) != 0 || iv.DimLen(9) != 0 {
+		t.Error("DimLen out of bounds should be 0")
 	}
 }
 
-func vid(i int) string { return string(rune('a'+i)) + "-video" }
+// TestInvertedSortedInvariant checks posting lists stay sorted and unique
+// under out-of-order adds, duplicate adds and interleaved removals.
+func TestInvertedSortedInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	iv := NewInverted(3)
+	live := map[uint32]social.Vector{}
+	for step := 0; step < 500; step++ {
+		v := uint32(rng.Intn(64))
+		if vec, ok := live[v]; ok && rng.Intn(3) == 0 {
+			iv.Remove(v, vec)
+			delete(live, v)
+			continue
+		}
+		vec := social.Vector{float64(rng.Intn(2)), float64(rng.Intn(2)), float64(rng.Intn(2))}
+		if old, ok := live[v]; ok {
+			iv.Remove(v, old)
+		}
+		iv.Add(v, vec)
+		live[v] = vec
+	}
+	for d := 0; d < iv.Dims(); d++ {
+		list := iv.Postings(d)
+		for i := 1; i < len(list); i++ {
+			if list[i-1] >= list[i] {
+				t.Fatalf("dim %d not sorted/unique at %d: %v", d, i, list)
+			}
+		}
+		for _, v := range list {
+			vec, ok := live[v]
+			if !ok || vec[d] <= 0 {
+				t.Fatalf("dim %d posts %d which should not be posted", d, v)
+			}
+		}
+		for v, vec := range live {
+			if vec[d] > 0 {
+				i := sort.Search(len(list), func(i int) bool { return list[i] >= v })
+				if i >= len(list) || list[i] != v {
+					t.Fatalf("dim %d missing %d", d, v)
+				}
+			}
+		}
+	}
+}
+
+// TestUnionMatchesMapReference is the property test of the k-way merge: for
+// random posting-list states (including removals and Grow-extended dims) and
+// random query vectors, Union must return exactly the sorted set a map-based
+// reference union produces.
+func TestUnionMatchesMapReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 60; trial++ {
+		k := 1 + rng.Intn(6)
+		iv := NewInverted(k)
+		live := map[uint32]social.Vector{}
+		n := rng.Intn(80)
+		for i := 0; i < n; i++ {
+			v := uint32(rng.Intn(100))
+			vec := make(social.Vector, k)
+			for d := range vec {
+				if rng.Intn(3) == 0 {
+					vec[d] = float64(1 + rng.Intn(3))
+				}
+			}
+			if old, ok := live[v]; ok {
+				iv.Remove(v, old)
+			}
+			iv.Add(v, vec)
+			live[v] = vec
+		}
+		// Random removals.
+		for v, vec := range live {
+			if rng.Intn(4) == 0 {
+				iv.Remove(v, vec)
+				delete(live, v)
+			}
+		}
+		// Occasionally grow and post a video into the new dimensions.
+		if rng.Intn(2) == 0 {
+			k += 2
+			iv.Grow(k)
+			v := uint32(200 + trial)
+			vec := make(social.Vector, k)
+			vec[k-1] = 1
+			iv.Add(v, vec)
+			live[v] = vec
+		}
+
+		q := make(social.Vector, k)
+		for d := range q {
+			if rng.Intn(2) == 0 {
+				q[d] = float64(rng.Intn(3)) // zero entries must not contribute
+			}
+		}
+
+		// Map-based reference union.
+		want := map[uint32]bool{}
+		for v, vec := range live {
+			for d := 0; d < k && d < len(vec); d++ {
+				if q[d] > 0 && vec[d] > 0 {
+					want[v] = true
+				}
+			}
+		}
+		wantSorted := make([]uint32, 0, len(want))
+		for v := range want {
+			wantSorted = append(wantSorted, v)
+		}
+		sort.Slice(wantSorted, func(a, b int) bool { return wantSorted[a] < wantSorted[b] })
+
+		got := unionOf(t, iv, q)
+		if len(got) != len(wantSorted) {
+			t.Fatalf("trial %d: union %v, want %v", trial, got, wantSorted)
+		}
+		for i := range got {
+			if got[i] != wantSorted[i] {
+				t.Fatalf("trial %d: union %v, want %v", trial, got, wantSorted)
+			}
+		}
+	}
+}
+
+// TestInvertedCloneIsolation verifies the copy-on-write sharing: mutations on
+// a clone never leak into the original's posting lists and vice versa.
+func TestInvertedCloneIsolation(t *testing.T) {
+	iv := NewInverted(2)
+	iv.Add(1, social.Vector{1, 1})
+	iv.Add(3, social.Vector{1, 0})
+
+	cp := iv.Clone()
+	cp.Add(2, social.Vector{1, 1})
+	cp.Remove(3, social.Vector{1, 0})
+
+	if got := unionOf(t, iv, social.Vector{1, 0}); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("original dim 0 changed by clone mutation: %v", got)
+	}
+	if got := unionOf(t, cp, social.Vector{1, 0}); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("clone dim 0 = %v, want [1 2]", got)
+	}
+
+	// Mutating the original after cloning must not disturb the clone either.
+	iv.Add(0, social.Vector{0, 1})
+	if got := unionOf(t, cp, social.Vector{0, 1}); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("clone dim 1 changed by original mutation: %v", got)
+	}
+}
+
+// TestUnionZeroAlloc pins the steady-state union to zero allocations once
+// the scratch is warm.
+func TestUnionZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	iv := NewInverted(4)
+	for i := 0; i < 200; i++ {
+		vec := social.Vector{0, 0, 0, 0}
+		vec[i%4] = 1
+		vec[(i+1)%4] = 1
+		iv.Add(uint32(i), vec)
+	}
+	q := social.Vector{1, 0, 1, 1}
+	var sc UnionScratch
+	iv.Union(q, &sc) // warm the scratch
+	allocs := testing.AllocsPerRun(100, func() {
+		iv.Union(q, &sc)
+	})
+	if allocs != 0 {
+		t.Errorf("Union allocates %v per run, want 0", allocs)
+	}
+}
 
 func BenchmarkWalkerNext(b *testing.B) {
 	ix := NewLSB(DefaultLSBOptions())
 	for i := 0; i < 50; i++ {
-		ix.Add(vid(i%20), series(i%10, int64(i)))
+		ix.Add(uint32(i%20), series(i%10, int64(i)))
 	}
 	q := series(3, 999)
 	b.ResetTimer()
 	w := ix.NewWalker(q)
 	for i := 0; i < b.N; i++ {
 		if _, _, ok := w.Next(); !ok {
-			w = ix.NewWalker(q)
+			w.Reset(ix, q)
 		}
 	}
 }
@@ -182,8 +513,8 @@ func TestForestImprovesRecall(t *testing.T) {
 	single, forest := mk(1), mk(4)
 	for i := 0; i < 12; i++ {
 		s := series(i%6, int64(i+1))
-		single.Add(vid(i), s)
-		forest.Add(vid(i), s)
+		single.Add(uint32(i), s)
+		forest.Add(uint32(i), s)
 	}
 	recall := func(ix *LSB) int {
 		hits := 0
@@ -195,7 +526,7 @@ func TestForestImprovesRecall(t *testing.T) {
 				if !ok {
 					break
 				}
-				if e.VideoID == vid(probe) {
+				if e.Video == uint32(probe) {
 					hits++
 					break
 				}

@@ -1,0 +1,8 @@
+//go:build race
+
+package index
+
+// raceEnabled reports whether the race detector is instrumenting this build.
+// Allocation-count tests skip under -race: the detector's shadow bookkeeping
+// shows up in testing.AllocsPerRun.
+const raceEnabled = true

@@ -48,7 +48,19 @@ func (e *Embedder) Dim() int { return e.dim }
 // must be parallel slices; weights should be normalized (total mass 1) for
 // the L1-distance-approximates-EMD guarantee to be meaningful.
 func (e *Embedder) Embed(vals, weights []float64) []float64 {
-	out := make([]float64, e.dim)
+	return e.EmbedInto(nil, vals, weights)
+}
+
+// EmbedInto is Embed writing into dst's storage when it has the capacity.
+// The returned slice must be used in place of dst.
+func (e *Embedder) EmbedInto(dst []float64, vals, weights []float64) []float64 {
+	var out []float64
+	if cap(dst) >= e.dim {
+		out = dst[:e.dim]
+		clear(out)
+	} else {
+		out = make([]float64, e.dim)
+	}
 	span := e.max - e.min
 	offset := 0
 	for l := 0; l < e.levels; l++ {
@@ -128,7 +140,18 @@ func (hf *HashFamily) Bits() int { return hf.bits }
 
 // Hash computes the m clamped hash values of x.
 func (hf *HashFamily) Hash(x []float64) []int {
-	out := make([]int, hf.m)
+	return hf.HashInto(nil, x)
+}
+
+// HashInto is Hash writing into dst's storage when it has the capacity. The
+// returned slice must be used in place of dst.
+func (hf *HashFamily) HashInto(dst []int, x []float64) []int {
+	var out []int
+	if cap(dst) >= hf.m {
+		out = dst[:hf.m]
+	} else {
+		out = make([]int, hf.m)
+	}
 	half := 1 << (hf.bits - 1)
 	limit := (1 << hf.bits) - 1
 	for i := 0; i < hf.m; i++ {
@@ -152,6 +175,20 @@ func (hf *HashFamily) Hash(x []float64) []int {
 // Key embeds, hashes and Z-orders a weighted point set in one call.
 func (hf *HashFamily) Key(e *Embedder, vals, weights []float64) uint64 {
 	return ZOrder(hf.Hash(e.Embed(vals, weights)), hf.bits)
+}
+
+// KeyScratch holds the intermediate embedding and hash buffers of KeyInto so
+// repeated keying (the per-query walker seeding) allocates nothing once warm.
+type KeyScratch struct {
+	emb []float64
+	h   []int
+}
+
+// KeyInto is Key computing through the scratch's reusable buffers.
+func (hf *HashFamily) KeyInto(e *Embedder, vals, weights []float64, sc *KeyScratch) uint64 {
+	sc.emb = e.EmbedInto(sc.emb, vals, weights)
+	sc.h = hf.HashInto(sc.h, sc.emb)
+	return ZOrder(sc.h, hf.bits)
 }
 
 // ZOrder interleaves the values bit by bit, most significant bits first,

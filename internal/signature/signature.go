@@ -34,8 +34,25 @@ type Series []Signature
 // Values returns the cuboid values and weights as parallel slices, the shape
 // the EMD solvers consume.
 func (s Signature) Values() (v, mu []float64) {
-	v = make([]float64, len(s.Cuboids))
-	mu = make([]float64, len(s.Cuboids))
+	return s.ValuesInto(nil, nil)
+}
+
+// ValuesInto is Values writing into the given slices' storage when they have
+// the capacity, so hot paths (the LCP walker re-keys every query signature)
+// reuse one pair of buffers instead of allocating per call. The returned
+// slices must be used in place of the arguments.
+func (s Signature) ValuesInto(v, mu []float64) (vv, mm []float64) {
+	n := len(s.Cuboids)
+	if cap(v) >= n {
+		v = v[:n]
+	} else {
+		v = make([]float64, n)
+	}
+	if cap(mu) >= n {
+		mu = mu[:n]
+	} else {
+		mu = make([]float64, n)
+	}
 	for i, c := range s.Cuboids {
 		v[i] = c.V
 		mu[i] = c.Mu

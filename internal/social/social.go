@@ -26,8 +26,13 @@ func NewDescriptor(owner string, commenters ...string) Descriptor {
 			all = append(all, c)
 		}
 	}
+	return fromUnsorted(all)
+}
+
+// fromUnsorted sorts and deduplicates in place, taking ownership of the
+// slice. Callers must have already dropped empty ids.
+func fromUnsorted(all []string) Descriptor {
 	sort.Strings(all)
-	// Deduplicate in place.
 	out := all[:0]
 	for i, u := range all {
 		if i == 0 || u != all[i-1] {
@@ -51,10 +56,18 @@ func (d Descriptor) Contains(user string) bool {
 }
 
 // Add returns a descriptor extended with the given users (the original is
-// unchanged). It is used when new comments arrive on a video.
+// unchanged). It is used when new comments arrive on a video. The merged
+// slice is built exactly once — no intermediate copy feeding a second
+// constructor copy.
 func (d Descriptor) Add(users ...string) Descriptor {
-	merged := append(append([]string(nil), d.users...), users...)
-	return NewDescriptor("", merged...)
+	merged := make([]string, 0, len(d.users)+len(users))
+	merged = append(merged, d.users...)
+	for _, u := range users {
+		if u != "" {
+			merged = append(merged, u)
+		}
+	}
+	return fromUnsorted(merged)
 }
 
 // Jaccard is Equation 5: |D_V ∩ D_Q| / |D_V ∪ D_Q|, computed by a linear
@@ -95,13 +108,26 @@ type Lookup func(user string) (cno int, ok bool)
 // that arrived after the last maintenance pass) are skipped — they belong to
 // no extracted sub-community yet.
 func Vectorize(d Descriptor, lookup Lookup, k int) Vector {
-	v := make(Vector, k)
+	return VectorizeInto(nil, d, lookup, k)
+}
+
+// VectorizeInto is Vectorize writing into dst's storage when it has the
+// capacity, so a pooled per-query scratch vector is reused across queries
+// instead of allocated per call. The returned vector must be used in place
+// of dst (it may be a fresh allocation when dst was too small).
+func VectorizeInto(dst Vector, d Descriptor, lookup Lookup, k int) Vector {
+	if cap(dst) >= k {
+		dst = dst[:k]
+		clear(dst)
+	} else {
+		dst = make(Vector, k)
+	}
 	for _, u := range d.users {
 		if cno, ok := lookup(u); ok && cno >= 0 && cno < k {
-			v[cno]++
+			dst[cno]++
 		}
 	}
-	return v
+	return dst
 }
 
 // ApproxJaccard is Equation 6: Σ min(d_Qi, d_Vi) / Σ max(d_Qi, d_Vi), the

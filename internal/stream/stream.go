@@ -61,6 +61,11 @@ type Monitor struct {
 	opts Options
 	lib  *index.LSB
 
+	// The LSB index stores dense uint32 video indices; the monitor owns the
+	// id ↔ index mapping for its reference library.
+	refs   []string
+	refIdx map[string]uint32
+
 	buf       []*video.Frame
 	prevHist  []float64
 	diffs     []float64
@@ -86,6 +91,7 @@ func NewMonitor(opts Options) *Monitor {
 	return &Monitor{
 		opts:    opts,
 		lib:     index.NewLSB(opts.LSB),
+		refIdx:  map[string]uint32{},
 		tally:   map[string]*tally{},
 		alerted: map[string]bool{},
 	}
@@ -94,7 +100,13 @@ func NewMonitor(opts Options) *Monitor {
 // AddReference indexes a reference video's signature series. References may
 // be added while the stream is running.
 func (m *Monitor) AddReference(id string, series signature.Series) {
-	m.lib.Add(id, series)
+	i, ok := m.refIdx[id]
+	if !ok {
+		i = uint32(len(m.refs))
+		m.refs = append(m.refs, id)
+		m.refIdx[id] = i
+	}
+	m.lib.Add(i, series)
 }
 
 // LibrarySize returns the number of indexed reference signatures.
@@ -165,8 +177,10 @@ func (m *Monitor) closeShot() []Alert {
 			if !ok {
 				break
 			}
-			if s := signature.SimC(sig, e.Sig); s >= m.opts.MatchThreshold && s > best[e.VideoID] {
-				best[e.VideoID] = s
+			if s := signature.SimC(sig, e.Sig); s >= m.opts.MatchThreshold {
+				if id := m.refs[e.Video]; s > best[id] {
+					best[id] = s
+				}
 			}
 		}
 		ids := make([]string, 0, len(best))

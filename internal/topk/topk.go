@@ -28,6 +28,14 @@ func New[T any](k int, worse func(a, b T) bool) *Selector[T] {
 	return s
 }
 
+// Reset empties the selector and sets a new capacity, keeping the order
+// function and the heap's backing storage. It lets pooled per-query scratch
+// reuse one selector across queries without reallocating.
+func (s *Selector[T]) Reset(k int) {
+	s.k = k
+	s.h = s.h[:0]
+}
+
 // Offer considers one item: it is kept if fewer than k items are held, or if
 // it ranks above the current worst kept item (which it then evicts).
 func (s *Selector[T]) Offer(x T) {
