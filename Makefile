@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build vet test test-race race bench vrecbench vrecbench-short bench-compare experiments experiments-paper fuzz examples clean
+.PHONY: all check build vet test test-race race bench bench-shards vrecbench vrecbench-short bench-compare experiments experiments-paper fuzz examples clean
 
 all: check
 
@@ -27,18 +27,25 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Serving-path benchmark harness: fixed RecommendCtx workloads, JSON output
-# with ns/op, qps, allocs/op and latency percentiles (see README).
+# with ns/op, qps, allocs/op and latency percentiles (see README). Includes
+# the shards/{1,4,16} scatter-gather workloads.
 vrecbench:
-	$(GO) run ./cmd/vrecbench -out BENCH_PR5.json
+	$(GO) run ./cmd/vrecbench -out BENCH_PR6.json
 
 vrecbench-short:
 	$(GO) run ./cmd/vrecbench -short -out bench-short.json
 
+# The scatter-gather scaling benchmark in isolation: the same fixture at 1
+# and 16 shards, suitable for -cpuprofile (see internal/shard/prof_test.go).
+bench-shards:
+	$(GO) test ./internal/shard/ -run '^$$' -bench FanOut -benchtime 300x
+
 # Diff two vrecbench reports (ns_per_op / allocs_per_op per workload).
 # Override the endpoints with OLD=/NEW=, e.g.
 #   make bench-compare OLD=BENCH_PR3.json NEW=bench-short.json
-OLD ?= BENCH_PR3.json
-NEW ?= BENCH_PR5.json
+# A missing baseline or disjoint workload sets print a note and exit 0.
+OLD ?= BENCH_PR5.json
+NEW ?= BENCH_PR6.json
 bench-compare:
 	$(GO) run ./cmd/benchcompare -old $(OLD) -new $(NEW)
 

@@ -6,11 +6,15 @@
 // refinement and top-K selection. The candidates/* workloads isolate
 // candidate generation (steps 1–2: posting-list union, social top-K, LCP
 // walk) through View.GatherCandidates, and two κJ micro-workloads isolate
-// the compiled vs. uncompiled refinement kernels.
+// the compiled vs. uncompiled refinement kernels. The shards/* workloads
+// drive the scatter-gather router end to end — partitioned corpus, parallel
+// fan-out, merged top-K — with each shard refining serially, so the qps
+// curve across shard counts measures the router's scaling and its merged
+// rankings stay bit-identical to shards/1 by construction.
 //
 // Usage:
 //
-//	go run ./cmd/vrecbench -out BENCH_PR5.json
+//	go run ./cmd/vrecbench -out BENCH_PR6.json
 //	go run ./cmd/vrecbench -short   # CI-sized run, seconds not minutes
 //
 // Compare two runs with cmd/benchcompare (make bench-compare).
@@ -27,8 +31,10 @@ import (
 	"sort"
 	"time"
 
+	"videorec"
 	"videorec/internal/core"
 	"videorec/internal/dataset"
+	"videorec/internal/shard"
 	"videorec/internal/signature"
 	"videorec/internal/social"
 )
@@ -60,7 +66,7 @@ type report struct {
 
 func main() {
 	var (
-		out   = flag.String("out", "BENCH_PR5.json", "output JSON path")
+		out   = flag.String("out", "BENCH_PR6.json", "output JSON path")
 		short = flag.Bool("short", false, "CI-sized run: smaller collection, fewer iterations")
 		hours = flag.Float64("hours", 8, "collection size in video-hours")
 		users = flag.Int("users", 200, "community size")
@@ -168,6 +174,34 @@ func main() {
 		rep.Results = append(rep.Results, r)
 		log.Printf("%-28s %10.0f ns/op  %8.1f qps  %7.0f allocs/op  p99 %s",
 			r.Name, r.NsPerOp, r.QPS, r.AllocsPerOp, time.Duration(r.P99Ns))
+	}
+
+	// Scatter-gather workloads: the full sharded serving path — routed
+	// query lookup, parallel per-shard gather+refine, merged top-K. Every
+	// shard refines serially (RefineWorkers=1) so parallelism comes only
+	// from the fan-out: the qps ratio between shard counts is the router's
+	// scaling, not the refinement pool's. Rankings are bit-identical across
+	// shard counts (the golden tests in internal/shard prove it); here we
+	// only measure.
+	for _, n := range []int{1, 4, 16} {
+		router, err := shard.New(n, videorec.Options{SubCommunities: 12, RefineWorkers: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, it := range col.Items {
+			if err := router.AddPrepared(videorec.PreparedClip{ID: it.ID, Series: series[it.ID], Desc: descs[it.ID]}); err != nil {
+				log.Fatalf("shards/%d ingest %s: %v", n, it.ID, err)
+			}
+		}
+		router.Build()
+		rep.Results = append(rep.Results, logRow(runWorkload(fmt.Sprintf("shards/%d", n), iters, func(i int) (bool, error) {
+			id := queries[i%len(queries)]
+			res, info, err := router.RecommendCtx(context.Background(), id, *topK)
+			if err == nil && len(res) == 0 {
+				return false, fmt.Errorf("query %s returned no results", id)
+			}
+			return info.Degraded, err
+		})))
 	}
 
 	// Candidate-generation micro-workloads: steps 1–2 in isolation.

@@ -2,9 +2,9 @@
 // shape of the paper's system. It optionally restores a snapshot at start
 // and persists one on demand (POST /snapshot) or on shutdown.
 //
-//	vrecd [-addr :8080] [-snapshot engine.snap] [-journal engine.wal] [-demo hours]
-//	      [-query-timeout 2s] [-max-inflight 256] [-max-queue N] [-max-k 100]
-//	      [-replica-of http://primary:8080] [-max-replica-lag 64]
+//	vrecd [-addr :8080] [-shards N] [-snapshot engine.snap] [-journal engine.wal]
+//	      [-demo hours] [-query-timeout 2s] [-max-inflight 256] [-max-queue N]
+//	      [-max-k 100] [-replica-of http://primary:8080] [-max-replica-lag 64]
 //	      [-pprof localhost:6060]
 //
 // With -demo N the server starts pre-loaded with an N-hour synthetic
@@ -14,12 +14,22 @@
 // that outlive -query-timeout answer degraded (coarse SAR ranking) instead
 // of erroring.
 //
+// With -shards N (N > 1) the corpus is partitioned across N shard engines
+// behind a scatter-gather router: queries fan out to every shard in parallel
+// and the merged top-K is bit-identical to a single-shard deployment.
+// -snapshot and -journal then name per-deployment base paths — each shard
+// persists to <base>.shard<i> with a manifest at the base path — and /stats
+// reports a per-shard breakdown. POST /shards/drain?shard=i retires a shard
+// live, redistributing its videos across the survivors.
+//
 // With -replica-of the process runs as a read-only replica: it bootstraps
 // from the primary's snapshot, tails its journal, rejects mutating requests
 // with 403, and reports ready on /readyz only once its replication lag is
 // within -max-replica-lag batches. -snapshot and -journal then name the
 // replica's local persistence, so restarts resume from local state instead
-// of re-downloading history.
+// of re-downloading history. Against a sharded primary, pass the matching
+// -shards N: the replica runs one puller per shard stream and serves reads
+// through its own local router.
 package main
 
 import (
@@ -32,6 +42,7 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux; served only via -pprof
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -39,10 +50,12 @@ import (
 	"videorec/internal/dataset"
 	"videorec/internal/replica"
 	"videorec/internal/server"
+	"videorec/internal/shard"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	shards := flag.Int("shards", 1, "shard engines behind the scatter-gather router (1 = unsharded)")
 	snapshot := flag.String("snapshot", "", "snapshot path: restored at start if present, saved on shutdown")
 	journal := flag.String("journal", "", "comment journal (WAL): replayed at start, appended on every update")
 	demo := flag.Float64("demo", 0, "pre-load an N-hour synthetic community (0 = start empty)")
@@ -77,48 +90,101 @@ func main() {
 		RetryAfter:   *retryAfter,
 	}
 
-	var eng *videorec.Engine
+	if *shards < 1 {
+		log.Fatalf("-shards must be >= 1, got %d", *shards)
+	}
+	var eng server.Backend
 	var runReplica func(context.Context)
 	if *replicaOf != "" {
-		rep, err := replica.Open(replica.Config{
-			Primary:      *replicaOf,
-			SnapshotPath: *snapshot,
-			JournalPath:  *journal,
-			Logf:         log.Printf,
-		})
-		if err != nil {
-			log.Fatal(err)
+		n := *shards
+		engines := make([]*videorec.Engine, n)
+		reps := make([]*replica.Replica, n)
+		for i := range reps {
+			rep, err := replica.Open(replica.Config{
+				Primary:      *replicaOf,
+				Shard:        i,
+				SnapshotPath: shardedPath(*snapshot, i, n),
+				JournalPath:  shardedPath(*journal, i, n),
+				Logf:         log.Printf,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			reps[i], engines[i] = rep, rep.Engine()
 		}
-		eng = rep.Engine()
+		if n == 1 {
+			eng = engines[0]
+		} else {
+			router, err := shard.NewFromEngines(engines)
+			if err != nil {
+				log.Fatal(err)
+			}
+			eng = router
+		}
 		cfg.ReadOnly = true
 		cfg.SnapshotPath = "" // POST /snapshot is the primary's concern
 		cfg.ReadyChecks = []server.ReadyCheck{{
-			Name:  "replicaLag",
-			Check: func() error { return rep.Ready(*maxReplicaLag) },
+			Name: "replicaLag",
+			Check: func() error {
+				for i, rep := range reps {
+					if err := rep.Ready(*maxReplicaLag); err != nil {
+						return fmt.Errorf("shard %d: %w", i, err)
+					}
+				}
+				return nil
+			},
 		}}
 		runReplica = func(ctx context.Context) {
-			rep.Run(ctx)
-			boots, batches, retries := rep.Stats()
-			log.Printf("replica stopped at seq %d (%d bootstraps, %d batches, %d retries)",
-				eng.AppliedSeq(), boots, batches, retries)
+			var wg sync.WaitGroup
+			for i, rep := range reps {
+				wg.Add(1)
+				go func(i int, rep *replica.Replica) {
+					defer wg.Done()
+					rep.Run(ctx)
+					boots, batches, retries := rep.Stats()
+					log.Printf("replica shard %d stopped at seq %d (%d bootstraps, %d batches, %d retries)",
+						i, rep.Engine().AppliedSeq(), boots, batches, retries)
+				}(i, rep)
+			}
+			wg.Wait()
 		}
-		log.Printf("replicating from %s (ready under %d batches of lag)", *replicaOf, *maxReplicaLag)
-	} else {
-		var err error
-		if eng, err = bootstrap(*snapshot, *demo); err != nil {
+		log.Printf("replicating %d stream(s) from %s (ready under %d batches of lag)",
+			n, *replicaOf, *maxReplicaLag)
+	} else if *shards > 1 {
+		router, err := bootstrapSharded(*snapshot, *demo, *shards)
+		if err != nil {
 			log.Fatal(err)
 		}
 		if *journal != "" {
-			if n, err := eng.ReplayJournal(*journal); err != nil {
+			if n, err := router.ReplayJournals(*journal); err != nil {
+				log.Fatalf("replay journals: %v", err)
+			} else if n > 0 {
+				log.Printf("replayed %d journaled update batches across %d shards", n, router.NumShards())
+			}
+			if err := router.AttachJournals(*journal); err != nil {
+				log.Fatal(err)
+			}
+			cfg.ReadyChecks = append(cfg.ReadyChecks, server.JournalCheck(router))
+		}
+		eng = router
+		log.Printf("serving %d shards behind the scatter-gather router", router.NumShards())
+	} else {
+		e, err := bootstrap(*snapshot, *demo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *journal != "" {
+			if n, err := e.ReplayJournal(*journal); err != nil {
 				log.Fatalf("replay journal: %v", err)
 			} else if n > 0 {
 				log.Printf("replayed %d journaled update batches", n)
 			}
-			if err := eng.AttachJournal(*journal); err != nil {
+			if err := e.AttachJournal(*journal); err != nil {
 				log.Fatal(err)
 			}
-			cfg.ReadyChecks = append(cfg.ReadyChecks, server.JournalCheck(eng))
+			cfg.ReadyChecks = append(cfg.ReadyChecks, server.JournalCheck(e))
 		}
+		eng = e
 	}
 	log.Printf("engine ready: %d videos, %d sub-communities, view v%d, seq %d",
 		eng.Len(), eng.SubCommunities(), eng.Version(), eng.AppliedSeq())
@@ -158,6 +224,23 @@ func main() {
 	}
 }
 
+// shardedPath maps a base persistence path to shard i's file: the base path
+// itself for an unsharded deployment, <base>.shard<i> otherwise — the same
+// layout the sharded primary uses, so a promoted replica's files line up.
+func shardedPath(base string, i, n int) string {
+	if base == "" || n == 1 {
+		return base
+	}
+	return shard.ShardPath(base, i)
+}
+
+// ingester is the ingest surface shared by the single engine and the router,
+// letting one demo loader populate either.
+type ingester interface {
+	Add(videorec.Clip) error
+	Build()
+}
+
 func bootstrap(snapshot string, demoHours float64) (*videorec.Engine, error) {
 	if snapshot != "" {
 		if _, err := os.Stat(snapshot); err == nil {
@@ -166,8 +249,42 @@ func bootstrap(snapshot string, demoHours float64) (*videorec.Engine, error) {
 		}
 	}
 	eng := videorec.New(videorec.Options{})
+	if err := loadDemo(eng, demoHours); err != nil {
+		return nil, err
+	}
+	return eng, nil
+}
+
+func bootstrapSharded(snapshot string, demoHours float64, n int) (*shard.Router, error) {
+	if snapshot != "" {
+		if _, err := os.Stat(snapshot); err == nil {
+			log.Printf("restoring sharded snapshot %s", snapshot)
+			router, err := shard.LoadFile(snapshot)
+			if err != nil {
+				return nil, err
+			}
+			if router.NumShards() != n {
+				// The manifest is authoritative: shard count is fixed at save
+				// time and drains change it, so the flag only sizes a fresh
+				// deployment.
+				log.Printf("snapshot has %d shards; ignoring -shards=%d", router.NumShards(), n)
+			}
+			return router, nil
+		}
+	}
+	router, err := shard.New(n, videorec.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if err := loadDemo(router, demoHours); err != nil {
+		return nil, err
+	}
+	return router, nil
+}
+
+func loadDemo(ing ingester, demoHours float64) error {
 	if demoHours <= 0 {
-		return eng, nil
+		return nil
 	}
 	log.Printf("generating %.0fh demo community", demoHours)
 	o := dataset.DefaultOptions()
@@ -186,10 +303,10 @@ func bootstrap(snapshot string, demoHours float64) (*videorec.Engine, error) {
 		for _, f := range v.Frames {
 			clip.Frames = append(clip.Frames, videorec.Frame{W: f.W, H: f.H, Pix: f.Pix})
 		}
-		if err := eng.Add(clip); err != nil {
-			return nil, fmt.Errorf("demo ingest %s: %w", it.ID, err)
+		if err := ing.Add(clip); err != nil {
+			return fmt.Errorf("demo ingest %s: %w", it.ID, err)
 		}
 	}
-	eng.Build()
-	return eng, nil
+	ing.Build()
+	return nil
 }

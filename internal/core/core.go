@@ -129,6 +129,13 @@ type Query struct {
 	Desc   social.Descriptor
 
 	comp *signature.CompiledSeries
+
+	// contentKeys / keyFP carry the query's precomputed content-index keys
+	// (View.PrimeContentKeys). Views whose LSB forests share the stamped
+	// fingerprint reuse them instead of re-embedding the series — the
+	// sharded fan-out path keys a query once, not once per shard.
+	contentKeys []uint64
+	keyFP       uint64
 }
 
 // compiled returns the query's compiled series, building it if the query was
@@ -323,16 +330,56 @@ func (r *Recommender) Partition() *community.Partition { return r.state.part }
 // It must be called before Recommend in the SAR modes and before
 // ApplyUpdates.
 func (r *Recommender) BuildSocial() {
-	r.beforeWrite()
-	r.compactLSB()
+	r.BuildSocialFrom(r.CollectAudiences())
+}
+
+// CollectAudiences returns the per-video commenter audiences of everything
+// ingested, capped exactly as BuildSocial caps them (UIGMaxAudience) but NOT
+// yet filtered by MinUserVideos — that filter must see the whole corpus, so
+// a sharded deployment applies it to the union of every shard's map inside
+// BuildSocialFrom. For a single engine,
+// BuildSocialFrom(CollectAudiences()) is BuildSocial.
+func (r *Recommender) CollectAudiences() map[string][]string {
 	s := r.state
 	audiences := make(map[string][]string, len(s.order))
 	for _, id := range s.order {
 		audiences[id] = capAudience(s.record(id).Desc.Users(), r.opts.UIGMaxAudience)
 	}
+	return audiences
+}
+
+// BuildSocialFrom builds the social machinery over an explicit audience map
+// — the shard-local build: every shard of a partitioned deployment receives
+// the same global map (the union of all shards' CollectAudiences) and
+// derives an identical user interest graph, partition, hash table and
+// linear dictionary, because construction is deterministic given the map's
+// contents. That is the property that makes per-shard SAR vectors — and
+// hence merged scatter-gather rankings — bit-identical to a single engine
+// holding the whole corpus. Videos present in the map but not stored
+// locally contribute to the graph only; vectorization covers local records.
+func (r *Recommender) BuildSocialFrom(audiences map[string][]string) {
+	r.beforeWrite()
+	r.compactLSB()
+	s := r.state
 	audiences = FilterAudiences(audiences, r.opts.MinUserVideos)
 	r.graph = community.BuildUIG(audiences)
 	s.part = community.ExtractSubCommunities(r.graph, r.opts.K)
+	r.installSocial()
+}
+
+// Reindex rebuilds the derived structures — dictionaries, SAR vectors,
+// inverted files, compacted LSB trees — around the EXISTING graph and
+// partition, without re-extracting sub-communities. This is the shard-drain
+// primitive: when videos re-intern onto a surviving shard, its incrementally
+// maintained partition (which a fresh extraction would not reproduce) must
+// survive, and only the per-record index state needs recomputing. Panics if
+// the social machinery was never built.
+func (r *Recommender) Reindex() {
+	if r.state.part == nil {
+		panic("core: Reindex requires a prior BuildSocial")
+	}
+	r.beforeWrite()
+	r.compactLSB()
 	r.installSocial()
 }
 

@@ -279,7 +279,11 @@ func (v *View) gather(ctx context.Context, q Query, qs *queryScratch) (useConten
 			// Step 2: content candidates in LCP order. The expansion budget
 			// counts candidates *content itself adds*: a full social step no
 			// longer starves content expansion by pre-filling the shared cap.
-			qs.walker.Reset(v.lsb, q.Series)
+			if q.contentKeys != nil && q.keyFP == v.lsb.KeyFingerprint() {
+				qs.walker.ResetWithKeys(v.lsb, q.Series, q.contentKeys)
+			} else {
+				qs.walker.Reset(v.lsb, q.Series)
+			}
 			added := 0
 			for pops := 0; pops < v.opts.ContentProbe; pops++ {
 				if pops%cancelCheckStride == 0 && ctxDone(done) {

@@ -28,12 +28,18 @@ type UpdateReport struct {
 //     touches a changed dimension — or whose descriptor changed — is
 //     re-vectorized and re-posted in the inverted files.
 func (r *Recommender) ApplyUpdates(newComments map[string][]string) UpdateReport {
-	r.state.mustBuild()
-	r.beforeWrite()
-	s := r.state
+	return r.ApplyEdges(r.DeriveConnections(newComments), newComments)
+}
 
-	// Step 1: derive connections.
-	var edges []community.Edge
+// DeriveConnections runs step 1 of the maintenance pass in isolation: the
+// new social connections a comment batch induces, derived from the batch and
+// the prior audiences of the commented videos — which live only in this
+// recommender. Videos the recommender does not hold are skipped, so a shard
+// derives exactly its slice of the global edge set; SumConnections merges
+// the slices back into the edge list a whole-corpus engine would derive.
+func (r *Recommender) DeriveConnections(newComments map[string][]string) []community.Edge {
+	r.state.mustBuild()
+	s := r.state
 	acc := map[[2]string]float64{}
 	vids := make([]string, 0, len(newComments))
 	for vid := range newComments {
@@ -56,6 +62,31 @@ func (r *Recommender) ApplyUpdates(newComments map[string][]string) UpdateReport
 			}
 		}
 	}
+	return sortedEdges(acc)
+}
+
+// SumConnections merges per-shard edge slices into one deterministic edge
+// list, summing the weights of pairs that several shards contributed (the
+// same user pair can share videos on different shards). Merging commutative
+// sums and re-sorting reproduces exactly the edge list DeriveConnections
+// computes over an unpartitioned corpus.
+func SumConnections(parts ...[]community.Edge) []community.Edge {
+	acc := map[[2]string]float64{}
+	for _, edges := range parts {
+		for _, e := range edges {
+			key := [2]string{e.U, e.V}
+			if key[0] > key[1] {
+				key[0], key[1] = key[1], key[0]
+			}
+			acc[key] += e.W
+		}
+	}
+	return sortedEdges(acc)
+}
+
+// sortedEdges flattens a pair-weight accumulator into the canonical
+// deterministic edge order (U asc, then V asc).
+func sortedEdges(acc map[[2]string]float64) []community.Edge {
 	keys := make([][2]string, 0, len(acc))
 	for k := range acc {
 		keys = append(keys, k)
@@ -66,9 +97,29 @@ func (r *Recommender) ApplyUpdates(newComments map[string][]string) UpdateReport
 		}
 		return keys[a][1] < keys[b][1]
 	})
+	edges := make([]community.Edge, 0, len(keys))
 	for _, k := range keys {
 		edges = append(edges, community.Edge{U: k[0], V: k[1], W: acc[k]})
 	}
+	return edges
+}
+
+// ApplyEdges runs steps 2–3 of the maintenance pass against an explicit
+// edge list: sub-community maintenance, then descriptor growth and
+// re-vectorization. For a single engine ApplyUpdates derives the edges and
+// calls this; a shard of a partitioned deployment receives the globally
+// summed edge list (so every shard's replicated partition evolves
+// identically) along with only its own slice of the comment batch (comments
+// for videos it does not hold are ignored by the descriptor-growth loop).
+func (r *Recommender) ApplyEdges(edges []community.Edge, newComments map[string][]string) UpdateReport {
+	r.state.mustBuild()
+	r.beforeWrite()
+	s := r.state
+	vids := make([]string, 0, len(newComments))
+	for vid := range newComments {
+		vids = append(vids, vid)
+	}
+	sort.Strings(vids)
 
 	// Step 2: maintenance with dimension tracking (the BuildSocial hooks
 	// record every changed dimension into r.touched).

@@ -207,6 +207,20 @@ func (v *View) AdHocQuery(vd *video.Video, desc social.Descriptor) Query {
 	return Query{Series: series, Desc: desc, comp: signature.CompileSeries(series)}
 }
 
+// PrimeContentKeys returns q carrying the precomputed content-index keys of
+// its series, stamped with this view's forest fingerprint. Any view whose
+// forest shares the fingerprint (every shard of a sharded deployment — the
+// hash families are drawn deterministically from shared options) reuses the
+// keys during candidate gathering instead of re-embedding the series, so a
+// fanned-out query pays the keying cost once. Views with a different
+// fingerprint ignore the cache and key locally; results are identical
+// either way.
+func (v *View) PrimeContentKeys(q Query) Query {
+	q.contentKeys = v.lsb.QueryKeys(q.Series)
+	q.keyFP = v.lsb.KeyFingerprint()
+	return q
+}
+
 // ContentRelevance is κJ between the query and a stored video.
 func (v *View) ContentRelevance(q Query, id string) float64 {
 	rec := v.record(id)

@@ -11,6 +11,9 @@
 package index
 
 import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
 	"sort"
 
 	"videorec/internal/btree"
@@ -62,6 +65,11 @@ type LSB struct {
 	hfs       []*lsh.HashFamily
 	emb       *lsh.Embedder
 	totalBits int
+	// fp fingerprints the construction parameters. Hash families are drawn
+	// deterministically from them, so two forests with equal fingerprints
+	// key any signature identically — the contract behind sharing
+	// precomputed QueryKeys across a sharded deployment's forests.
+	fp uint64
 }
 
 // NewLSB builds an empty content index.
@@ -73,13 +81,34 @@ func NewLSB(opts LSBOptions) *LSB {
 		opts.Trees = 1
 	}
 	emb := lsh.NewEmbedder(opts.VMin, opts.VMax, opts.Levels)
-	ix := &LSB{emb: emb, totalBits: opts.M * opts.Bits}
+	ix := &LSB{emb: emb, totalBits: opts.M * opts.Bits, fp: optsFingerprint(opts)}
 	for t := 0; t < opts.Trees; t++ {
 		ix.trees = append(ix.trees, btree.New[SigEntry](opts.TreeOrder))
 		ix.hfs = append(ix.hfs, lsh.NewHashFamily(emb.Dim(), opts.M, opts.Bits, opts.W, opts.Seed+int64(t)*7919))
 	}
 	return ix
 }
+
+// optsFingerprint folds every parameter that shapes the hash families and
+// the embedding into one comparable word.
+func optsFingerprint(opts LSBOptions) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range []uint64{
+		uint64(opts.M), uint64(opts.Bits), math.Float64bits(opts.W),
+		uint64(opts.Levels), math.Float64bits(opts.VMin), math.Float64bits(opts.VMax),
+		uint64(opts.Trees), uint64(opts.Seed),
+	} {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// KeyFingerprint identifies the keying behaviour of this forest. Equal
+// fingerprints guarantee equal keys for any signature; QueryKeys results
+// may be shared exactly between forests with matching fingerprints.
+func (ix *LSB) KeyFingerprint() uint64 { return ix.fp }
 
 // Len returns the number of indexed signatures (per tree; every tree holds
 // every signature).
@@ -95,6 +124,7 @@ func (ix *LSB) Clone() *LSB {
 		hfs:       ix.hfs,
 		emb:       ix.emb,
 		totalBits: ix.totalBits,
+		fp:        ix.fp,
 	}
 	for t, tr := range ix.trees {
 		cp.trees[t] = tr.Clone()
@@ -181,13 +211,49 @@ func (ix *LSB) NewWalker(q signature.Series) *Walker {
 
 // Reset re-seeds the walker for a new query against ix, reusing storage.
 func (w *Walker) Reset(ix *LSB, q signature.Series) {
+	w.ResetWithKeys(ix, q, nil)
+}
+
+// QueryKeys precomputes the Z-order key of every (query signature, tree)
+// pair — the keying work Reset would otherwise redo — laid out as
+// keys[si*Trees()+t]. A caller fanning one query across several forests
+// with equal KeyFingerprints (the sharded deployment: same options, same
+// deterministic hash families) keys once and hands the slice to each
+// walker's ResetWithKeys instead of paying the embedding per forest.
+func (ix *LSB) QueryKeys(q signature.Series) []uint64 {
+	keys := make([]uint64, 0, len(q)*len(ix.trees))
+	var v, mu []float64
+	var ks lsh.KeyScratch
+	for _, sig := range q {
+		v, mu = sig.ValuesInto(v, mu)
+		for t := range ix.hfs {
+			keys = append(keys, ix.hfs[t].KeyInto(ix.emb, v, mu, &ks))
+		}
+	}
+	return keys
+}
+
+// ResetWithKeys is Reset seeded from precomputed QueryKeys. A nil or
+// mis-sized keys slice falls back to keying locally, so a stale cache can
+// never corrupt the walk order — callers gate sharing on KeyFingerprint.
+func (w *Walker) ResetWithKeys(ix *LSB, q signature.Series, keys []uint64) {
 	w.ix = ix
 	w.fronts = w.fronts[:0]
 	w.heap = w.heap[:0]
-	for _, sig := range q {
-		w.v, w.mu = sig.ValuesInto(w.v, w.mu)
+	if keys != nil && len(keys) != len(q)*len(ix.trees) {
+		keys = nil
+	}
+	for si, sig := range q {
+		if keys == nil {
+			w.v, w.mu = sig.ValuesInto(w.v, w.mu)
+		}
 		for t := range ix.trees {
-			k := ix.hfs[t].KeyInto(ix.emb, w.v, w.mu, &w.ks)
+			var k uint64
+			if keys != nil {
+				k = keys[si*len(ix.trees)+t]
+			} else {
+				k = ix.hfs[t].KeyInto(ix.emb, w.v, w.mu, &w.ks)
+			}
 			f := walkFront{qkey: k, fwd: ix.trees[t].SeekAt(k)}
 			f.bwd = f.fwd
 			fi := int32(len(w.fronts))

@@ -53,6 +53,13 @@ type Config struct {
 	// JournalPath, when set, journals every applied batch locally under the
 	// primary's sequence numbers (crash-safe restart without re-download).
 	JournalPath string
+	// Shard selects which of the primary's replication streams to follow
+	// when the primary is sharded. Each shard is an independent stream
+	// (its own snapshot, journal and cursor), so a replica of an N-shard
+	// primary runs N pullers, one per shard, over N local engines.
+	// Zero — the only valid value against a single-engine primary — follows
+	// the first (or only) stream.
+	Shard int
 	// Client is the HTTP client for all primary requests. Defaults to a
 	// client whose timeout accommodates the long-poll window.
 	Client *http.Client
@@ -200,7 +207,7 @@ func (r *Replica) bootstrap(ctx context.Context) error {
 	if err := faults.Inject(faults.ReplicaFetch); err != nil {
 		return fmt.Errorf("fetch snapshot: %w", err)
 	}
-	resp, err := r.get(ctx, r.cfg.Primary+"/replication/snapshot")
+	resp, err := r.get(ctx, fmt.Sprintf("%s/replication/snapshot?shard=%d", r.cfg.Primary, r.cfg.Shard))
 	if err != nil {
 		return fmt.Errorf("fetch snapshot: %w", err)
 	}
@@ -237,8 +244,8 @@ func (r *Replica) tailOnce(ctx context.Context) error {
 		return fmt.Errorf("tail: %w", err)
 	}
 	after := r.eng.AppliedSeq()
-	url := fmt.Sprintf("%s/replication/tail?after=%d&max=%d&wait=%s",
-		r.cfg.Primary, after, r.cfg.MaxBatch, r.cfg.PollWait)
+	url := fmt.Sprintf("%s/replication/tail?after=%d&max=%d&wait=%s&shard=%d",
+		r.cfg.Primary, after, r.cfg.MaxBatch, r.cfg.PollWait, r.cfg.Shard)
 	resp, err := r.get(ctx, url)
 	if err != nil {
 		return fmt.Errorf("tail: %w", err)
@@ -259,7 +266,11 @@ func (r *Replica) tailOnce(ctx context.Context) error {
 		return fmt.Errorf("tail: decode: %w", err)
 	}
 	for _, ent := range tr.Entries {
-		applied, err := r.eng.ApplyReplicated(ent.Seq, ent.Comments)
+		// Entries from a sharded primary carry the globally summed edges
+		// alongside the shard-local comments; ApplyReplicatedEntry applies
+		// both so a single-shard replica evolves in lockstep with its shard
+		// without seeing the rest of the corpus.
+		applied, err := r.eng.ApplyReplicatedEntry(ent.Seq, ent.Comments, ent.Edges)
 		if errors.Is(err, videorec.ErrReplicationGap) {
 			r.logf("replica: %v — re-bootstrapping", err)
 			r.needBoot = true

@@ -1,0 +1,124 @@
+package replica
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"videorec"
+	"videorec/internal/server"
+	"videorec/internal/shard"
+	"videorec/internal/video"
+)
+
+// Sharded replication: each shard of the primary is its own stream, and a
+// replica runs one puller per stream over one local engine per shard. The
+// replica's router must converge to bitwise-identical recommendations —
+// per-shard journals are self-contained (they carry the globally summed
+// edges), so no cross-shard coordination is needed on the follower.
+
+func newShardedPrimary(t testing.TB, dir string, n int) (*shard.Router, *httptest.Server) {
+	t.Helper()
+	router, err := shard.New(n, videorec.Options{SubCommunities: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fans := []string{"ann", "ben", "cal", "dee"}
+	for i := 0; i < clips; i++ {
+		rng := rand.New(rand.NewSource(int64(i + 1)))
+		v := video.Synthesize(fmt.Sprintf("clip-%d", i), i%2, video.DefaultSynthOptions(), rng)
+		clip := videorec.Clip{ID: v.ID, FPS: v.FPS, Owner: fans[i%4], Commenters: fans}
+		for _, f := range v.Frames {
+			clip.Frames = append(clip.Frames, videorec.Frame{W: f.W, H: f.H, Pix: f.Pix})
+		}
+		if err := router.Add(clip); err != nil {
+			t.Fatal(err)
+		}
+	}
+	router.Build()
+	if err := router.AttachJournals(filepath.Join(dir, "primary.wal")); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(router, "").Handler())
+	t.Cleanup(ts.Close)
+	return router, ts
+}
+
+func TestShardedReplicaConverges(t *testing.T) {
+	const nShards = 2
+	dir := t.TempDir()
+	primary, ts := newShardedPrimary(t, dir, nShards)
+
+	// Pre-tail writes, so bootstrap carries real update state.
+	for i := 0; i < 3; i++ {
+		if _, err := primary.ApplyUpdates(map[string][]string{
+			"clip-0": {fmt.Sprintf("pre-%d", i), "ann"},
+			"clip-3": {fmt.Sprintf("pre-%d", i), "ben"},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	engines := make([]*videorec.Engine, nShards)
+	reps := make([]*Replica, nShards)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{}, nShards)
+	for i := range reps {
+		cfg := fastConfig(ts.URL, dir)
+		cfg.Shard = i
+		cfg.SnapshotPath = filepath.Join(dir, fmt.Sprintf("replica-%d.snap", i))
+		cfg.JournalPath = filepath.Join(dir, fmt.Sprintf("replica-%d.wal", i))
+		rep, err := Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps[i], engines[i] = rep, rep.Engine()
+		go func(rep *Replica) { rep.Run(ctx); done <- struct{}{} }(rep)
+	}
+
+	// Writes landing while the pullers tail.
+	for i := 0; i < 4; i++ {
+		if _, err := primary.ApplyUpdates(map[string][]string{
+			fmt.Sprintf("clip-%d", i%clips): {fmt.Sprintf("live-%d", i), "cal"},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range reps {
+		pe, ok := primary.ShardEngine(i)
+		if !ok {
+			t.Fatalf("primary has no shard %d", i)
+		}
+		waitCaughtUp(t, engines[i], pe.AppliedSeq())
+	}
+
+	follower, err := shard.NewFromEngines(engines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qctx := context.Background()
+	for i := 0; i < clips; i++ {
+		id := fmt.Sprintf("clip-%d", i)
+		want, _, err1 := primary.RecommendCtx(qctx, id, clips)
+		got, _, err2 := follower.RecommendCtx(qctx, id, clips)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: primary err %v, follower err %v", id, err1, err2)
+		}
+		if len(want) != len(got) {
+			t.Fatalf("%s: primary ranks %d, follower %d", id, len(want), len(got))
+		}
+		for j := range want {
+			if want[j] != got[j] {
+				t.Fatalf("%s rank %d: primary %+v, follower %+v", id, j, want[j], got[j])
+			}
+		}
+	}
+	cancel()
+	for range reps {
+		<-done
+	}
+}

@@ -5,8 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-
-	"videorec"
 )
 
 // Health and readiness — what a load balancer needs to fail over without
@@ -31,7 +29,7 @@ type ReadyCheck struct {
 // BuiltCheck is the baseline readiness gate every deployment wants: the
 // engine's published view must have its social machinery built, or every
 // /recommend would 409.
-func BuiltCheck(eng *videorec.Engine) ReadyCheck {
+func BuiltCheck(eng Backend) ReadyCheck {
 	return ReadyCheck{Name: "viewBuilt", Check: func() error {
 		if !eng.Built() {
 			return errors.New("view not built")
@@ -42,7 +40,9 @@ func BuiltCheck(eng *videorec.Engine) ReadyCheck {
 
 // JournalCheck gates readiness on an attached journal — a primary expected
 // to journal (and to ship its log to replicas) is not ready without one.
-func JournalCheck(eng *videorec.Engine) ReadyCheck {
+// On a sharded backend the check holds only when every shard's journal is
+// attached (Backend.JournalStatus ANDs attachment across shards).
+func JournalCheck(eng Backend) ReadyCheck {
 	return ReadyCheck{Name: "journalAttached", Check: func() error {
 		if attached, _, _, _ := eng.JournalStatus(); !attached {
 			return errors.New("journal not attached")
@@ -83,7 +83,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 // and close the journal. The order matters: queries finish before the
 // state is cut, and the journal outlives the snapshot so a crash inside
 // Drain itself still leaves snapshot + journal covering every batch.
-func Drain(ctx context.Context, hs *http.Server, eng *videorec.Engine, snapshotPath string) error {
+func Drain(ctx context.Context, hs *http.Server, eng Backend, snapshotPath string) error {
 	var errs []error
 	if hs != nil {
 		if err := hs.Shutdown(ctx); err != nil {

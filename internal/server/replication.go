@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"time"
 
+	"videorec"
 	"videorec/internal/faults"
 	"videorec/internal/store"
 )
@@ -16,13 +17,16 @@ import (
 // Replication endpoints — the primary side of journal shipping.
 //
 //	GET /replication/snapshot          bootstrap snapshot (binary), cursor
-//	                                   in X-Vrec-Journal-Seq / X-Vrec-View-Version
+//	    [?shard=i]                     in X-Vrec-Journal-Seq / X-Vrec-View-Version
 //	GET /replication/tail?after=N      journal entries with seq > N (JSON);
 //	    [&wait=2s] [&max=512]          long-polls up to wait when caught up;
-//	                                   410 Gone when N predates compaction
+//	    [&shard=i]                     410 Gone when N predates compaction
 //
 // Both require an attached journal: without one there is no replication log
-// to ship and the endpoints answer 409.
+// to ship and the endpoints answer 409. On a sharded backend each shard is
+// its own replication stream — per-shard snapshot, journal and cursor — and
+// the shard parameter (default 0) selects which one; replicas run one
+// puller per shard.
 
 // Headers carrying the bootstrap cursor alongside the snapshot bytes.
 const (
@@ -52,8 +56,27 @@ type TailResponse struct {
 	Entries []store.Entry `json:"entries"`
 }
 
+// shardFor resolves the shard query parameter (default 0) to the engine
+// whose replication stream the request addresses.
+func (s *Server) shardFor(r *http.Request) (*videorec.Engine, error) {
+	idx, err := queryUint(r, "shard", 0)
+	if err != nil {
+		return nil, err
+	}
+	eng, ok := s.eng.ShardEngine(int(idx))
+	if !ok {
+		return nil, fmt.Errorf("no shard %d in a %d-shard backend", idx, s.eng.NumShards())
+	}
+	return eng, nil
+}
+
 func (s *Server) handleReplicationSnapshot(w http.ResponseWriter, r *http.Request) {
-	if s.eng.JournalPath() == "" {
+	eng, err := s.shardFor(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if eng.JournalPath() == "" {
 		httpError(w, http.StatusConflict, errors.New("replication requires an attached journal (-journal)"))
 		return
 	}
@@ -61,7 +84,7 @@ func (s *Server) handleReplicationSnapshot(w http.ResponseWriter, r *http.Reques
 	// holds the engine's writer lock for a consistent (state, cursor) cut,
 	// and a slow replica must not hold that lock for its download.
 	var buf bytes.Buffer
-	cur, err := s.eng.WriteReplicationSnapshot(&buf)
+	cur, err := eng.WriteReplicationSnapshot(&buf)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return
@@ -78,7 +101,12 @@ func (s *Server) handleReplicationTail(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, err)
 		return
 	}
-	path := s.eng.JournalPath()
+	eng, err := s.shardFor(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	path := eng.JournalPath()
 	if path == "" {
 		httpError(w, http.StatusConflict, errors.New("replication requires an attached journal (-journal)"))
 		return
@@ -108,7 +136,7 @@ func (s *Server) handleReplicationTail(w http.ResponseWriter, r *http.Request) {
 	// Long-poll on the engine's lock-free cursor before touching the file:
 	// the common caught-up case costs one atomic load per tick.
 	deadline := time.Now().Add(wait)
-	for s.eng.AppliedSeq() <= after && time.Now().Before(deadline) {
+	for eng.AppliedSeq() <= after && time.Now().Before(deadline) {
 		select {
 		case <-r.Context().Done():
 			return // client gave up while we waited
@@ -129,7 +157,7 @@ func (s *Server) handleReplicationTail(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
-	resp := TailResponse{Head: tail.Head, Base: tail.Base, Version: s.eng.Version(), Entries: tail.Entries}
+	resp := TailResponse{Head: tail.Head, Base: tail.Base, Version: eng.Version(), Entries: tail.Entries}
 	if err := faults.Inject(faults.ReplicationTailMid); err != nil {
 		s.abortMidStream(w, resp)
 		return

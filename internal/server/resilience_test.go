@@ -260,7 +260,7 @@ func TestUpdatesErrorPaths(t *testing.T) {
 	}
 	populate(t, ts)
 	// Journal append failure: 500, and the engine state is not mutated.
-	if err := srv.eng.AttachJournal(filepath.Join(t.TempDir(), "w.wal")); err != nil {
+	if err := srv.eng.(*videorec.Engine).AttachJournal(filepath.Join(t.TempDir(), "w.wal")); err != nil {
 		t.Fatal(err)
 	}
 	versionBefore := srv.eng.Version()
@@ -333,7 +333,7 @@ func TestChaosConcurrentTrafficWithFaults(t *testing.T) {
 		RetryAfter:   1 * time.Second,
 	})
 	populate(t, ts)
-	if err := srv.eng.AttachJournal(filepath.Join(t.TempDir(), "chaos.wal")); err != nil {
+	if err := srv.eng.(*videorec.Engine).AttachJournal(filepath.Join(t.TempDir(), "chaos.wal")); err != nil {
 		t.Fatal(err)
 	}
 

@@ -68,10 +68,41 @@ type Config struct {
 	ReadyChecks []ReadyCheck
 }
 
+// Backend is the serving surface the handlers drive — satisfied by a
+// single *videorec.Engine and by the scatter-gather shard router, so one
+// deployment scales from one shard to N without touching handlers.
+// Per-shard introspection (stats, replication endpoints) goes through
+// NumShards/ShardEngine; a plain engine is its own single shard.
+type Backend interface {
+	Add(videorec.Clip) error
+	Build()
+	RecommendCtx(ctx context.Context, clipID string, topK int) ([]videorec.Recommendation, videorec.RecommendMeta, error)
+	RecommendClipCtx(ctx context.Context, clip videorec.Clip, topK int) ([]videorec.Recommendation, videorec.RecommendMeta, error)
+	ApplyUpdates(newComments map[string][]string) (videorec.UpdateSummary, error)
+	Version() uint64
+	Len() int
+	SubCommunities() int
+	Built() bool
+	AppliedSeq() uint64
+	SaveFile(path string) error
+	SaveFileAndCompact(path string) error
+	JournalStatus() (attached bool, path string, base, seq uint64)
+	CloseJournal() error
+	NumShards() int
+	ShardEngine(i int) (*videorec.Engine, bool)
+}
+
+// Drainer is the optional shard-drain surface: backends that can take a
+// shard out of the topology (the router) expose it; POST /shards/drain
+// answers 409 on backends that cannot (a single engine).
+type Drainer interface {
+	DrainShard(i int) (moved int, err error)
+}
+
 // Server wraps an engine with HTTP handlers. Create with New or
 // NewWithConfig, mount Handler().
 type Server struct {
-	eng     *videorec.Engine
+	eng     Backend
 	cfg     Config
 	queries atomic.Int64
 	cache   *resultCache
@@ -90,12 +121,12 @@ type Server struct {
 // engine's view version: mutations publish a new view (bumping the version)
 // instead of purging, so hits against the live view keep being served while
 // entries of lapsed views age out of the LRU.
-func New(eng *videorec.Engine, snapshotPath string) *Server {
+func New(eng Backend, snapshotPath string) *Server {
 	return NewWithConfig(eng, Config{SnapshotPath: snapshotPath})
 }
 
 // NewWithConfig wraps the engine with explicit resilience settings.
-func NewWithConfig(eng *videorec.Engine, cfg Config) *Server {
+func NewWithConfig(eng Backend, cfg Config) *Server {
 	if cfg.MaxK <= 0 {
 		cfg.MaxK = 100
 	}
@@ -181,6 +212,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /recommend", s.admit(s.withDeadline(s.handleRecommendClip)))
 	mux.HandleFunc("POST /updates", s.mutating(s.handleUpdates))
 	mux.HandleFunc("POST /snapshot", s.handleSnapshot)
+	mux.HandleFunc("POST /shards/drain", s.mutating(s.handleDrainShard))
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -324,16 +356,51 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{"saved": s.cfg.SnapshotPath})
 }
 
+// ShardStats is one shard's slice of /stats: its own view version,
+// corpus size and journal cursor. A single-engine deployment reports
+// exactly one.
+type ShardStats struct {
+	Shard       int    `json:"shard"`
+	Videos      int    `json:"videos"`
+	ViewVersion uint64 `json:"viewVersion"`
+	AppliedSeq  uint64 `json:"appliedSeq"`
+	JournalPath string `json:"journalPath,omitempty"`
+	JournalBase uint64 `json:"journalBase"`
+	JournalSeq  uint64 `json:"journalSeq"`
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	hits, misses, size := s.cache.stats()
 	_, _, journalBase, journalSeq := s.eng.JournalStatus()
+	shards := make([]ShardStats, 0, s.eng.NumShards())
+	for i := 0; i < s.eng.NumShards(); i++ {
+		e, ok := s.eng.ShardEngine(i)
+		if !ok {
+			continue
+		}
+		_, jpath, jbase, jseq := e.JournalStatus()
+		shards = append(shards, ShardStats{
+			Shard:       i,
+			Videos:      e.Len(),
+			ViewVersion: e.Version(),
+			AppliedSeq:  e.AppliedSeq(),
+			JournalPath: jpath,
+			JournalBase: jbase,
+			JournalSeq:  jseq,
+		})
+	}
 	writeJSON(w, map[string]any{
+		// Aggregates. viewVersion is the backend's fingerprint: a single
+		// engine's monotonic counter, or the router's fold of (epoch, every
+		// shard version); journalBase/journalSeq aggregate min-base/max-head
+		// across shards.
 		"videos":          s.eng.Len(),
 		"subCommunities":  s.eng.SubCommunities(),
 		"viewVersion":     s.eng.Version(),
 		"appliedSeq":      s.eng.AppliedSeq(),
 		"journalBase":     journalBase,
 		"journalSeq":      journalSeq,
+		"shards":          shards,
 		"readOnly":        s.cfg.ReadOnly,
 		"queriesServed":   s.queries.Load(),
 		"cacheHits":       hits,
@@ -343,6 +410,35 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"shedTotal":       s.shed.Load(),
 		"degradedTotal":   s.degraded.Load(),
 		"panicsRecovered": s.panics.Load(),
+	})
+}
+
+// handleDrainShard takes one shard out of a sharded backend: ingest to it
+// stops, its journal flushes and closes, and its videos re-intern into the
+// surviving shards (rankings are placement-independent, so queries are
+// unaffected). 409 on a backend that cannot drain (single engine, or the
+// last shard).
+func (s *Server) handleDrainShard(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.eng.(Drainer)
+	if !ok {
+		httpError(w, http.StatusConflict, errors.New("backend is not sharded — nothing to drain"))
+		return
+	}
+	shard, err := strconv.Atoi(r.URL.Query().Get("shard"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("malformed shard parameter: %v", err))
+		return
+	}
+	moved, err := d.DrainShard(shard)
+	if err != nil {
+		httpError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"drained":     shard,
+		"moved":       moved,
+		"shards":      s.eng.NumShards(),
+		"viewVersion": s.eng.Version(),
 	})
 }
 

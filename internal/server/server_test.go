@@ -247,6 +247,11 @@ type serverStats struct {
 	CacheHits   int64  `json:"cacheHits"`
 	CacheMisses int64  `json:"cacheMisses"`
 	CacheSize   int    `json:"cacheSize"`
+	Shards      []struct {
+		Shard       int    `json:"shard"`
+		Videos      int    `json:"videos"`
+		ViewVersion uint64 `json:"viewVersion"`
+	} `json:"shards"`
 }
 
 func getStats(t *testing.T, ts *httptest.Server) serverStats {

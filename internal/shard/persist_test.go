@@ -1,0 +1,161 @@
+package shard
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"videorec"
+)
+
+// The sharded crash-recovery contract mirrors the single-engine one,
+// per shard: snapshot + journal replay reconstruct exactly the state that
+// went down, and the recovered deployment ranks bit-identically.
+
+func TestRouterSaveLoadRoundTrip(t *testing.T) {
+	f := loadFixture(t, 21)
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "deploy.snap")
+
+	r, err := New(4, videorec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestAll(t, f, r.Add)
+	r.Build()
+	if err := r.SaveFile(snap); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, err := LoadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.NumShards() != 4 {
+		t.Fatalf("loaded %d shards, want 4", r2.NumShards())
+	}
+	if r2.Len() != r.Len() {
+		t.Fatalf("loaded %d videos, want %d", r2.Len(), r.Len())
+	}
+	ctx := context.Background()
+	for _, id := range f.queries {
+		want, _, err1 := r.RecommendCtx(ctx, id, 10)
+		got, _, err2 := r2.RecommendCtx(ctx, id, 10)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("query %s: %v / %v", id, err1, err2)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("query %s rank %d: reloaded %+v, want %+v", id, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRouterJournalCrashRecovery(t *testing.T) {
+	f := loadFixture(t, 21)
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "deploy.snap")
+	wal := filepath.Join(dir, "deploy.wal")
+
+	r, err := New(4, videorec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestAll(t, f, r.Add)
+	r.Build()
+	if err := r.SaveFile(snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AttachJournals(wal); err != nil {
+		t.Fatal(err)
+	}
+	src := f.col.Opts.MonthsSource
+	for m := src; m < src+3; m++ {
+		if _, err := r.ApplyUpdates(f.updateBatch(m)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// "Crash": abandon r without snapshotting the updates; recover from the
+	// pre-update snapshot plus the per-shard journals.
+	if err := r.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := LoadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := r2.ReplayJournals(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed == 0 {
+		t.Fatal("no journal batches replayed")
+	}
+	if err := r2.AttachJournals(wal); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, id := range f.queries {
+		want, _, err1 := r.RecommendCtx(ctx, id, 10)
+		got, _, err2 := r2.RecommendCtx(ctx, id, 10)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("query %s: %v / %v", id, err1, err2)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %s: %d results, want %d", id, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("query %s rank %d: recovered %+v, want %+v", id, i, got[i], want[i])
+			}
+		}
+	}
+	// The recovered deployment keeps journaling: one more batch must land
+	// contiguously on every shard's journal.
+	if _, err := r2.ApplyUpdates(f.updateBatch(src + 3)); err != nil {
+		t.Fatal(err)
+	}
+	if attached, _, _, seq := r2.JournalStatus(); !attached || seq == 0 {
+		t.Fatalf("journals after recovery: attached=%v seq=%d", attached, seq)
+	}
+}
+
+func TestRouterCompactAndCursorStatus(t *testing.T) {
+	f := loadFixture(t, 21)
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "deploy.snap")
+	wal := filepath.Join(dir, "deploy.wal")
+
+	r, err := New(2, videorec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestAll(t, f, r.Add)
+	r.Build()
+	if err := r.AttachJournals(wal); err != nil {
+		t.Fatal(err)
+	}
+	src := f.col.Opts.MonthsSource
+	if _, err := r.ApplyUpdates(f.updateBatch(src)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SaveFileAndCompact(snap); err != nil {
+		t.Fatal(err)
+	}
+	attached, _, base, seq := r.JournalStatus()
+	if !attached {
+		t.Fatal("journals detached after compact")
+	}
+	if base == 0 || seq < base {
+		t.Fatalf("compacted cursor: base=%d seq=%d", base, seq)
+	}
+	// A compacted deployment restores from its own snapshots alone.
+	r2, err := LoadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := r2.ReplayJournals(wal); err != nil || n != 0 {
+		t.Fatalf("replay after compact: n=%d err=%v", n, err)
+	}
+}

@@ -1,0 +1,760 @@
+// Package shard partitions the corpus across N independent engines and
+// serves queries by scatter-gather: each shard owns a hash slice of the
+// videos — its own dense id table, posting lists, LSB trees, journal and
+// COW view — and a query fans out to every shard's published view in
+// parallel, with the per-shard top-K merged under the engine's (score desc,
+// id asc) total order.
+//
+// The merged ranking is bit-identical to a single engine holding the whole
+// corpus. Two properties carry that guarantee:
+//
+//   - The social machinery is global. Build unions every shard's capped
+//     audience map and hands the same map to each shard, whose deterministic
+//     construction (sorted graph assembly, sorted edge extraction) yields
+//     identical user-interest-graph, partition, hash-table and dictionary
+//     copies. Updates likewise derive per-shard edge slices, sum them into
+//     the exact whole-corpus edge list, and apply that list to every shard's
+//     copy — so all copies evolve in lockstep and per-shard SAR scores equal
+//     single-engine SAR scores.
+//
+//   - Scoring is pointwise. A candidate's fused FJ depends only on the query
+//     and its own record (plus the shared social machinery), never on which
+//     other videos share its shard; each shard's local top-K therefore
+//     contains every global winner stored there, and the merge selects
+//     exactly the single-engine ranking.
+//
+// One honest caveat: when the per-shard candidate budgets (ContentProbe,
+// CandidateLimit) bind, each shard refines a full budget of its own
+// candidates, so the sharded gather covers a superset of the single-engine
+// candidate set — recall can only improve, but a ranking assembled from a
+// larger refined pool may differ from the budget-starved single-engine one.
+// Exact and exhaustive-search modes never use budgets and are always
+// bit-identical. The golden tests pin the unbound regime.
+package shard
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"videorec"
+	"videorec/internal/community"
+	"videorec/internal/core"
+	"videorec/internal/topk"
+)
+
+// Router is the scatter-gather front of a sharded deployment. It satisfies
+// the same serving surface as *videorec.Engine (the server's Backend), so a
+// deployment scales from one shard to N without touching handlers.
+//
+// Reads are lock-free: they load the current shard set through an atomic
+// pointer and run against each shard's immutable view. Mutations serialize
+// behind the router mutex and then behind each shard's own writer lock.
+type Router struct {
+	mu  sync.Mutex // serializes mutations, build, drain and journal management
+	cur atomic.Pointer[shardSet]
+}
+
+// shardSet is one immutable generation of the shard topology. Drain and add
+// publish a new set; in-flight readers keep the set they loaded.
+type shardSet struct {
+	engines []*videorec.Engine
+	// epoch counts topology changes (drain, add). It feeds the version
+	// fingerprint so a query served by an old topology never shares a cache
+	// key with one served by the new.
+	epoch uint64
+}
+
+// ErrNoShards reports a Router constructed with no engines.
+var ErrNoShards = errors.New("shard: router needs at least one shard")
+
+// ErrLastShard reports an attempt to drain the only remaining shard.
+var ErrLastShard = errors.New("shard: cannot drain the last shard")
+
+// New creates a router over n fresh engines sharing one configuration.
+func New(n int, opts videorec.Options) (*Router, error) {
+	if n <= 0 {
+		return nil, ErrNoShards
+	}
+	engines := make([]*videorec.Engine, n)
+	for i := range engines {
+		engines[i] = videorec.New(opts)
+	}
+	return NewFromEngines(engines)
+}
+
+// NewFromEngines creates a router over existing engines — the load and
+// replica paths, where each shard engine was restored separately.
+func NewFromEngines(engines []*videorec.Engine) (*Router, error) {
+	if len(engines) == 0 {
+		return nil, ErrNoShards
+	}
+	r := &Router{}
+	r.cur.Store(&shardSet{engines: append([]*videorec.Engine(nil), engines...)})
+	return r, nil
+}
+
+// set loads the current shard topology.
+func (r *Router) set() *shardSet { return r.cur.Load() }
+
+// shardOf is the placement function: FNV-1a of the video id modulo the live
+// shard count. Placement only decides where a video's record lives — scores
+// are placement-independent — so after a drain resettles ids under a new
+// modulus, rankings are unchanged.
+func shardOf(id string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return int(h.Sum32() % uint32(n))
+}
+
+// owner finds the shard currently holding id (drains can leave videos off
+// their hash slot, so a miss on the hash shard falls back to scanning).
+// Returns -1 when no shard has it.
+func (s *shardSet) owner(id string) int {
+	home := shardOf(id, len(s.engines))
+	if view, _ := s.engines[home].CurrentView(); view.Has(id) {
+		return home
+	}
+	for i, e := range s.engines {
+		if i == home {
+			continue
+		}
+		if view, _ := e.CurrentView(); view.Has(id) {
+			return i
+		}
+	}
+	return -1
+}
+
+// NumShards reports the live shard count.
+func (r *Router) NumShards() int { return len(r.set().engines) }
+
+// ShardEngine resolves a shard index to its engine — the serving layer's
+// per-shard introspection hook (per-shard stats, replication endpoints).
+func (r *Router) ShardEngine(i int) (*videorec.Engine, bool) {
+	s := r.set()
+	if i < 0 || i >= len(s.engines) {
+		return nil, false
+	}
+	return s.engines[i], true
+}
+
+// Version returns a fingerprint of the serving state: an FNV-1a fold of the
+// topology epoch and every shard's view version. Any mutation on any shard,
+// and any topology change, yields a new fingerprint — the property
+// version-keyed result caches need. Fingerprints identify states (equality
+// keying); unlike a single engine's version they are not monotonic.
+func (r *Router) Version() uint64 {
+	s := r.set()
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], s.epoch)
+	h.Write(buf[:])
+	for _, e := range s.engines {
+		_, v := e.CurrentView()
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// Len returns the total number of stored clips across shards.
+func (r *Router) Len() int {
+	n := 0
+	for _, e := range r.set().engines {
+		n += e.Len()
+	}
+	return n
+}
+
+// Built reports whether every shard's published view is built.
+func (r *Router) Built() bool {
+	for _, e := range r.set().engines {
+		if !e.Built() {
+			return false
+		}
+	}
+	return true
+}
+
+// SubCommunities returns the SAR dimensionality — identical on every shard,
+// read from the first.
+func (r *Router) SubCommunities() int {
+	return r.set().engines[0].SubCommunities()
+}
+
+// AppliedSeq returns the highest journal cursor across shards. Per-shard
+// cursors advance independently (a batch touching no video of a shard whose
+// edge list is also empty does not claim a sequence there); the maximum is
+// the aggregate progress indicator.
+func (r *Router) AppliedSeq() uint64 {
+	var max uint64
+	for _, e := range r.set().engines {
+		if s := e.AppliedSeq(); s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// Add ingests a clip into its shard: extraction runs outside every lock,
+// placement hashes the id, and only the owning shard takes its writer lock.
+// A re-ingested id goes back to the shard already holding it, never to a
+// second one.
+func (r *Router) Add(clip videorec.Clip) error {
+	p, err := r.set().engines[0].PrepareClip(clip)
+	if err != nil {
+		return err
+	}
+	return r.AddPrepared(p)
+}
+
+// AddPrepared routes an already-extracted clip to its shard — the zero-copy
+// ingest path for callers (bulk loaders, benchmarks) that extract series and
+// descriptors themselves.
+func (r *Router) AddPrepared(p videorec.PreparedClip) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.set() // re-load under the mutex: a drain may have republished
+	target := s.owner(p.ID)
+	if target < 0 {
+		target = shardOf(p.ID, len(s.engines))
+	}
+	return s.engines[target].AddPrepared(p)
+}
+
+// Remove deletes a stored clip from the shard holding it.
+func (r *Router) Remove(clipID string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.set()
+	i := s.owner(clipID)
+	if i < 0 {
+		return fmt.Errorf("%w: %s", videorec.ErrNotFound, clipID)
+	}
+	return s.engines[i].Remove(clipID)
+}
+
+// Build constructs the social machinery globally: the union of every
+// shard's audience map (disjoint by video — each video lives on one shard)
+// is handed to every shard, which builds an identical partition copy over
+// it in parallel.
+func (r *Router) Build() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buildLocked(r.set())
+}
+
+func (r *Router) buildLocked(s *shardSet) {
+	global := map[string][]string{}
+	for _, e := range s.engines {
+		for vid, aud := range e.Audiences() {
+			global[vid] = aud
+		}
+	}
+	var wg sync.WaitGroup
+	for _, e := range s.engines {
+		wg.Add(1)
+		go func(e *videorec.Engine) {
+			defer wg.Done()
+			e.BuildFromAudiences(global)
+		}(e)
+	}
+	wg.Wait()
+}
+
+// RecommendCtx answers a stored-clip query by scatter-gather: the owning
+// shard's view supplies the query, every shard's view runs the unchanged
+// gather/refine pipeline against it in parallel, and the per-shard top-K
+// merge selects the global winners under (score desc, id asc). Degradation
+// is sticky: if any shard answered coarse, the merged ranking is flagged
+// degraded.
+func (r *Router) RecommendCtx(ctx context.Context, clipID string, topK int) ([]videorec.Recommendation, videorec.RecommendMeta, error) {
+	s := r.set()
+	meta := videorec.RecommendMeta{ViewVersion: r.fingerprint(s)}
+	views := make([]*core.View, len(s.engines))
+	for i, e := range s.engines {
+		views[i], _ = e.CurrentView()
+		if !views[i].Built() {
+			return nil, meta, videorec.ErrNotBuilt
+		}
+	}
+	var q core.Query
+	found := false
+	for _, v := range views {
+		if qq, ok := v.QueryFor(clipID); ok {
+			q, found = qq, true
+			break
+		}
+	}
+	if !found {
+		return nil, meta, fmt.Errorf("%w: %s", videorec.ErrNotFound, clipID)
+	}
+	if len(views) > 1 {
+		// Key the query's content-index positions once; every shard's forest
+		// shares the owner's fingerprint (one configuration), so the fan-out
+		// skips per-shard re-embedding — the dominant fixed cost per shard.
+		q = views[0].PrimeContentKeys(q)
+	}
+	return r.fanOut(ctx, views, q, topK, clipID, meta)
+}
+
+// RecommendClipCtx answers an ad-hoc-clip query: extraction and query
+// assembly run once (all shards share one configuration), then the same
+// scatter-gather as RecommendCtx.
+func (r *Router) RecommendClipCtx(ctx context.Context, clip videorec.Clip, topK int) ([]videorec.Recommendation, videorec.RecommendMeta, error) {
+	s := r.set()
+	meta := videorec.RecommendMeta{ViewVersion: r.fingerprint(s)}
+	q, err := s.engines[0].NewAdHocQuery(clip)
+	if err != nil {
+		return nil, meta, err
+	}
+	views := make([]*core.View, len(s.engines))
+	for i, e := range s.engines {
+		views[i], _ = e.CurrentView()
+		if !views[i].Built() {
+			return nil, meta, videorec.ErrNotBuilt
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, meta, err
+	}
+	if len(views) > 1 {
+		q = views[0].PrimeContentKeys(q)
+	}
+	return r.fanOut(ctx, views, q, topK, clip.ID, meta)
+}
+
+// fingerprint is Version over an already-loaded shard set.
+func (r *Router) fingerprint(s *shardSet) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], s.epoch)
+	h.Write(buf[:])
+	for _, e := range s.engines {
+		_, v := e.CurrentView()
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// fanOut runs the query against every view in parallel and merges the
+// per-shard rankings.
+func (r *Router) fanOut(ctx context.Context, views []*core.View, q core.Query, topK int, exclude string, meta videorec.RecommendMeta) ([]videorec.Recommendation, videorec.RecommendMeta, error) {
+	type answer struct {
+		res  []core.Result
+		info core.RecommendInfo
+		err  error
+	}
+	answers := make([]answer, len(views))
+	if len(views) == 1 || runtime.GOMAXPROCS(0) == 1 {
+		// Single shard — or a single P, where goroutines per shard buy no
+		// wall-clock and only pay spawn + scheduling: stay on the calling
+		// goroutine. Results are identical either way; only latency differs.
+		for i, v := range views {
+			a := &answers[i]
+			a.res, a.info, a.err = v.RecommendCtx(ctx, q, topK, exclude)
+			if a.err != nil {
+				break
+			}
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i, v := range views {
+			wg.Add(1)
+			go func(i int, v *core.View) {
+				defer wg.Done()
+				a := &answers[i]
+				a.res, a.info, a.err = v.RecommendCtx(ctx, q, topK, exclude)
+			}(i, v)
+		}
+		wg.Wait()
+	}
+	for i := range answers {
+		if err := answers[i].err; err != nil {
+			return nil, meta, err
+		}
+		if answers[i].info.Degraded {
+			meta.Degraded = true
+		}
+	}
+	merged := MergeTopK(topK, func(yield func([]core.Result)) {
+		for i := range answers {
+			yield(answers[i].res)
+		}
+	})
+	out := make([]videorec.Recommendation, len(merged))
+	for i, res := range merged {
+		out[i] = videorec.Recommendation{
+			VideoID: res.VideoID,
+			Score:   res.Score,
+			Content: res.Content,
+			Social:  res.Social,
+		}
+	}
+	return out, meta, nil
+}
+
+// MergeTopK merges per-shard result lists into one global top-K under the
+// engine's ranking order — (score desc, id asc), the same strict total
+// order the per-view pipeline selects under, so merging local top-Ks of
+// disjoint corpora reproduces the single-corpus selection exactly.
+func MergeTopK(topK int, lists func(yield func([]core.Result))) []core.Result {
+	sel := topk.New(topK, func(a, b core.Result) bool {
+		if a.Score != b.Score {
+			return a.Score < b.Score
+		}
+		return a.VideoID > b.VideoID
+	})
+	lists(func(res []core.Result) {
+		for _, r := range res {
+			sel.Offer(r)
+		}
+	})
+	return sel.Sorted()
+}
+
+// ApplyUpdates runs one maintenance batch globally, in three steps mirroring
+// the single-engine pass: every shard derives the edge slice its videos
+// induce (parallel), the slices are summed into the whole-corpus edge list,
+// and every shard journals + applies that list with its local slice of the
+// comments (parallel). Maintenance statistics are identical on every shard
+// (same edges, same graph copy) and reported once; re-vectorization counts
+// sum across shards.
+func (r *Router) ApplyUpdates(newComments map[string][]string) (videorec.UpdateSummary, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.set()
+	n := len(s.engines)
+
+	parts := make([][]community.Edge, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i, e := range s.engines {
+		wg.Add(1)
+		go func(i int, e *videorec.Engine) {
+			defer wg.Done()
+			parts[i], errs[i] = e.DeriveConnections(newComments)
+		}(i, e)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return videorec.UpdateSummary{}, err
+		}
+	}
+	edges := videorec.MergeConnections(parts...)
+
+	// Split the batch by owning shard; comments on unknown videos go nowhere,
+	// exactly as a single engine ignores them.
+	local := make([]map[string][]string, n)
+	for i := range local {
+		local[i] = map[string][]string{}
+	}
+	for vid, users := range newComments {
+		if i := s.owner(vid); i >= 0 {
+			local[i][vid] = users
+		}
+	}
+
+	sums := make([]videorec.UpdateSummary, n)
+	for i, e := range s.engines {
+		wg.Add(1)
+		go func(i int, e *videorec.Engine) {
+			defer wg.Done()
+			sums[i], errs[i] = e.ApplyConnections(edges, local[i])
+		}(i, e)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return videorec.UpdateSummary{}, err
+		}
+	}
+	out := sums[0]
+	out.VideosRevectorized = 0
+	for _, sum := range sums {
+		out.VideosRevectorized += sum.VideosRevectorized
+	}
+	return out, nil
+}
+
+// DrainShard takes shard i out of the topology: its journal is flushed and
+// closed, its videos re-intern into the surviving shards (placed by the new
+// modulus), and the social machinery is rebuilt globally — the audience map
+// is unchanged by relocation, so every survivor derives the same partition
+// as before and rankings are unaffected (scores are placement-independent).
+// Returns the number of videos moved. The drained engine is detached, not
+// destroyed; its snapshot/journal files are the operator's to archive.
+func (r *Router) DrainShard(i int) (moved int, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.set()
+	if i < 0 || i >= len(s.engines) {
+		return 0, fmt.Errorf("shard: no shard %d in a %d-shard router", i, len(s.engines))
+	}
+	if len(s.engines) == 1 {
+		return 0, ErrLastShard
+	}
+	drained := s.engines[i]
+	wasBuilt := drained.Built()
+	records := drained.ExportRecords()
+	if err := drained.CloseJournal(); err != nil {
+		return 0, fmt.Errorf("shard: drain journal: %w", err)
+	}
+
+	survivors := make([]*videorec.Engine, 0, len(s.engines)-1)
+	survivors = append(survivors, s.engines[:i]...)
+	survivors = append(survivors, s.engines[i+1:]...)
+	next := &shardSet{engines: survivors, epoch: s.epoch + 1}
+	// Publish before re-ingesting: from here on, reads see the survivor
+	// topology (briefly missing the moving videos, exactly like a snapshot
+	// restore mid-ingest) and new Adds place against the new modulus.
+	r.cur.Store(next)
+
+	for _, rs := range records {
+		p := videorec.PreparedFromRecord(rs)
+		if err := survivors[shardOf(p.ID, len(survivors))].AddPrepared(p); err != nil {
+			return moved, err
+		}
+		moved++
+	}
+	// Re-ingestion marks the receiving shards unbuilt. Restore them by
+	// reindexing around the partition they already hold — NOT by a fresh
+	// build: the partition has been incrementally maintained since the last
+	// Build, and a fresh sub-community extraction over today's audiences
+	// would not reproduce it (maintenance and re-extraction converge
+	// differently by design). Reindexing preserves every shard's maintained
+	// copy, so post-drain rankings are bit-identical to pre-drain.
+	if wasBuilt {
+		var wg sync.WaitGroup
+		errs := make([]error, len(survivors))
+		for i, e := range survivors {
+			wg.Add(1)
+			go func(i int, e *videorec.Engine) {
+				defer wg.Done()
+				errs[i] = e.Reindex()
+			}(i, e)
+		}
+		wg.Wait()
+		if err := errors.Join(errs...); err != nil {
+			return moved, err
+		}
+	}
+	return moved, nil
+}
+
+// AddShard grows the topology by one empty shard configured like the
+// existing ones. Existing videos stay where they are (lookups fall back to
+// scanning); only new ingests place against the grown modulus. When the
+// deployment is built, the new shard receives the global social build so it
+// can serve and maintain immediately.
+func (r *Router) AddShard(opts videorec.Options) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.set()
+	engines := append(append([]*videorec.Engine(nil), s.engines...), videorec.New(opts))
+	next := &shardSet{engines: engines, epoch: s.epoch + 1}
+	r.cur.Store(next)
+	if s.engines[0].Built() {
+		r.buildLocked(next)
+	}
+	return len(engines) - 1
+}
+
+// manifest is the on-disk description of a sharded snapshot: a tiny JSON
+// file at the snapshot path, with each shard's state beside it in
+// "<path>.shard<i>".
+type manifest struct {
+	Format string `json:"format"`
+	Shards int    `json:"shards"`
+	Epoch  uint64 `json:"epoch"`
+}
+
+const manifestFormat = "vrec-shard-manifest"
+
+// ShardPath names shard i's file under a base path — the layout SaveFile
+// writes and LoadFile, AttachJournals and ReplayJournals expect.
+func ShardPath(base string, i int) string {
+	return fmt.Sprintf("%s.shard%d", base, i)
+}
+
+// SaveFile persists the deployment: a manifest at path and one snapshot per
+// shard beside it. Shard snapshots are written through the engine's atomic
+// save; the manifest is written last, so a manifest always names complete
+// snapshots.
+func (r *Router) SaveFile(path string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.set()
+	for i, e := range s.engines {
+		if err := e.SaveFile(ShardPath(path, i)); err != nil {
+			return err
+		}
+	}
+	return writeManifest(path, manifest{Format: manifestFormat, Shards: len(s.engines), Epoch: s.epoch})
+}
+
+func writeManifest(path string, m manifest) error {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dirOf(path), ".vrecshards-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(append(b, '\n')); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if os.IsPathSeparator(path[i]) {
+			return path[:i+1]
+		}
+	}
+	return "."
+}
+
+// LoadFile restores a sharded deployment saved by SaveFile.
+func LoadFile(path string) (*Router, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m manifest
+	if err := json.Unmarshal(b, &m); err != nil || m.Format != manifestFormat || m.Shards <= 0 {
+		return nil, fmt.Errorf("shard: %s is not a shard manifest", path)
+	}
+	engines := make([]*videorec.Engine, m.Shards)
+	for i := range engines {
+		if engines[i], err = videorec.LoadFile(ShardPath(path, i)); err != nil {
+			return nil, fmt.Errorf("shard: load shard %d: %w", i, err)
+		}
+	}
+	r, err := NewFromEngines(engines)
+	if err != nil {
+		return nil, err
+	}
+	r.cur.Store(&shardSet{engines: r.set().engines, epoch: m.Epoch})
+	return r, nil
+}
+
+// ReplayJournals replays each shard's journal ("<base>.shard<i>") through
+// its entry-aware update path, returning the total batches applied. Call
+// after LoadFile and before AttachJournals, mirroring the single-engine
+// restart sequence.
+func (r *Router) ReplayJournals(base string) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	total := 0
+	for i, e := range r.set().engines {
+		n, err := e.ReplayJournal(ShardPath(base, i))
+		total += n
+		if err != nil {
+			return total, fmt.Errorf("shard: replay shard %d journal: %w", i, err)
+		}
+	}
+	return total, nil
+}
+
+// AttachJournals attaches each shard's journal at "<base>.shard<i>".
+func (r *Router) AttachJournals(base string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, e := range r.set().engines {
+		if err := e.AttachJournal(ShardPath(base, i)); err != nil {
+			return fmt.Errorf("shard: attach shard %d journal: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// CloseJournal flushes and detaches every shard's journal.
+func (r *Router) CloseJournal() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var errs []error
+	for i, e := range r.set().engines {
+		if err := e.CloseJournal(); err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// SaveFileAndCompact snapshots every shard and compacts its journal at the
+// snapshot's cursor, then rewrites the manifest — the sharded form of the
+// primary's log-trimming operation. Each shard's snapshot+compact pair is
+// atomic under that shard's writer lock.
+func (r *Router) SaveFileAndCompact(path string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.set()
+	for i, e := range s.engines {
+		if err := e.SaveFileAndCompact(ShardPath(path, i)); err != nil {
+			return fmt.Errorf("shard: compact shard %d: %w", i, err)
+		}
+	}
+	return writeManifest(path, manifest{Format: manifestFormat, Shards: len(s.engines), Epoch: s.epoch})
+}
+
+// JournalStatus aggregates the shards' journal positions: attached only
+// when every shard has a journal, path is the first shard's (the serving
+// layer reports per-shard paths via ShardEngine), base is the minimum
+// retained base and seq the maximum head.
+func (r *Router) JournalStatus() (attached bool, path string, base, seq uint64) {
+	engines := r.set().engines
+	attached = true
+	first := true
+	for _, e := range engines {
+		a, p, b, q := e.JournalStatus()
+		if !a {
+			attached = false
+			continue
+		}
+		if path == "" {
+			path = p
+		}
+		if first || b < base {
+			base = b
+		}
+		first = false
+		if q > seq {
+			seq = q
+		}
+	}
+	return attached, path, base, seq
+}
+
+// SortedIDs returns every stored id across shards in one stable order.
+func (r *Router) SortedIDs() []string {
+	var ids []string
+	for _, e := range r.set().engines {
+		view, _ := e.CurrentView()
+		ids = append(ids, view.SortedIDs()...)
+	}
+	sort.Strings(ids)
+	return ids
+}

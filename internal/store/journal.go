@@ -38,8 +38,21 @@ type Journal struct {
 	path string // non-empty for file-backed journals (enables Compact)
 }
 
-// record is the wire form of one journal line. Three shapes share it:
+// Edge is the wire form of one derived social connection — a user pair and
+// the weight a comment batch added to it. Shard journals carry the globally
+// summed edge list alongside each shard's local comment slice, so a
+// single-shard replica can maintain its sub-community copy without seeing
+// the rest of the corpus.
+type Edge struct {
+	U string  `json:"u"`
+	V string  `json:"v"`
+	W float64 `json:"w"`
+}
+
+// record is the wire form of one journal line. Four shapes share it:
 //
+//   - v3 entry:  {"seq":N,"crc":C,"comments":{...},"edges":[...]} — shard
+//     entry carrying the globally derived connections for the batch
 //   - v2 entry:  {"seq":N,"crc":C,"comments":{...}} — checksummed batch
 //   - v1 entry:  {"seq":N,"comments":{...}}         — legacy, no checksum
 //   - marker:    {"base":N}                          — compaction marker:
@@ -48,6 +61,7 @@ type record struct {
 	Seq      uint64              `json:"seq,omitempty"`
 	CRC      *uint32             `json:"crc,omitempty"`
 	Comments map[string][]string `json:"comments,omitempty"`
+	Edges    []Edge              `json:"edges,omitempty"`
 	Base     *uint64             `json:"base,omitempty"`
 }
 
@@ -56,8 +70,10 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // recordCRC computes the CRC32C of an entry: the sequence number and the
 // canonical JSON encoding of the batch (json.Marshal sorts map keys, so the
 // encoding — and therefore the checksum — is deterministic across the
-// append/replay round trip).
-func recordCRC(seq uint64, comments map[string][]string) (uint32, error) {
+// append/replay round trip). Edge-carrying entries append the edge encoding
+// after a separator; edge-less entries checksum exactly as v2 did, so old
+// journals verify unchanged.
+func recordCRC(seq uint64, comments map[string][]string, edges []Edge) (uint32, error) {
 	body, err := json.Marshal(comments)
 	if err != nil {
 		return 0, err
@@ -65,6 +81,14 @@ func recordCRC(seq uint64, comments map[string][]string) (uint32, error) {
 	buf := strconv.AppendUint(nil, seq, 10)
 	buf = append(buf, ':')
 	buf = append(buf, body...)
+	if edges != nil {
+		eb, err := json.Marshal(edges)
+		if err != nil {
+			return 0, err
+		}
+		buf = append(buf, '|')
+		buf = append(buf, eb...)
+	}
 	return crc32.Checksum(buf, castagnoli), nil
 }
 
@@ -74,11 +98,11 @@ func parseRecord(line []byte) (rec record, isMarker bool, err error) {
 	if err := json.Unmarshal(line, &rec); err != nil {
 		return rec, false, err
 	}
-	if rec.Base != nil && rec.Comments == nil && rec.Seq == 0 {
+	if rec.Base != nil && rec.Comments == nil && rec.Edges == nil && rec.Seq == 0 {
 		return rec, true, nil
 	}
 	if rec.CRC != nil {
-		want, err := recordCRC(rec.Seq, rec.Comments)
+		want, err := recordCRC(rec.Seq, rec.Comments, rec.Edges)
 		if err != nil {
 			return rec, false, err
 		}
@@ -145,12 +169,24 @@ func (j *Journal) Append(comments map[string][]string) error {
 	if len(comments) == 0 {
 		return nil
 	}
+	return j.AppendEntry(comments, nil)
+}
+
+// AppendEntry logs one batch — comments plus, for shard journals, the
+// globally derived edge list — under the next sequence number. Unlike
+// Append, a batch with edges but no local comments still claims a sequence
+// number: every shard's journal advances in lockstep with the global batch
+// sequence even when the batch touched no video on this shard.
+func (j *Journal) AppendEntry(comments map[string][]string, edges []Edge) error {
+	if len(comments) == 0 && len(edges) == 0 {
+		return nil
+	}
 	if err := faults.Inject(faults.JournalAppend); err != nil {
 		return fmt.Errorf("store: append journal: %w", err)
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.appendLocked(j.seq+1, comments)
+	return j.appendLocked(j.seq+1, comments, edges)
 }
 
 // AppendAt logs one batch under an explicit sequence number — the replica
@@ -161,6 +197,15 @@ func (j *Journal) AppendAt(seq uint64, comments map[string][]string) error {
 	if len(comments) == 0 {
 		return nil
 	}
+	return j.AppendEntryAt(seq, comments, nil)
+}
+
+// AppendEntryAt is AppendEntry under an explicit (primary-assigned)
+// sequence number; see AppendAt for the contiguity contract.
+func (j *Journal) AppendEntryAt(seq uint64, comments map[string][]string, edges []Edge) error {
+	if len(comments) == 0 && len(edges) == 0 {
+		return nil
+	}
 	if err := faults.Inject(faults.JournalAppend); err != nil {
 		return fmt.Errorf("store: append journal: %w", err)
 	}
@@ -169,15 +214,23 @@ func (j *Journal) AppendAt(seq uint64, comments map[string][]string) error {
 	if seq != j.seq+1 {
 		return fmt.Errorf("store: journal append at seq %d would leave a gap after %d", seq, j.seq)
 	}
-	return j.appendLocked(seq, comments)
+	return j.appendLocked(seq, comments, edges)
 }
 
-func (j *Journal) appendLocked(seq uint64, comments map[string][]string) error {
-	crc, err := recordCRC(seq, comments)
+func (j *Journal) appendLocked(seq uint64, comments map[string][]string, edges []Edge) error {
+	// Normalize empty to nil: omitempty drops empty collections from the
+	// line, so the CRC must be computed over what a reader will decode.
+	if len(comments) == 0 {
+		comments = nil
+	}
+	if len(edges) == 0 {
+		edges = nil
+	}
+	crc, err := recordCRC(seq, comments, edges)
 	if err != nil {
 		return fmt.Errorf("store: encode journal entry: %w", err)
 	}
-	b, err := json.Marshal(record{Seq: seq, CRC: &crc, Comments: comments})
+	b, err := json.Marshal(record{Seq: seq, CRC: &crc, Comments: comments, Edges: edges})
 	if err != nil {
 		return fmt.Errorf("store: encode journal entry: %w", err)
 	}
@@ -315,6 +368,15 @@ func ReplayJournal(r io.Reader, fn func(comments map[string][]string) error) (in
 // what restart paths use to restore their replication cursor. Compaction
 // markers are skipped (they carry no batch).
 func ReplayJournalSeq(r io.Reader, fn func(seq uint64, comments map[string][]string) error) (int, error) {
+	return ReplayJournalEntries(r, func(seq uint64, comments map[string][]string, _ []Edge) error {
+		return fn(seq, comments)
+	})
+}
+
+// ReplayJournalEntries is the full-fidelity replay: each batch's sequence
+// number, comments, and — for shard journals — the derived edge list it was
+// appended with. Edge-less (v1/v2) records replay with nil edges.
+func ReplayJournalEntries(r io.Reader, fn func(seq uint64, comments map[string][]string, edges []Edge) error) (int, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
 	replayed := 0
@@ -336,7 +398,7 @@ func ReplayJournalSeq(r io.Reader, fn func(seq uint64, comments map[string][]str
 		if marker {
 			continue
 		}
-		if err := fn(rec.Seq, rec.Comments); err != nil {
+		if err := fn(rec.Seq, rec.Comments, rec.Edges); err != nil {
 			return replayed, err
 		}
 		replayed++
@@ -432,6 +494,14 @@ func ReplayJournalFile(path string, fn func(comments map[string][]string) error)
 // ReplayJournalFileSeq replays a journal from disk with sequence numbers; a
 // missing file replays zero batches.
 func ReplayJournalFileSeq(path string, fn func(seq uint64, comments map[string][]string) error) (int, error) {
+	return ReplayJournalFileEntries(path, func(seq uint64, comments map[string][]string, _ []Edge) error {
+		return fn(seq, comments)
+	})
+}
+
+// ReplayJournalFileEntries replays a journal from disk with sequence
+// numbers and edge lists; a missing file replays zero batches.
+func ReplayJournalFileEntries(path string, fn func(seq uint64, comments map[string][]string, edges []Edge) error) (int, error) {
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return 0, nil
@@ -440,5 +510,5 @@ func ReplayJournalFileSeq(path string, fn func(seq uint64, comments map[string][
 		return 0, fmt.Errorf("store: open journal: %w", err)
 	}
 	defer f.Close()
-	return ReplayJournalSeq(f, fn)
+	return ReplayJournalEntries(f, fn)
 }

@@ -23,10 +23,12 @@ type Cursor struct {
 }
 
 // Entry is one journaled batch with its replication sequence number — the
-// unit shipped from primary to replicas.
+// unit shipped from primary to replicas. Edges carries the derived
+// connection list of shard-journal entries (nil for whole-corpus journals).
 type Entry struct {
 	Seq      uint64              `json:"seq"`
 	Comments map[string][]string `json:"comments"`
+	Edges    []Edge              `json:"edges,omitempty"`
 }
 
 // ErrCompacted reports that the journal no longer retains the entries a
@@ -123,7 +125,7 @@ func readTail(r io.Reader, after uint64, limit int) (Tail, error) {
 					t.Head = rec.Seq
 				}
 				if rec.Seq > after && (limit <= 0 || len(t.Entries) < limit) {
-					t.Entries = append(t.Entries, Entry{Seq: rec.Seq, Comments: rec.Comments})
+					t.Entries = append(t.Entries, Entry{Seq: rec.Seq, Comments: rec.Comments, Edges: rec.Edges})
 				}
 			}
 		}

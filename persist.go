@@ -135,7 +135,7 @@ func (e *Engine) AttachJournal(path string) error {
 func (e *Engine) ReplayJournal(path string) (int, error) {
 	start := e.applied.Load()
 	applied := 0
-	_, err := store.ReplayJournalFileSeq(path, func(seq uint64, comments map[string][]string) error {
+	_, err := store.ReplayJournalFileEntries(path, func(seq uint64, comments map[string][]string, edges []store.Edge) error {
 		if seq > 0 && seq <= start {
 			return nil // already folded into the snapshot
 		}
@@ -144,7 +144,13 @@ func (e *Engine) ReplayJournal(path string) (int, error) {
 		if !e.rec.Built() {
 			return ErrNotBuilt
 		}
-		e.rec.ApplyUpdates(comments)
+		if edges != nil {
+			// Shard-journal entry: replay under the globally summed edge list
+			// it was appended with, exactly as ApplyConnections applied it.
+			e.rec.ApplyEdges(coreEdges(edges), comments)
+		} else {
+			e.rec.ApplyUpdates(comments)
+		}
 		e.publishLocked()
 		if seq > e.applied.Load() {
 			e.applied.Store(seq)

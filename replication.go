@@ -2,7 +2,6 @@ package videorec
 
 import (
 	"errors"
-	"fmt"
 	"io"
 
 	"videorec/internal/core"
@@ -34,27 +33,7 @@ var ErrNoJournal = errors.New("videorec: no journal attached")
 // to it under the same sequence number before it is applied, so the replica
 // is itself crash-safe and can serve as a bootstrap source.
 func (e *Engine) ApplyReplicated(seq uint64, comments map[string][]string) (bool, error) {
-	e.writeMu.Lock()
-	defer e.writeMu.Unlock()
-	if !e.rec.Built() {
-		return false, ErrNotBuilt
-	}
-	cur := e.applied.Load()
-	if seq <= cur {
-		return false, nil // duplicate delivery
-	}
-	if seq != cur+1 {
-		return false, fmt.Errorf("%w: applied through %d, shipped %d", ErrReplicationGap, cur, seq)
-	}
-	if e.journal != nil {
-		if err := e.journal.AppendAt(seq, comments); err != nil {
-			return false, fmt.Errorf("videorec: journal: %w", err)
-		}
-	}
-	e.rec.ApplyUpdates(comments)
-	e.publishLocked()
-	e.applied.Store(seq)
-	return true, nil
+	return e.ApplyReplicatedEntry(seq, comments, nil)
 }
 
 // WriteReplicationSnapshot streams a bootstrap snapshot to w and returns the

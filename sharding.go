@@ -1,0 +1,272 @@
+package videorec
+
+import (
+	"fmt"
+
+	"videorec/internal/community"
+	"videorec/internal/core"
+	"videorec/internal/signature"
+	"videorec/internal/social"
+	"videorec/internal/store"
+)
+
+// Sharding bridge: the surface a scatter-gather router (internal/shard)
+// drives on each shard engine. A sharded deployment holds N independent
+// Engines, each owning a hash slice of the corpus with its own dense id
+// table, indexes, journal and COW view; the router coordinates the three
+// operations that must see the whole corpus — the social build (union of
+// audiences), update maintenance (globally summed edges), and the query
+// fan-out (per-view gather/refine, merged top-K). Everything here reuses
+// the single-engine machinery; none of it changes single-engine behavior.
+
+// PreparedClip is a clip after validation and signature extraction — what
+// travels from the router's extraction step to the owning shard's
+// AddPrepared. Extraction is the expensive, lock-free part of Add; routing
+// it separately means a router hashes the id, extracts once, and only the
+// owning shard pays the (brief) writer-lock insertion.
+type PreparedClip struct {
+	ID     string
+	Series signature.Series
+	Desc   social.Descriptor
+}
+
+// PrepareClip validates a clip and extracts its signature series and social
+// descriptor using this engine's configuration. All shards of a deployment
+// share one Options, so a clip prepared against any shard ingests
+// identically on every shard.
+func (e *Engine) PrepareClip(clip Clip) (PreparedClip, error) {
+	if clip.ID == "" {
+		return PreparedClip{}, ErrEmptyID
+	}
+	if len(clip.Frames) == 0 {
+		return PreparedClip{}, ErrNoFrames
+	}
+	v, err := toVideo(clip)
+	if err != nil {
+		return PreparedClip{}, err
+	}
+	return PreparedClip{
+		ID:     clip.ID,
+		Series: e.rec.ExtractSeries(v),
+		Desc:   social.NewDescriptor(clip.Owner, clip.Commenters...),
+	}, nil
+}
+
+// AddPrepared ingests a prepared clip — the shard-side half of Add.
+func (e *Engine) AddPrepared(p PreparedClip) error {
+	if p.ID == "" {
+		return ErrEmptyID
+	}
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	e.rec.IngestSeries(p.ID, p.Series, p.Desc)
+	e.publishLocked()
+	return nil
+}
+
+// Audiences returns the per-video commenter audiences of everything this
+// engine holds, capped exactly as Build caps them. A router unions every
+// shard's map into the global audience map the social build needs.
+func (e *Engine) Audiences() map[string][]string {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	return e.rec.CollectAudiences()
+}
+
+// BuildFromAudiences runs the social build over an explicit global audience
+// map and publishes the result — the shard-side half of a sharded Build.
+// Every shard receiving the same map derives an identical user interest
+// graph, partition, and dictionaries (construction is deterministic), which
+// is what makes per-shard SAR vectors — and merged scatter-gather rankings —
+// bit-identical to a single engine holding the whole corpus.
+func (e *Engine) BuildFromAudiences(audiences map[string][]string) {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	e.rec.BuildSocialFrom(audiences)
+	e.publishLocked()
+}
+
+// Reindex rebuilds the derived index state — vectors, dictionaries,
+// inverted files — around the engine's existing graph and partition, and
+// publishes the result. The shard-drain re-intern path: survivors receive
+// relocated records and must index them under the incrementally maintained
+// partition they already hold (a fresh sub-community extraction would not
+// reproduce it). Returns ErrNotBuilt before the first Build.
+func (e *Engine) Reindex() error {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	if e.rec.Partition() == nil {
+		return ErrNotBuilt
+	}
+	e.rec.Reindex()
+	e.publishLocked()
+	return nil
+}
+
+// DeriveConnections derives the social connections a comment batch induces
+// against this shard's slice of the corpus (comments on videos stored
+// elsewhere contribute nothing here — their owning shard derives those). A
+// router sums every shard's slice with MergeConnections to reconstruct
+// exactly the edge list a whole-corpus engine would derive.
+func (e *Engine) DeriveConnections(newComments map[string][]string) ([]community.Edge, error) {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	if !e.rec.Built() {
+		return nil, ErrNotBuilt
+	}
+	return e.rec.DeriveConnections(newComments), nil
+}
+
+// MergeConnections sums per-shard edge slices into the global deterministic
+// edge list (weights of pairs contributed by several shards add).
+func MergeConnections(parts ...[]community.Edge) []community.Edge {
+	return core.SumConnections(parts...)
+}
+
+// ApplyConnections is the shard-side half of a sharded ApplyUpdates: it
+// journals and applies one maintenance batch under the globally summed edge
+// list. Every shard applies the same edges to its identical graph/partition
+// copy — so all copies evolve in lockstep — while localComments (the slice
+// of the batch touching videos this shard holds; comments for foreign
+// videos are ignored) grows only local descriptors. The journal entry
+// carries both pieces, making each shard's journal self-contained: a
+// single-shard replica replays or tails it without seeing the rest of the
+// corpus.
+func (e *Engine) ApplyConnections(edges []community.Edge, localComments map[string][]string) (UpdateSummary, error) {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	if !e.rec.Built() {
+		return UpdateSummary{}, ErrNotBuilt
+	}
+	if e.journal != nil {
+		if err := e.journal.AppendEntry(localComments, storeEdges(edges)); err != nil {
+			return UpdateSummary{}, fmt.Errorf("videorec: journal: %w", err)
+		}
+		e.applied.Store(e.journal.Seq())
+	} else {
+		e.applied.Add(1)
+	}
+	rep := e.rec.ApplyEdges(edges, localComments)
+	e.publishLocked()
+	return UpdateSummary{
+		NewConnections:     rep.Maintenance.NewConnections,
+		Unions:             rep.Maintenance.Unions,
+		Splits:             rep.Maintenance.Splits,
+		UsersMoved:         rep.Maintenance.UsersMoved,
+		VideosRevectorized: rep.VideosRevectorized,
+	}, nil
+}
+
+// ApplyReplicatedEntry is ApplyReplicated for shard-journal entries: a
+// shipped batch that carries the globally derived edge list alongside the
+// shard's local comments. Edge-less entries apply through the whole-corpus
+// path exactly as ApplyReplicated does.
+func (e *Engine) ApplyReplicatedEntry(seq uint64, comments map[string][]string, edges []store.Edge) (bool, error) {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	if !e.rec.Built() {
+		return false, ErrNotBuilt
+	}
+	cur := e.applied.Load()
+	if seq <= cur {
+		return false, nil // duplicate delivery
+	}
+	if seq != cur+1 {
+		return false, fmt.Errorf("%w: applied through %d, shipped %d", ErrReplicationGap, cur, seq)
+	}
+	if e.journal != nil {
+		if err := e.journal.AppendEntryAt(seq, comments, edges); err != nil {
+			return false, fmt.Errorf("videorec: journal: %w", err)
+		}
+	}
+	if edges != nil {
+		e.rec.ApplyEdges(coreEdges(edges), comments)
+	} else {
+		e.rec.ApplyUpdates(comments)
+	}
+	e.publishLocked()
+	e.applied.Store(seq)
+	return true, nil
+}
+
+// CurrentView returns the engine's published immutable view and its
+// version — the fan-out handle: a router loads every shard's view once per
+// query and runs the lock-free gather/refine path against each.
+func (e *Engine) CurrentView() (*core.View, uint64) {
+	cur := e.cur.Load()
+	return cur.view, cur.version
+}
+
+// NewAdHocQuery validates an ad-hoc clip and builds the core query for it —
+// extraction plus descriptor, against the current view's configuration. The
+// query holds only data (series, compiled signatures, descriptor), so a
+// router builds it once and fans the same query out to every shard's view.
+func (e *Engine) NewAdHocQuery(clip Clip) (core.Query, error) {
+	if len(clip.Frames) == 0 {
+		return core.Query{}, ErrNoFrames
+	}
+	v, err := toVideo(clip)
+	if err != nil {
+		return core.Query{}, err
+	}
+	view, _ := e.CurrentView()
+	return view.AdHocQuery(v, social.NewDescriptor(clip.Owner, clip.Commenters...)), nil
+}
+
+// ExportRecords returns a self-contained copy of every stored record — id,
+// signature series, descriptor members — in ingestion order: the drain
+// payload. A router draining this shard re-ingests these into the surviving
+// shards (RecordClip reconstructs the ingestable form).
+func (e *Engine) ExportRecords() []core.RecordSnapshot {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	return e.rec.Snapshot().Records
+}
+
+// PreparedFromRecord rebuilds the ingestable form of an exported record —
+// the re-intern half of a shard drain.
+func PreparedFromRecord(rs core.RecordSnapshot) PreparedClip {
+	return PreparedClip{
+		ID:     rs.ID,
+		Series: rs.Series,
+		Desc:   social.NewDescriptor("", rs.Users...),
+	}
+}
+
+// NumShards reports how many shard engines back this engine: one. The
+// serving layer's Backend interface is shared by Engine and the router, and
+// both answer per-shard introspection through it.
+func (e *Engine) NumShards() int { return 1 }
+
+// ShardEngine resolves a shard index to its engine; a plain Engine is its
+// own and only shard.
+func (e *Engine) ShardEngine(i int) (*Engine, bool) {
+	if i != 0 {
+		return nil, false
+	}
+	return e, true
+}
+
+// storeEdges converts derived connections to the journal wire form.
+func storeEdges(in []community.Edge) []store.Edge {
+	if in == nil {
+		return nil
+	}
+	out := make([]store.Edge, len(in))
+	for i, e := range in {
+		out[i] = store.Edge{U: e.U, V: e.V, W: e.W}
+	}
+	return out
+}
+
+// coreEdges converts journal wire edges back to derived connections.
+func coreEdges(in []store.Edge) []community.Edge {
+	if in == nil {
+		return nil
+	}
+	out := make([]community.Edge, len(in))
+	for i, e := range in {
+		out[i] = community.Edge{U: e.U, V: e.V, W: e.W}
+	}
+	return out
+}
