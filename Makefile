@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: all check build vet test test-race race bench bench-shards vrecbench vrecbench-short bench-compare experiments experiments-paper fuzz examples clean
+.PHONY: all check build vet test test-race test-faults race bench bench-shards vrecbench vrecbench-short bench-compare experiments experiments-paper fuzz examples clean
 
 all: check
 
-# The full gate: build, vet, tests, then the race detector over everything
-# (including the reader/writer stress test).
-check: build vet test test-race
+# The full gate: build, vet, tests, the race detector over everything
+# (including the reader/writer stress test), then the fault matrix.
+check: build vet test test-race test-faults
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,12 @@ test:
 test-race:
 	$(GO) test -race ./...
 
+# The fault matrix: chaos, circuit-breaker and transactional-drain tests
+# re-run under the race detector at -count=2 (the second run shakes out any
+# state a fault-injected first pass leaves behind).
+test-faults:
+	$(GO) test -run 'Chaos|Breaker|Drain' -race -count=2 ./internal/shard/... ./internal/server/...
+
 race: test-race
 
 # One testing.B bench per paper table/figure plus ablations and microbenches.
@@ -28,9 +34,10 @@ bench:
 
 # Serving-path benchmark harness: fixed RecommendCtx workloads, JSON output
 # with ns/op, qps, allocs/op and latency percentiles (see README). Includes
-# the shards/{1,4,16} scatter-gather workloads.
+# the shards/{1,4,16} scatter-gather workloads and the shards/faulty
+# degraded-path workload.
 vrecbench:
-	$(GO) run ./cmd/vrecbench -out BENCH_PR6.json
+	$(GO) run ./cmd/vrecbench -out BENCH_PR7.json
 
 vrecbench-short:
 	$(GO) run ./cmd/vrecbench -short -out bench-short.json
@@ -44,8 +51,8 @@ bench-shards:
 # Override the endpoints with OLD=/NEW=, e.g.
 #   make bench-compare OLD=BENCH_PR3.json NEW=bench-short.json
 # A missing baseline or disjoint workload sets print a note and exit 0.
-OLD ?= BENCH_PR5.json
-NEW ?= BENCH_PR6.json
+OLD ?= BENCH_PR6.json
+NEW ?= BENCH_PR7.json
 bench-compare:
 	$(GO) run ./cmd/benchcompare -old $(OLD) -new $(NEW)
 

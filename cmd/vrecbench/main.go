@@ -10,11 +10,15 @@
 // drive the scatter-gather router end to end — partitioned corpus, parallel
 // fan-out, merged top-K — with each shard refining serially, so the qps
 // curve across shard counts measures the router's scaling and its merged
-// rankings stay bit-identical to shards/1 by construction.
+// rankings stay bit-identical to shards/1 by construction. shards/faulty
+// repeats the four-shard run with one shard armed with a latency fault past
+// its per-shard budget: the degraded column reports the partial-answer rate
+// and the latency percentiles show the circuit breaker sidelining the slow
+// shard.
 //
 // Usage:
 //
-//	go run ./cmd/vrecbench -out BENCH_PR6.json
+//	go run ./cmd/vrecbench -out BENCH_PR7.json
 //	go run ./cmd/vrecbench -short   # CI-sized run, seconds not minutes
 //
 // Compare two runs with cmd/benchcompare (make bench-compare).
@@ -34,6 +38,7 @@ import (
 	"videorec"
 	"videorec/internal/core"
 	"videorec/internal/dataset"
+	"videorec/internal/faults"
 	"videorec/internal/shard"
 	"videorec/internal/signature"
 	"videorec/internal/social"
@@ -66,7 +71,7 @@ type report struct {
 
 func main() {
 	var (
-		out   = flag.String("out", "BENCH_PR6.json", "output JSON path")
+		out   = flag.String("out", "BENCH_PR7.json", "output JSON path")
 		short = flag.Bool("short", false, "CI-sized run: smaller collection, fewer iterations")
 		hours = flag.Float64("hours", 8, "collection size in video-hours")
 		users = flag.Int("users", 200, "community size")
@@ -202,6 +207,45 @@ func main() {
 			}
 			return info.Degraded, err
 		})))
+	}
+
+	// shards/faulty: the degraded serving path under a persistent slow shard.
+	// One of four shards is armed with a 30ms latency fault — well past the
+	// per-shard budget (deadline − margin ≈ 25ms) — so every answer is a
+	// quorum-satisfying partial from the three healthy shards. The Degraded
+	// column is the partial-answer count; the p50/p99 spread shows the
+	// circuit breaker at work: once it opens, the slow shard is skipped and
+	// the common case runs at healthy-path latency, while the tail carries
+	// the occasional half-open probe that re-pays the fault to test for
+	// recovery.
+	{
+		const n = 4
+		router, err := shard.New(n, videorec.Options{SubCommunities: 12, RefineWorkers: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, it := range col.Items {
+			if err := router.AddPrepared(videorec.PreparedClip{ID: it.ID, Series: series[it.ID], Desc: descs[it.ID]}); err != nil {
+				log.Fatalf("shards/faulty ingest %s: %v", it.ID, err)
+			}
+		}
+		router.Build()
+		router.SetResilience(shard.Resilience{
+			ShardMargin:    75 * time.Millisecond,
+			MinShardQuorum: 3,
+		})
+		faults.Arm(shard.SiteForShard(shard.FaultFanOutSlow, 1), faults.Latency(30*time.Millisecond))
+		rep.Results = append(rep.Results, logRow(runWorkload("shards/faulty", iters, func(i int) (bool, error) {
+			ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+			defer cancel()
+			id := queries[i%len(queries)]
+			res, info, err := router.RecommendCtx(ctx, id, *topK)
+			if err == nil && len(res) == 0 {
+				return false, fmt.Errorf("query %s returned no results", id)
+			}
+			return info.Degraded, err
+		})))
+		faults.Reset()
 	}
 
 	// Candidate-generation micro-workloads: steps 1–2 in isolation.

@@ -5,7 +5,8 @@
 //	vrecd [-addr :8080] [-shards N] [-snapshot engine.snap] [-journal engine.wal]
 //	      [-demo hours] [-query-timeout 2s] [-max-inflight 256] [-max-queue N]
 //	      [-max-k 100] [-replica-of http://primary:8080] [-max-replica-lag 64]
-//	      [-pprof localhost:6060]
+//	      [-shard-margin 0] [-shard-quorum 0] [-breaker-threshold 5]
+//	      [-breaker-backoff 200ms] [-pprof localhost:6060]
 //
 // With -demo N the server starts pre-loaded with an N-hour synthetic
 // community, ready to answer /recommend immediately. The resilience flags
@@ -21,6 +22,16 @@
 // persists to <base>.shard<i> with a manifest at the base path — and /stats
 // reports a per-shard breakdown. POST /shards/drain?shard=i retires a shard
 // live, redistributing its videos across the survivors.
+//
+// The sharded fan-out tolerates per-shard failure: -shard-margin carves a
+// per-shard budget out of each request deadline (a stuck shard times out
+// while the router keeps merge headroom), -breaker-threshold consecutive
+// failures open that shard's circuit breaker (half-open probes with jittered
+// backoff starting at -breaker-backoff recover it), and -shard-quorum >= 1
+// lets the merge answer partially (degraded:true, shardsFailed/shardsTotal
+// in the response) as long as that many shards answered — below quorum the
+// query 503s with Retry-After. -shard-quorum 0 keeps the strict default:
+// every shard must answer.
 //
 // With -replica-of the process runs as a read-only replica: it bootstraps
 // from the primary's snapshot, tails its journal, rejects mutating requests
@@ -66,6 +77,10 @@ func main() {
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on shed (503) responses")
 	replicaOf := flag.String("replica-of", "", "run as a read-only replica of this primary URL")
 	maxReplicaLag := flag.Uint64("max-replica-lag", 64, "readiness threshold: max replication lag in batches")
+	shardMargin := flag.Duration("shard-margin", 0, "per-shard budget margin under the request deadline (sharded; 0 = no per-shard budget)")
+	shardQuorum := flag.Int("shard-quorum", 0, "min shards that must answer; partial answers above it are degraded (0 = all shards required)")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive shard failures that open its circuit breaker (0 = default 5, <0 = disabled)")
+	breakerBackoff := flag.Duration("breaker-backoff", 0, "initial open interval before a breaker's half-open probe (0 = default 200ms)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 	flag.Parse()
 
@@ -119,6 +134,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
+			applyResilience(router, *shardMargin, *shardQuorum, *breakerThreshold, *breakerBackoff)
 			eng = router
 		}
 		cfg.ReadOnly = true
@@ -155,6 +171,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		applyResilience(router, *shardMargin, *shardQuorum, *breakerThreshold, *breakerBackoff)
 		if *journal != "" {
 			if n, err := router.ReplayJournals(*journal); err != nil {
 				log.Fatalf("replay journals: %v", err)
@@ -221,6 +238,21 @@ func main() {
 		log.Printf("drain: %v", err)
 	} else if *snapshot != "" {
 		log.Printf("snapshot saved to %s", *snapshot)
+	}
+}
+
+// applyResilience maps the fan-out fault-tolerance flags onto the router.
+// Called after bootstrap (snapshot restore included) so the flags win over
+// whatever the manifest deployment used before.
+func applyResilience(router *shard.Router, margin time.Duration, quorum, threshold int, backoff time.Duration) {
+	router.SetResilience(shard.Resilience{
+		ShardMargin:      margin,
+		MinShardQuorum:   quorum,
+		BreakerThreshold: threshold,
+		BreakerBackoff:   backoff,
+	})
+	if quorum > 0 {
+		log.Printf("partial answers enabled: quorum %d of %d shards", quorum, router.NumShards())
 	}
 }
 

@@ -1,0 +1,221 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"videorec/internal/faults"
+	"videorec/internal/shard"
+)
+
+// Serving-layer coverage for the fault-tolerant scatter-gather: partial
+// answers on the wire, 503 + Retry-After on quorum loss, per-shard breaker
+// health in /stats, and the shardQuorum readiness gate.
+
+func getRecommend(t *testing.T, url string) (*http.Response, RecommendResponse) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rr RecommendResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, rr
+}
+
+// TestShardBreakerPartialResponseOnWire: with one of four shards failing and
+// quorum satisfied, /recommend answers 200 with degraded:true and the
+// shardsFailed/shardsTotal accounting; degraded answers are counted but
+// never cached.
+func TestShardBreakerPartialResponseOnWire(t *testing.T) {
+	defer faults.Reset()
+	ts, router := newShardedServer(t, 4)
+	populate(t, ts)
+	router.SetResilience(shard.Resilience{MinShardQuorum: 2, BreakerThreshold: -1})
+
+	faults.Arm(shard.SiteForShard(shard.FaultFanOut, 1), faults.Error(nil))
+	resp, rr := getRecommend(t, ts.URL+"/recommend?id=clip-0&k=5")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("partial answer status %d, want 200", resp.StatusCode)
+	}
+	if !rr.Degraded || rr.ShardsFailed != 1 || rr.ShardsTotal != 4 {
+		t.Fatalf("partial answer = degraded=%v %d/%d, want degraded 1/4", rr.Degraded, rr.ShardsFailed, rr.ShardsTotal)
+	}
+
+	// Partial answers never enter the cache: a second identical query misses
+	// again (and is counted degraded again).
+	if _, rr2 := getRecommend(t, ts.URL+"/recommend?id=clip-0&k=5"); !rr2.Degraded {
+		t.Fatal("second query served a cached partial answer as full")
+	}
+	st := getStats(t, ts)
+	if st.CacheHits != 0 {
+		t.Errorf("degraded answers were cached: %d hits", st.CacheHits)
+	}
+
+	// Disarm: the same query answers full again (shardsTotal stays as
+	// informative meta; shardsFailed drops to zero).
+	faults.Reset()
+	_, rr3 := getRecommend(t, ts.URL+"/recommend?id=clip-0&k=5")
+	if rr3.Degraded || rr3.ShardsFailed != 0 || rr3.ShardsTotal != 4 {
+		t.Fatalf("recovered answer = degraded=%v %d/%d, want full 0/4", rr3.Degraded, rr3.ShardsFailed, rr3.ShardsTotal)
+	}
+}
+
+// TestShardBreakerQuorumLoss503: below quorum the query fails with 503 and a
+// Retry-After hint — the overload contract, not a 500 — and the breakers
+// that tripped surface in /stats and flip /readyz's shardQuorum gate until
+// recovery.
+func TestShardBreakerQuorumLoss503(t *testing.T) {
+	defer faults.Reset()
+	ts, router := newShardedServer(t, 4)
+	populate(t, ts)
+	router.SetResilience(shard.Resilience{
+		MinShardQuorum:    2,
+		BreakerThreshold:  1,
+		BreakerBackoff:    20 * time.Millisecond,
+		BreakerMaxBackoff: 40 * time.Millisecond,
+	})
+
+	for _, i := range []int{0, 1, 2} {
+		faults.Arm(shard.SiteForShard(shard.FaultFanOut, i), faults.Error(nil))
+	}
+	resp, _ := getRecommend(t, ts.URL+"/recommend?id=clip-0&k=5")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("quorum loss status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("quorum-loss 503 carries no Retry-After")
+	}
+
+	// The three failures tripped threshold-1 breakers: /stats shows them
+	// open with the router counters advanced.
+	st := getStats(t, ts)
+	if st.ShardFailTotal != 3 || st.BreakerOpenTotal != 3 || st.QuorumLostTotal != 1 {
+		t.Fatalf("counters = fail=%d open=%d quorum=%d, want 3/3/1",
+			st.ShardFailTotal, st.BreakerOpenTotal, st.QuorumLostTotal)
+	}
+	open := 0
+	for _, sh := range st.Shards {
+		if sh.Breaker == "open" {
+			open++
+			if sh.ConsecutiveFails < 1 || sh.Failures < 1 || sh.BreakerOpens < 1 {
+				t.Errorf("open shard %d health incomplete: %+v", sh.Shard, sh)
+			}
+		}
+	}
+	if open != 3 {
+		t.Fatalf("/stats shows %d open breakers, want 3", open)
+	}
+
+	// Readiness: healthy shards (1) below quorum (2) fails the shardQuorum
+	// check with 503.
+	ready, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rbody struct {
+		Ready  bool              `json:"ready"`
+		Checks map[string]string `json:"checks"`
+	}
+	if err := json.NewDecoder(ready.Body).Decode(&rbody); err != nil {
+		t.Fatal(err)
+	}
+	ready.Body.Close()
+	if ready.StatusCode != http.StatusServiceUnavailable || rbody.Ready {
+		t.Fatalf("readyz under quorum loss: status %d ready=%v, want 503/false", ready.StatusCode, rbody.Ready)
+	}
+	if msg, ok := rbody.Checks["shardQuorum"]; !ok || !strings.Contains(msg, "required") {
+		t.Fatalf("readyz checks = %v, want failing shardQuorum", rbody.Checks)
+	}
+
+	// Disarm and let the half-open probes close the breakers: serving and
+	// readiness both recover.
+	faults.Reset()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, rr := getRecommend(t, ts.URL+"/recommend?id=clip-0&k=5")
+		if resp.StatusCode == http.StatusOK && !rr.Degraded {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("serving never recovered: status %d", resp.StatusCode)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	ready2, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ready2.Body.Close()
+	if ready2.StatusCode != http.StatusOK {
+		t.Fatalf("readyz after recovery: status %d, want 200", ready2.StatusCode)
+	}
+}
+
+// TestStatsShardBreakerFieldsSingleEngine: a single-engine backend reports
+// the fault counters as zeros and no breaker fields — the surface is
+// additive, not a sharded-only schema fork.
+func TestStatsShardBreakerFieldsSingleEngine(t *testing.T) {
+	ts, _ := newTestServer(t, "")
+	populate(t, ts)
+	st := getStats(t, ts)
+	if st.ShardFailTotal != 0 || st.BreakerOpenTotal != 0 || st.QuorumLostTotal != 0 {
+		t.Errorf("single engine counters = %d/%d/%d, want zeros",
+			st.ShardFailTotal, st.BreakerOpenTotal, st.QuorumLostTotal)
+	}
+	for _, sh := range st.Shards {
+		if sh.Breaker != "" {
+			t.Errorf("single engine shard entry has breaker state %q", sh.Breaker)
+		}
+	}
+	// And a sharded backend reports a closed breaker per shard at rest.
+	ts4, _ := newShardedServer(t, 4)
+	populate(t, ts4)
+	st4 := getStats(t, ts4)
+	for _, sh := range st4.Shards {
+		if sh.Breaker != "closed" {
+			t.Errorf("idle shard %d breaker = %q, want closed", sh.Shard, sh.Breaker)
+		}
+	}
+}
+
+// TestDrainShardRollbackOn500: a fault-injected drain failure surfaces as an
+// error response while the router stays intact and serving.
+func TestDrainShardRollback(t *testing.T) {
+	defer faults.Reset()
+	ts, router := newShardedServer(t, 2)
+	populate(t, ts)
+	before := getStats(t, ts)
+
+	faults.Arm(shard.FaultDrainAdd, faults.FailN(1, nil))
+	if resp := post(t, ts.URL+"/shards/drain?shard=1", nil); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("failed drain status %d, want 409", resp.StatusCode)
+	}
+	if got := router.NumShards(); got != 2 {
+		t.Fatalf("failed drain changed topology: %d shards, want 2", got)
+	}
+	after := getStats(t, ts)
+	if after.Videos != before.Videos || len(after.Shards) != 2 {
+		t.Fatalf("rollback lost state: %d videos %d shards, want %d/2", after.Videos, len(after.Shards), before.Videos)
+	}
+	resp, rr := getRecommend(t, ts.URL+"/recommend?id=clip-0&k=3")
+	if resp.StatusCode != http.StatusOK || rr.Degraded {
+		t.Fatalf("serving after rollback: status %d degraded=%v", resp.StatusCode, rr.Degraded)
+	}
+
+	faults.Reset()
+	if resp := post(t, ts.URL+"/shards/drain?shard=1", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("drain after disarm status %d, want 200", resp.StatusCode)
+	}
+	if got := router.NumShards(); got != 1 {
+		t.Fatalf("drain did not complete: %d shards", got)
+	}
+}

@@ -51,13 +51,30 @@ func JournalCheck(eng Backend) ReadyCheck {
 	}}
 }
 
+// QuorumCheck gates readiness on shard quorum: when so many breakers are
+// open that a query could not gather MinShardQuorum answers, the deployment
+// should fall out of rotation rather than 503 every request. Applied
+// automatically by /readyz when the backend is a router.
+func QuorumCheck(q quorumReporter) ReadyCheck {
+	return ReadyCheck{Name: "shardQuorum", Check: func() error {
+		required, healthy := q.Quorum()
+		if healthy < required {
+			return fmt.Errorf("%d of %d required shards healthy", healthy, required)
+		}
+		return nil
+	}}
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{"ok": true})
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	checks := make([]ReadyCheck, 0, 1+len(s.cfg.ReadyChecks))
+	checks := make([]ReadyCheck, 0, 2+len(s.cfg.ReadyChecks))
 	checks = append(checks, BuiltCheck(s.eng))
+	if q, ok := s.eng.(quorumReporter); ok {
+		checks = append(checks, QuorumCheck(q))
+	}
 	checks = append(checks, s.cfg.ReadyChecks...)
 	status := make(map[string]string, len(checks))
 	ready := true

@@ -25,6 +25,7 @@ import (
 
 	"videorec"
 	"videorec/internal/faults"
+	"videorec/internal/shard"
 )
 
 // StatusClientClosedRequest is the non-standard (nginx-convention) status
@@ -165,11 +166,17 @@ type FrameJSON struct {
 // RecommendResponse is the wire form of a recommendation answer. Degraded
 // marks coarse SAR-ranked results returned because the request deadline
 // left no room for full EMD refinement — still a usable ranking, but worth
-// surfacing to clients that may retry with a longer budget.
+// surfacing to clients that may retry with a longer budget. On a sharded
+// backend Degraded also marks partial answers: ShardsFailed of ShardsTotal
+// shards did not contribute (errored, blew their budget, or sat behind an
+// open breaker), so the ranking is correct over the surviving shards'
+// videos and silent about the rest.
 type RecommendResponse struct {
-	Results     []videorec.Recommendation `json:"results"`
-	Degraded    bool                      `json:"degraded"`
-	ViewVersion uint64                    `json:"viewVersion"`
+	Results      []videorec.Recommendation `json:"results"`
+	Degraded     bool                      `json:"degraded"`
+	ViewVersion  uint64                    `json:"viewVersion"`
+	ShardsFailed int                       `json:"shardsFailed,omitempty"`
+	ShardsTotal  int                       `json:"shardsTotal,omitempty"`
 }
 
 func (c ClipJSON) clip() videorec.Clip {
@@ -278,18 +285,33 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	// actually answered (a mutation may have landed since the lookup).
 	recs, meta, err := s.eng.RecommendCtx(r.Context(), id, k)
 	if err != nil {
-		httpError(w, statusFor(err), err)
+		s.queryError(w, err)
 		return
 	}
 	if meta.Degraded {
-		// Degraded answers are deadline artifacts, not view state — caching
-		// them would serve coarse results to clients with generous budgets.
+		// Degraded answers are deadline (or shard-failure) artifacts, not
+		// view state — caching them would serve coarse or partial results to
+		// clients with generous budgets against a healthy fleet.
 		s.degraded.Add(1)
 	} else {
 		s.cache.put(cacheKey(meta.ViewVersion, id, k), recs)
 	}
 	s.queries.Add(1)
-	writeJSON(w, RecommendResponse{Results: recs, Degraded: meta.Degraded, ViewVersion: meta.ViewVersion})
+	writeJSON(w, RecommendResponse{
+		Results: recs, Degraded: meta.Degraded, ViewVersion: meta.ViewVersion,
+		ShardsFailed: meta.ShardsFailed, ShardsTotal: meta.ShardsTotal,
+	})
+}
+
+// queryError maps a recommendation failure to its HTTP response. Quorum
+// loss is an overload-shaped outcome — the shards may be recovering behind
+// their breakers — so like shed requests it carries a Retry-After hint.
+func (s *Server) queryError(w http.ResponseWriter, err error) {
+	status := statusFor(err)
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
+	}
+	httpError(w, status, err)
 }
 
 func (s *Server) handleRecommendClip(w http.ResponseWriter, r *http.Request) {
@@ -305,14 +327,17 @@ func (s *Server) handleRecommendClip(w http.ResponseWriter, r *http.Request) {
 	}
 	recs, meta, err := s.eng.RecommendClipCtx(r.Context(), c.clip(), k)
 	if err != nil {
-		httpError(w, statusFor(err), err)
+		s.queryError(w, err)
 		return
 	}
 	if meta.Degraded {
 		s.degraded.Add(1)
 	}
 	s.queries.Add(1)
-	writeJSON(w, RecommendResponse{Results: recs, Degraded: meta.Degraded, ViewVersion: meta.ViewVersion})
+	writeJSON(w, RecommendResponse{
+		Results: recs, Degraded: meta.Degraded, ViewVersion: meta.ViewVersion,
+		ShardsFailed: meta.ShardsFailed, ShardsTotal: meta.ShardsTotal,
+	})
 }
 
 func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
@@ -357,8 +382,9 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 }
 
 // ShardStats is one shard's slice of /stats: its own view version,
-// corpus size and journal cursor. A single-engine deployment reports
-// exactly one.
+// corpus size, journal cursor, and — on a sharded backend — its circuit
+// breaker's health. A single-engine deployment reports exactly one, with no
+// breaker fields.
 type ShardStats struct {
 	Shard       int    `json:"shard"`
 	Videos      int    `json:"videos"`
@@ -367,11 +393,38 @@ type ShardStats struct {
 	JournalPath string `json:"journalPath,omitempty"`
 	JournalBase uint64 `json:"journalBase"`
 	JournalSeq  uint64 `json:"journalSeq"`
+
+	Breaker          shard.BreakerState `json:"breaker,omitempty"`
+	ConsecutiveFails int                `json:"consecutiveFails,omitempty"`
+	Failures         uint64             `json:"failures,omitempty"`
+	BreakerOpens     uint64             `json:"breakerOpens,omitempty"`
+	RetryInMs        int64              `json:"retryInMs,omitempty"`
+}
+
+// healthReporter is the optional per-shard breaker surface (the router).
+type healthReporter interface {
+	Health() []shard.ShardHealth
+}
+
+// faultCounter is the optional router-level fault-counter surface.
+type faultCounter interface {
+	FaultCounters() (shardFail, breakerOpen, quorumLost uint64)
+}
+
+// quorumReporter is the optional quorum surface: required is the minimum
+// number of answering shards for a query to succeed, healthy counts shards
+// whose breakers are not open.
+type quorumReporter interface {
+	Quorum() (required, healthy int)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	hits, misses, size := s.cache.stats()
 	_, _, journalBase, journalSeq := s.eng.JournalStatus()
+	var health []shard.ShardHealth
+	if hr, ok := s.eng.(healthReporter); ok {
+		health = hr.Health()
+	}
 	shards := make([]ShardStats, 0, s.eng.NumShards())
 	for i := 0; i < s.eng.NumShards(); i++ {
 		e, ok := s.eng.ShardEngine(i)
@@ -379,7 +432,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		_, jpath, jbase, jseq := e.JournalStatus()
-		shards = append(shards, ShardStats{
+		st := ShardStats{
 			Shard:       i,
 			Videos:      e.Len(),
 			ViewVersion: e.Version(),
@@ -387,7 +440,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			JournalPath: jpath,
 			JournalBase: jbase,
 			JournalSeq:  jseq,
-		})
+		}
+		if i < len(health) {
+			h := health[i]
+			st.Breaker = h.Breaker
+			st.ConsecutiveFails = h.ConsecutiveFails
+			st.Failures = h.Failures
+			st.BreakerOpens = h.Opens
+			st.RetryInMs = h.RetryInMs
+		}
+		shards = append(shards, st)
+	}
+	var shardFail, breakerOpen, quorumLost uint64
+	if fc, ok := s.eng.(faultCounter); ok {
+		shardFail, breakerOpen, quorumLost = fc.FaultCounters()
 	}
 	writeJSON(w, map[string]any{
 		// Aggregates. viewVersion is the backend's fingerprint: a single
@@ -410,6 +476,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"shedTotal":       s.shed.Load(),
 		"degradedTotal":   s.degraded.Load(),
 		"panicsRecovered": s.panics.Load(),
+		// Shard fault counters: zero on a single-engine backend.
+		"shardFailTotal":   shardFail,
+		"breakerOpenTotal": breakerOpen,
+		"quorumLostTotal":  quorumLost,
 	})
 }
 
@@ -445,9 +515,14 @@ func (s *Server) handleDrainShard(w http.ResponseWriter, r *http.Request) {
 // statusFor maps engine errors to HTTP statuses. Context errors are serving
 // outcomes, not engine faults: a canceled client maps to 499 (nginx
 // convention; nobody reads it) and an expired deadline that could not
-// degrade maps to 504.
+// degrade maps to 504. Quorum loss must be checked before the context
+// errors: the quorum error wraps the per-shard causes, which can include
+// budget timeouts (context.DeadlineExceeded), and the client should see the
+// retryable 503, not a 504 blamed on its own deadline.
 func statusFor(err error) int {
 	switch {
+	case errors.Is(err, shard.ErrQuorum):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, videorec.ErrNotFound):
 		return http.StatusNotFound
 	case errors.Is(err, videorec.ErrNotBuilt):

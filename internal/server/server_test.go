@@ -242,15 +242,23 @@ func TestCacheLRUBehavior(t *testing.T) {
 
 // serverStats reads the /stats endpoint.
 type serverStats struct {
-	Videos      int    `json:"videos"`
-	ViewVersion uint64 `json:"viewVersion"`
-	CacheHits   int64  `json:"cacheHits"`
-	CacheMisses int64  `json:"cacheMisses"`
-	CacheSize   int    `json:"cacheSize"`
-	Shards      []struct {
-		Shard       int    `json:"shard"`
-		Videos      int    `json:"videos"`
-		ViewVersion uint64 `json:"viewVersion"`
+	Videos           int    `json:"videos"`
+	ViewVersion      uint64 `json:"viewVersion"`
+	CacheHits        int64  `json:"cacheHits"`
+	CacheMisses      int64  `json:"cacheMisses"`
+	CacheSize        int    `json:"cacheSize"`
+	ShardFailTotal   uint64 `json:"shardFailTotal"`
+	BreakerOpenTotal uint64 `json:"breakerOpenTotal"`
+	QuorumLostTotal  uint64 `json:"quorumLostTotal"`
+	Shards           []struct {
+		Shard            int    `json:"shard"`
+		Videos           int    `json:"videos"`
+		ViewVersion      uint64 `json:"viewVersion"`
+		Breaker          string `json:"breaker"`
+		ConsecutiveFails int    `json:"consecutiveFails"`
+		Failures         uint64 `json:"failures"`
+		BreakerOpens     uint64 `json:"breakerOpens"`
+		RetryInMs        int64  `json:"retryInMs"`
 	} `json:"shards"`
 }
 

@@ -1,0 +1,164 @@
+package shard
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"time"
+)
+
+// Per-shard circuit breaker. The fan-out consults the breaker before
+// dispatching to a shard: a shard that has failed BreakerThreshold times in a
+// row stops receiving queries (open) until a jittered backoff elapses, after
+// which exactly one query is let through as a probe (half-open). A successful
+// probe closes the breaker and resets the backoff; a failed probe re-opens it
+// with the backoff doubled (capped at BreakerMaxBackoff). All state is
+// atomic — the fan-out path takes no lock — and the router surfaces it
+// through Health().
+//
+// Breakers protect the service, not the answer: an open breaker converts a
+// shard that would burn the whole request budget into an instant
+// shard-failure, so the merge proceeds over the survivors and the response
+// is marked partial. Whether a partial answer is acceptable at all is the
+// quorum knob's decision (Resilience.MinShardQuorum).
+
+// Breaker states, in the order they cycle: closed → open → half-open →
+// {closed, open}.
+const (
+	stClosed int32 = iota
+	stOpen
+	stHalfOpen
+)
+
+// BreakerState is the observable state of one shard's breaker.
+type BreakerState string
+
+const (
+	BreakerClosed   BreakerState = "closed"
+	BreakerOpen     BreakerState = "open"
+	BreakerHalfOpen BreakerState = "half-open"
+)
+
+type breaker struct {
+	threshold int           // consecutive failures to open; <= 0 disables
+	base      time.Duration // first open interval
+	max       time.Duration // backoff growth cap
+
+	state     atomic.Int32 // stClosed / stOpen / stHalfOpen
+	fails     atomic.Int64 // consecutive failures since the last success
+	until     atomic.Int64 // unixnano until which open refuses probes
+	backoff   atomic.Int64 // current un-jittered open interval, ns
+	failTotal atomic.Uint64
+	openTotal atomic.Uint64
+}
+
+func newBreaker(res Resilience) *breaker {
+	threshold := res.BreakerThreshold
+	if threshold == 0 {
+		threshold = defaultBreakerThreshold
+	}
+	base := res.BreakerBackoff
+	if base <= 0 {
+		base = defaultBreakerBackoff
+	}
+	max := res.BreakerMaxBackoff
+	if max < base {
+		max = defaultBreakerMaxBackoff
+		if max < base {
+			max = base
+		}
+	}
+	return &breaker{threshold: threshold, base: base, max: max}
+}
+
+// allow reports whether the shard may be dispatched to, and whether this
+// dispatch is the half-open probe (the caller must report the probe's outcome
+// via success(true)/failure(true)).
+func (b *breaker) allow() (ok, probe bool) {
+	if b.threshold <= 0 {
+		return true, false
+	}
+	switch b.state.Load() {
+	case stClosed:
+		return true, false
+	case stOpen:
+		// Backoff elapsed: exactly one caller wins the CAS and probes; the
+		// rest keep skipping until the probe settles.
+		if time.Now().UnixNano() >= b.until.Load() && b.state.CompareAndSwap(stOpen, stHalfOpen) {
+			return true, true
+		}
+		return false, false
+	default: // half-open, probe in flight
+		return false, false
+	}
+}
+
+// success records a completed shard call. A successful probe closes the
+// breaker and resets the backoff schedule.
+func (b *breaker) success(probe bool) {
+	if b.threshold <= 0 {
+		return
+	}
+	b.fails.Store(0)
+	if probe {
+		b.backoff.Store(0)
+		b.state.Store(stClosed)
+	}
+}
+
+// failure records a failed shard call (error, budget timeout, panic) and
+// reports whether this failure opened the breaker. A failed probe re-opens
+// immediately with the backoff doubled; in the closed state the
+// consecutive-failure counter must reach the threshold first.
+func (b *breaker) failure(probe bool) (opened bool) {
+	if b.threshold <= 0 {
+		return false
+	}
+	b.failTotal.Add(1)
+	b.fails.Add(1)
+	if probe {
+		b.open()
+		return true
+	}
+	if b.fails.Load() >= int64(b.threshold) && b.state.CompareAndSwap(stClosed, stOpen) {
+		b.open()
+		return true
+	}
+	return false
+}
+
+// open transitions to the open state with the next (jittered) backoff
+// interval. Jitter spreads the half-open probes of breakers that tripped
+// together, so a recovered shard is not hit by every router's probe at once.
+func (b *breaker) open() {
+	next := 2 * b.backoff.Load()
+	if next < int64(b.base) {
+		next = int64(b.base)
+	}
+	if next > int64(b.max) {
+		next = int64(b.max)
+	}
+	b.backoff.Store(next)
+	wait := next/2 + rand.Int63n(next/2+1)
+	b.until.Store(time.Now().UnixNano() + wait)
+	b.openTotal.Add(1)
+	b.state.Store(stOpen)
+}
+
+// snapshot reads the breaker's observable state for Health().
+func (b *breaker) snapshot() (state BreakerState, consecutive int, failures, opens uint64, retryIn time.Duration) {
+	if b.threshold <= 0 {
+		return BreakerClosed, 0, b.failTotal.Load(), 0, 0
+	}
+	switch b.state.Load() {
+	case stOpen:
+		state = BreakerOpen
+		if d := time.Duration(b.until.Load() - time.Now().UnixNano()); d > 0 {
+			retryIn = d
+		}
+	case stHalfOpen:
+		state = BreakerHalfOpen
+	default:
+		state = BreakerClosed
+	}
+	return state, int(b.fails.Load()), b.failTotal.Load(), b.openTotal.Load(), retryIn
+}

@@ -1,0 +1,157 @@
+package shard
+
+import (
+	"testing"
+	"time"
+)
+
+// The breaker state machine, pinned in isolation: closed → open after the
+// consecutive-failure threshold, open → half-open after the jittered
+// backoff, half-open → closed on a successful probe and back to open (with
+// the backoff doubled) on a failed one.
+
+// testBreaker builds a breaker with timing small enough for tests to wait
+// out backoffs deterministically: the jittered open interval never exceeds
+// the un-jittered backoff, so sleeping the full backoff (plus slack)
+// guarantees the next allow() can win the half-open probe.
+func testBreaker(threshold int, base, max time.Duration) *breaker {
+	return newBreaker(Resilience{BreakerThreshold: threshold, BreakerBackoff: base, BreakerMaxBackoff: max})
+}
+
+// waitHalfOpen spins until the breaker grants a half-open probe.
+func waitHalfOpen(t *testing.T, b *breaker) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if ok, probe := b.allow(); ok {
+			if !probe {
+				t.Fatal("open breaker granted a non-probe dispatch")
+			}
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("breaker never reached half-open")
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b := testBreaker(3, 20*time.Millisecond, 80*time.Millisecond)
+	for i := 0; i < 2; i++ {
+		if opened := b.failure(false); opened {
+			t.Fatalf("breaker opened after %d failures, threshold is 3", i+1)
+		}
+		if ok, _ := b.allow(); !ok {
+			t.Fatalf("breaker refusing below threshold (%d failures)", i+1)
+		}
+	}
+	if opened := b.failure(false); !opened {
+		t.Fatal("third failure did not open the breaker")
+	}
+	if ok, _ := b.allow(); ok {
+		t.Fatal("open breaker allowed a dispatch inside its backoff")
+	}
+	state, consecutive, failures, opens, _ := b.snapshot()
+	if state != BreakerOpen || consecutive != 3 || failures != 3 || opens != 1 {
+		t.Fatalf("snapshot = (%s, %d, %d, %d), want (open, 3, 3, 1)", state, consecutive, failures, opens)
+	}
+}
+
+func TestBreakerSuccessResetsConsecutiveCount(t *testing.T) {
+	b := testBreaker(3, 20*time.Millisecond, 80*time.Millisecond)
+	b.failure(false)
+	b.failure(false)
+	b.success(false)
+	// The streak broke: two more failures stay under the threshold again.
+	b.failure(false)
+	if opened := b.failure(false); opened {
+		t.Fatal("breaker opened on a non-consecutive failure streak")
+	}
+	if state, _, _, _, _ := b.snapshot(); state != BreakerClosed {
+		t.Fatalf("state = %s, want closed", state)
+	}
+}
+
+func TestBreakerHalfOpenProbeCloses(t *testing.T) {
+	b := testBreaker(1, 10*time.Millisecond, 40*time.Millisecond)
+	if opened := b.failure(false); !opened {
+		t.Fatal("threshold-1 breaker did not open on first failure")
+	}
+	waitHalfOpen(t, b)
+	// Exactly one probe: while it is in flight every other allow refuses.
+	if ok, _ := b.allow(); ok {
+		t.Fatal("second dispatch allowed while the probe is in flight")
+	}
+	if state, _, _, _, _ := b.snapshot(); state != BreakerHalfOpen {
+		t.Fatal("breaker not half-open during the probe")
+	}
+	b.success(true)
+	if state, _, _, _, _ := b.snapshot(); state != BreakerClosed {
+		t.Fatal("successful probe did not close the breaker")
+	}
+	if ok, probe := b.allow(); !ok || probe {
+		t.Fatalf("closed breaker allow = (%v, %v), want (true, false)", ok, probe)
+	}
+	if got := b.backoff.Load(); got != 0 {
+		t.Fatalf("successful probe left backoff at %d, want 0 (reset)", got)
+	}
+}
+
+func TestBreakerFailedProbeReopensWithDoubledBackoff(t *testing.T) {
+	b := testBreaker(1, 10*time.Millisecond, 40*time.Millisecond)
+	b.failure(false)
+	first := b.backoff.Load()
+	waitHalfOpen(t, b)
+	if opened := b.failure(true); !opened {
+		t.Fatal("failed probe did not re-open the breaker")
+	}
+	if ok, _ := b.allow(); ok {
+		t.Fatal("re-opened breaker allowed a dispatch immediately")
+	}
+	if second := b.backoff.Load(); second != 2*first {
+		t.Fatalf("backoff after failed probe = %v, want doubled %v", time.Duration(second), time.Duration(2*first))
+	}
+	// The doubling caps at max.
+	for i := 0; i < 6; i++ {
+		waitHalfOpen(t, b)
+		b.failure(true)
+	}
+	if got := b.backoff.Load(); got != int64(40*time.Millisecond) {
+		t.Fatalf("backoff grew to %v, want capped at 40ms", time.Duration(got))
+	}
+	if _, _, _, opens, _ := b.snapshot(); opens != 8 {
+		t.Fatalf("opens = %d, want 8", opens)
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b := testBreaker(-1, 0, 0)
+	for i := 0; i < 50; i++ {
+		if opened := b.failure(false); opened {
+			t.Fatal("disabled breaker opened")
+		}
+	}
+	if ok, probe := b.allow(); !ok || probe {
+		t.Fatalf("disabled breaker allow = (%v, %v), want (true, false)", ok, probe)
+	}
+	if state, _, _, _, _ := b.snapshot(); state != BreakerClosed {
+		t.Fatalf("disabled breaker state = %s, want closed", state)
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	b := newBreaker(Resilience{})
+	if b.threshold != defaultBreakerThreshold {
+		t.Errorf("threshold = %d, want %d", b.threshold, defaultBreakerThreshold)
+	}
+	if b.base != defaultBreakerBackoff {
+		t.Errorf("base = %v, want %v", b.base, defaultBreakerBackoff)
+	}
+	if b.max != defaultBreakerMaxBackoff {
+		t.Errorf("max = %v, want %v", b.max, defaultBreakerMaxBackoff)
+	}
+	// A max below the base clamps up to the base, never below it.
+	b = newBreaker(Resilience{BreakerBackoff: 10 * time.Second, BreakerMaxBackoff: time.Second})
+	if b.max < b.base {
+		t.Errorf("max %v below base %v", b.max, b.base)
+	}
+}

@@ -42,14 +42,101 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"videorec"
 	"videorec/internal/community"
 	"videorec/internal/core"
+	"videorec/internal/faults"
 	"videorec/internal/topk"
 )
+
+// Fault-injection sites inside the scatter-gather path. The per-shard form
+// (SiteForShard) lets a test or drill arm exactly one shard — the realistic
+// failure shape: one machine is slow or down, not the whole fleet.
+const (
+	// FaultFanOut fires once per shard per query, before the shard's view is
+	// consulted — arm it with Error to fail a shard's answers outright, or
+	// with PanicEvery to crash inside the fan-out goroutine (the router
+	// recovers the panic into a shard failure).
+	FaultFanOut = "shard.fanout"
+	// FaultFanOutSlow fires immediately after FaultFanOut — arm it with
+	// Latency to make a shard slow enough to blow its per-shard budget.
+	// It is a separate site so a drill can combine a fleet-wide error rate
+	// with slowness on one shard.
+	FaultFanOutSlow = "shard.fanout.slow"
+	// FaultDrainAdd fires before each re-homed record is added to a survivor
+	// during DrainShard — the mid-drain ingest failure the transactional
+	// rollback must survive.
+	FaultDrainAdd = "shard.drain.add"
+	// FaultDrainReindex fires before each survivor's post-drain Reindex —
+	// the late drain failure: every record already moved, index rebuild fails.
+	FaultDrainReindex = "shard.drain.reindex"
+)
+
+// SiteForShard narrows a fan-out fault site to one shard index:
+// SiteForShard(FaultFanOut, 2) = "shard.fanout.2". Both the generic and the
+// per-shard site fire on every hit, so tests can arm either granularity.
+func SiteForShard(site string, i int) string {
+	return site + "." + strconv.Itoa(i)
+}
+
+// Resilience tunes the router's fault-tolerance machinery. The zero value
+// enables the circuit breaker at its defaults, requires every shard to
+// answer (no partial results), and derives no per-shard budget — the
+// behavior matching a deployment that has not opted into degraded answers.
+type Resilience struct {
+	// ShardMargin is the headroom reserved from the request deadline for the
+	// merge: each shard's fan-out call runs under (deadline − margin), so one
+	// stuck shard exhausts its own budget — becoming a shard failure the
+	// quorum logic can tolerate — while the router still has margin left to
+	// merge the survivors and answer inside the request deadline. 0 disables
+	// budgets: a stuck shard then rides the request deadline itself.
+	ShardMargin time.Duration
+	// MinShardQuorum is the minimum number of shards that must answer for a
+	// query to succeed. <= 0 requires every shard (any failure fails the
+	// query — the strict default); n >= 1 tolerates failures down to n
+	// surviving shards, returning the merged partial ranking marked
+	// Degraded with ShardsFailed/ShardsTotal set. Below quorum the query
+	// fails with ErrQuorum.
+	MinShardQuorum int
+	// BreakerThreshold is the consecutive-failure count that opens a shard's
+	// circuit breaker. 0 uses the default (5); negative disables breakers.
+	BreakerThreshold int
+	// BreakerBackoff is the first open interval before a half-open probe;
+	// it doubles on every failed probe. 0 uses the default (200ms).
+	BreakerBackoff time.Duration
+	// BreakerMaxBackoff caps the backoff growth. 0 uses the default (5s).
+	BreakerMaxBackoff time.Duration
+}
+
+// Breaker defaults: open after 5 consecutive failures, probe after 200ms,
+// cap the doubling at 5s.
+const (
+	defaultBreakerThreshold  = 5
+	defaultBreakerBackoff    = 200 * time.Millisecond
+	defaultBreakerMaxBackoff = 5 * time.Second
+)
+
+// quorum resolves the minimum surviving-shard count for n live shards.
+func (res *Resilience) quorum(n int) int {
+	if res.MinShardQuorum <= 0 {
+		return n
+	}
+	if res.MinShardQuorum > n {
+		return n
+	}
+	return res.MinShardQuorum
+}
+
+// ErrQuorum reports a query that lost too many shards: fewer than
+// MinShardQuorum answered, so even a partial ranking would be misleading.
+// The serving layer maps it to 503 + Retry-After — the shards may be
+// recovering behind their breakers.
+var ErrQuorum = errors.New("shard: quorum lost")
 
 // Router is the scatter-gather front of a sharded deployment. It satisfies
 // the same serving surface as *videorec.Engine (the server's Backend), so a
@@ -61,12 +148,20 @@ import (
 type Router struct {
 	mu  sync.Mutex // serializes mutations, build, drain and journal management
 	cur atomic.Pointer[shardSet]
+	res atomic.Pointer[Resilience]
+
+	// Fault-tolerance counters, monotonic across topology changes (per-shard
+	// breakers reset when the topology is republished; these never do).
+	shardFailTotal   atomic.Uint64 // shard calls that errored, timed out or panicked
+	breakerOpenTotal atomic.Uint64 // closed/half-open → open transitions
+	quorumLostTotal  atomic.Uint64 // queries failed because too few shards answered
 }
 
 // shardSet is one immutable generation of the shard topology. Drain and add
 // publish a new set; in-flight readers keep the set they loaded.
 type shardSet struct {
-	engines []*videorec.Engine
+	engines  []*videorec.Engine
+	breakers []*breaker // one per engine; reset with the topology
 	// epoch counts topology changes (drain, add). It feeds the version
 	// fingerprint so a query served by an old topology never shares a cache
 	// key with one served by the new.
@@ -79,7 +174,9 @@ var ErrNoShards = errors.New("shard: router needs at least one shard")
 // ErrLastShard reports an attempt to drain the only remaining shard.
 var ErrLastShard = errors.New("shard: cannot drain the last shard")
 
-// New creates a router over n fresh engines sharing one configuration.
+// New creates a router over n fresh engines sharing one configuration. The
+// Options' ShardMargin and MinShardQuorum seed the router's Resilience;
+// breaker tuning goes through SetResilience.
 func New(n int, opts videorec.Options) (*Router, error) {
 	if n <= 0 {
 		return nil, ErrNoShards
@@ -88,7 +185,14 @@ func New(n int, opts videorec.Options) (*Router, error) {
 	for i := range engines {
 		engines[i] = videorec.New(opts)
 	}
-	return NewFromEngines(engines)
+	r, err := NewFromEngines(engines)
+	if err != nil {
+		return nil, err
+	}
+	if opts.ShardMargin != 0 || opts.MinShardQuorum != 0 {
+		r.SetResilience(Resilience{ShardMargin: opts.ShardMargin, MinShardQuorum: opts.MinShardQuorum})
+	}
+	return r, nil
 }
 
 // NewFromEngines creates a router over existing engines — the load and
@@ -98,8 +202,36 @@ func NewFromEngines(engines []*videorec.Engine) (*Router, error) {
 		return nil, ErrNoShards
 	}
 	r := &Router{}
-	r.cur.Store(&shardSet{engines: append([]*videorec.Engine(nil), engines...)})
+	r.res.Store(&Resilience{})
+	r.cur.Store(r.newSet(append([]*videorec.Engine(nil), engines...), 0))
 	return r, nil
+}
+
+// newSet assembles one topology generation with fresh breakers.
+func (r *Router) newSet(engines []*videorec.Engine, epoch uint64) *shardSet {
+	res := r.res.Load()
+	breakers := make([]*breaker, len(engines))
+	for i := range breakers {
+		breakers[i] = newBreaker(*res)
+	}
+	return &shardSet{engines: engines, breakers: breakers, epoch: epoch}
+}
+
+// SetResilience replaces the router's fault-tolerance configuration. Breaker
+// state resets (the thresholds may have changed); the topology, its engines
+// and the version fingerprint are untouched.
+func (r *Router) SetResilience(res Resilience) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cp := res
+	r.res.Store(&cp)
+	s := r.set()
+	r.cur.Store(r.newSet(s.engines, s.epoch))
+}
+
+// Resilience returns the router's current fault-tolerance configuration.
+func (r *Router) Resilience() Resilience {
+	return *r.res.Load()
 }
 
 // set loads the current shard topology.
@@ -304,7 +436,7 @@ func (r *Router) RecommendCtx(ctx context.Context, clipID string, topK int) ([]v
 		// skips per-shard re-embedding — the dominant fixed cost per shard.
 		q = views[0].PrimeContentKeys(q)
 	}
-	return r.fanOut(ctx, views, q, topK, clipID, meta)
+	return r.fanOut(ctx, s, views, q, topK, clipID, meta)
 }
 
 // RecommendClipCtx answers an ad-hoc-clip query: extraction and query
@@ -330,7 +462,7 @@ func (r *Router) RecommendClipCtx(ctx context.Context, clip videorec.Clip, topK 
 	if len(views) > 1 {
 		q = views[0].PrimeContentKeys(q)
 	}
-	return r.fanOut(ctx, views, q, topK, clip.ID, meta)
+	return r.fanOut(ctx, s, views, q, topK, clip.ID, meta)
 }
 
 // fingerprint is Version over an already-loaded shard set.
@@ -347,25 +479,109 @@ func (r *Router) fingerprint(s *shardSet) uint64 {
 	return h.Sum64()
 }
 
-// fanOut runs the query against every view in parallel and merges the
-// per-shard rankings.
-func (r *Router) fanOut(ctx context.Context, views []*core.View, q core.Query, topK int, exclude string, meta videorec.RecommendMeta) ([]videorec.Recommendation, videorec.RecommendMeta, error) {
-	type answer struct {
-		res  []core.Result
-		info core.RecommendInfo
-		err  error
+// shardAnswer is one shard's contribution to a fan-out: its local top-K, or
+// the reason it has none.
+type shardAnswer struct {
+	res     []core.Result
+	info    core.RecommendInfo
+	err     error
+	probe   bool // this call was the shard's half-open breaker probe
+	skipped bool // breaker open: the shard was never dispatched to
+}
+
+// errBreakerOpen marks a shard skipped because its circuit breaker is open.
+var errBreakerOpen = errors.New("shard: circuit breaker open")
+
+// callShard runs one shard's slice of the fan-out: fault sites first (the
+// generic and the per-shard form of each), then the unchanged gather/refine
+// pipeline against the shard's view. A panic anywhere inside becomes a
+// shard failure instead of killing the process — with partial results, one
+// crashing shard must degrade the answer, not the service.
+func callShard(ctx context.Context, i int, v *core.View, q core.Query, topK int, exclude string) (res []core.Result, info core.RecommendInfo, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, fmt.Errorf("shard: shard %d panicked: %v", i, p)
+		}
+	}()
+	if err := faults.Inject(FaultFanOut); err != nil {
+		return nil, info, err
 	}
-	answers := make([]answer, len(views))
+	if err := faults.Inject(SiteForShard(FaultFanOut, i)); err != nil {
+		return nil, info, err
+	}
+	if err := faults.Inject(FaultFanOutSlow); err != nil {
+		return nil, info, err
+	}
+	if err := faults.Inject(SiteForShard(FaultFanOutSlow, i)); err != nil {
+		return nil, info, err
+	}
+	return v.RecommendCtx(ctx, q, topK, exclude)
+}
+
+// fanOut runs the query against every view in parallel and merges the
+// per-shard rankings, tolerating per-shard failure:
+//
+//   - every shard call runs under the per-shard budget (request deadline
+//     minus Resilience.ShardMargin), so a stuck shard times out while the
+//     router still has margin to merge the survivors;
+//   - a shard whose breaker is open is skipped outright — its recent history
+//     says the call would fail anyway, and skipping is free;
+//   - shard failures (error, budget timeout, panic, open breaker) drop that
+//     shard's list from the merge; as long as at least
+//     Resilience.MinShardQuorum shards answered, the merged partial ranking
+//     is returned marked Degraded with ShardsFailed/ShardsTotal set.
+//
+// A dead parent context is never a shard failure: the query returns
+// ctx.Err() so the serving layer maps it to 499/504, and no breaker is
+// penalized for a client that walked away.
+func (r *Router) fanOut(ctx context.Context, s *shardSet, views []*core.View, q core.Query, topK int, exclude string, meta videorec.RecommendMeta) ([]videorec.Recommendation, videorec.RecommendMeta, error) {
+	res := r.res.Load()
+	meta.ShardsTotal = len(views)
+
+	// Derive the per-shard budget: the time between fan-out start and
+	// (deadline − margin), applied per dispatch. In the parallel path every
+	// dispatch starts together, so each shard runs under the absolute budget
+	// deadline; in the serial path (GOMAXPROCS=1) each shard gets its own
+	// window, so one slow shard exhausts only its own budget, not the later
+	// shards' — the parent deadline still caps the total. A non-positive
+	// budget means the request was nearly dead on arrival; the engines' own
+	// degrade machinery is the right tool there.
+	var budget time.Duration
+	if res.ShardMargin > 0 {
+		if d, ok := ctx.Deadline(); ok {
+			budget = time.Until(d.Add(-res.ShardMargin))
+		}
+	}
+
+	answers := make([]shardAnswer, len(views))
+	dispatch := func(i int, v *core.View) {
+		a := &answers[i]
+		ok, probe := s.breakers[i].allow()
+		if !ok {
+			a.err, a.skipped = errBreakerOpen, true
+			return
+		}
+		a.probe = probe
+		callCtx := ctx
+		if budget > 0 {
+			var cancel context.CancelFunc
+			callCtx, cancel = context.WithTimeout(ctx, budget)
+			defer cancel()
+		}
+		a.res, a.info, a.err = callShard(callCtx, i, v, q, topK, exclude)
+	}
 	if len(views) == 1 || runtime.GOMAXPROCS(0) == 1 {
 		// Single shard — or a single P, where goroutines per shard buy no
 		// wall-clock and only pay spawn + scheduling: stay on the calling
 		// goroutine. Results are identical either way; only latency differs.
 		for i, v := range views {
-			a := &answers[i]
-			a.res, a.info, a.err = v.RecommendCtx(ctx, q, topK, exclude)
-			if a.err != nil {
-				break
+			if err := ctx.Err(); err != nil {
+				// Don't dispatch against a dead context; the classification
+				// below surfaces ctx.Err() for the whole query.
+				answers[i].err, answers[i].skipped = err, true
+				continue
 			}
+			dispatch(i, v)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -373,23 +589,55 @@ func (r *Router) fanOut(ctx context.Context, views []*core.View, q core.Query, t
 			wg.Add(1)
 			go func(i int, v *core.View) {
 				defer wg.Done()
-				a := &answers[i]
-				a.res, a.info, a.err = v.RecommendCtx(ctx, q, topK, exclude)
+				dispatch(i, v)
 			}(i, v)
 		}
 		wg.Wait()
 	}
+
+	failed := 0
+	var shardErrs []error
 	for i := range answers {
-		if err := answers[i].err; err != nil {
-			return nil, meta, err
+		a := &answers[i]
+		if a.err == nil {
+			s.breakers[i].success(a.probe)
+			if a.info.Degraded {
+				meta.Degraded = true
+			}
+			continue
 		}
-		if answers[i].info.Degraded {
-			meta.Degraded = true
+		// The parent context dying fails every outstanding shard at once;
+		// that is a serving outcome of the whole query, not evidence against
+		// any shard. Surface ctx.Err() itself (→ 499/504 upstream).
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, meta, ctxErr
 		}
+		failed++
+		if !a.skipped {
+			r.shardFailTotal.Add(1)
+			if s.breakers[i].failure(a.probe) {
+				r.breakerOpenTotal.Add(1)
+			}
+		}
+		shardErrs = append(shardErrs, fmt.Errorf("shard %d: %w", i, a.err))
+	}
+	if ok := len(views) - failed; ok < res.quorum(len(views)) {
+		r.quorumLostTotal.Add(1)
+		return nil, meta, fmt.Errorf("%w: %d of %d shards answered, need %d: %w",
+			ErrQuorum, ok, len(views), res.quorum(len(views)), errors.Join(shardErrs...))
+	}
+	if failed > 0 {
+		// A partial answer is a degraded answer: correct over the surviving
+		// shards' videos, silent about the rest. Serving layers must not
+		// cache it.
+		meta.Degraded = true
+		meta.ShardsFailed = failed
 	}
 	merged := MergeTopK(topK, func(yield func([]core.Result)) {
 		for i := range answers {
-			yield(answers[i].res)
+			if answers[i].err == nil {
+				yield(answers[i].res)
+			}
 		}
 	})
 	out := make([]videorec.Recommendation, len(merged))
@@ -402,6 +650,62 @@ func (r *Router) fanOut(ctx context.Context, views []*core.View, q core.Query, t
 		}
 	}
 	return out, meta, nil
+}
+
+// ShardHealth is one shard's breaker state as surfaced by Router.Health()
+// and the serving layer's /stats.
+type ShardHealth struct {
+	Shard            int          `json:"shard"`
+	Breaker          BreakerState `json:"breaker"`
+	ConsecutiveFails int          `json:"consecutiveFails"`
+	// Failures and Opens count since this topology generation was published
+	// (drain, add and SetResilience reset them); the router-level counters
+	// are monotonic.
+	Failures uint64 `json:"failures"`
+	Opens    uint64 `json:"opens"`
+	// RetryInMs is how long an open breaker will keep refusing before the
+	// next half-open probe; 0 unless open.
+	RetryInMs int64 `json:"retryInMs,omitempty"`
+}
+
+// Health reports every shard's breaker state — the operator's view of which
+// shards the fan-out is currently routing around.
+func (r *Router) Health() []ShardHealth {
+	s := r.set()
+	out := make([]ShardHealth, len(s.breakers))
+	for i, b := range s.breakers {
+		state, consecutive, failures, opens, retryIn := b.snapshot()
+		out[i] = ShardHealth{
+			Shard:            i,
+			Breaker:          state,
+			ConsecutiveFails: consecutive,
+			Failures:         failures,
+			Opens:            opens,
+			RetryInMs:        retryIn.Milliseconds(),
+		}
+	}
+	return out
+}
+
+// Quorum reports the minimum shards a query needs and how many are currently
+// healthy (breaker not open) — the readiness gate: healthy < required means
+// queries are failing with ErrQuorum right now.
+func (r *Router) Quorum() (required, healthy int) {
+	s := r.set()
+	res := r.res.Load()
+	required = res.quorum(len(s.engines))
+	for _, b := range s.breakers {
+		if state, _, _, _, _ := b.snapshot(); state != BreakerOpen {
+			healthy++
+		}
+	}
+	return required, healthy
+}
+
+// FaultCounters returns the router's monotonic fault-tolerance counters:
+// shard calls failed, breaker open transitions, and queries lost to quorum.
+func (r *Router) FaultCounters() (shardFail, breakerOpen, quorumLost uint64) {
+	return r.shardFailTotal.Load(), r.breakerOpenTotal.Load(), r.quorumLostTotal.Load()
 }
 
 // MergeTopK merges per-shard result lists into one global top-K under the
@@ -488,13 +792,22 @@ func (r *Router) ApplyUpdates(newComments map[string][]string) (videorec.UpdateS
 	return out, nil
 }
 
-// DrainShard takes shard i out of the topology: its journal is flushed and
-// closed, its videos re-intern into the surviving shards (placed by the new
-// modulus), and the social machinery is rebuilt globally — the audience map
-// is unchanged by relocation, so every survivor derives the same partition
-// as before and rankings are unaffected (scores are placement-independent).
+// DrainShard takes shard i out of the topology: its videos re-intern into
+// the surviving shards (placed by the new modulus), the derived indexes are
+// rebuilt around the partitions the survivors already hold, and finally the
+// drained shard's journal is flushed and closed — the audience map is
+// unchanged by relocation, so every survivor derives the same partition as
+// before and rankings are unaffected (scores are placement-independent).
 // Returns the number of videos moved. The drained engine is detached, not
 // destroyed; its snapshot/journal files are the operator's to archive.
+//
+// The drain is transactional. Every re-homed record is staged and its
+// routing validated before any survivor is touched; the drained shard is
+// read, never mutated, until the survivors hold everything (its journal
+// closes last). If any mid-drain AddPrepared or Reindex fails, the already
+// re-homed records are removed from the survivors, their indexes restored,
+// and the original topology republished — the router ends bit-identical to
+// its pre-drain state, with no record lost or duplicated.
 func (r *Router) DrainShard(i int) (moved int, err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -507,26 +820,71 @@ func (r *Router) DrainShard(i int) (moved int, err error) {
 	}
 	drained := s.engines[i]
 	wasBuilt := drained.Built()
-	records := drained.ExportRecords()
-	if err := drained.CloseJournal(); err != nil {
-		return 0, fmt.Errorf("shard: drain journal: %w", err)
-	}
 
 	survivors := make([]*videorec.Engine, 0, len(s.engines)-1)
 	survivors = append(survivors, s.engines[:i]...)
 	survivors = append(survivors, s.engines[i+1:]...)
-	next := &shardSet{engines: survivors, epoch: s.epoch + 1}
+
+	// Stage: convert and route every record before touching anything. A
+	// record that cannot be staged — or whose id a survivor somehow already
+	// holds (re-homing it would duplicate) — fails the drain here, while the
+	// router is still untouched.
+	records := drained.ExportRecords()
+	staged := make([]videorec.PreparedClip, len(records))
+	targets := make([]int, len(records))
+	for j, rs := range records {
+		p := videorec.PreparedFromRecord(rs)
+		if p.ID == "" {
+			return 0, fmt.Errorf("shard: drain staging: record %d of shard %d has an empty id", j, i)
+		}
+		for k, e := range survivors {
+			if view, _ := e.CurrentView(); view.Has(p.ID) {
+				return 0, fmt.Errorf("shard: drain staging: %s already on surviving shard %d", p.ID, k)
+			}
+		}
+		staged[j], targets[j] = p, shardOf(p.ID, len(survivors))
+	}
+
 	// Publish before re-ingesting: from here on, reads see the survivor
 	// topology (briefly missing the moving videos, exactly like a snapshot
 	// restore mid-ingest) and new Adds place against the new modulus.
-	r.cur.Store(next)
+	r.cur.Store(r.newSet(survivors, s.epoch+1))
 
-	for _, rs := range records {
-		p := videorec.PreparedFromRecord(rs)
-		if err := survivors[shardOf(p.ID, len(survivors))].AddPrepared(p); err != nil {
-			return moved, err
+	// rollback undoes a partial re-home: remove whatever was added, restore
+	// the survivors' indexes, and republish the original topology (new
+	// epoch — in-flight queries may have served against the survivor set).
+	// The drained shard was never mutated, so the router is back to its
+	// exact pre-drain state.
+	rollback := func(added int, cause error) error {
+		var errs []error
+		touched := map[int]bool{}
+		for j := 0; j < added; j++ {
+			touched[targets[j]] = true
+			if rmErr := survivors[targets[j]].Remove(staged[j].ID); rmErr != nil {
+				errs = append(errs, fmt.Errorf("shard: drain rollback of %s: %w", staged[j].ID, rmErr))
+			}
 		}
-		moved++
+		if wasBuilt {
+			for k := range touched {
+				if riErr := survivors[k].Reindex(); riErr != nil {
+					errs = append(errs, fmt.Errorf("shard: drain rollback reindex of shard %d: %w", k, riErr))
+				}
+			}
+		}
+		r.cur.Store(r.newSet(s.engines, s.epoch+2))
+		if len(errs) > 0 {
+			return fmt.Errorf("shard: drain failed AND rollback incomplete: %w", errors.Join(append([]error{cause}, errs...)...))
+		}
+		return fmt.Errorf("shard: drain rolled back: %w", cause)
+	}
+
+	for j, p := range staged {
+		if err := faults.Inject(FaultDrainAdd); err != nil {
+			return 0, rollback(j, fmt.Errorf("re-home %s: %w", p.ID, err))
+		}
+		if err := survivors[targets[j]].AddPrepared(p); err != nil {
+			return 0, rollback(j, fmt.Errorf("re-home %s: %w", p.ID, err))
+		}
 	}
 	// Re-ingestion marks the receiving shards unbuilt. Restore them by
 	// reindexing around the partition they already hold — NOT by a fresh
@@ -538,19 +896,28 @@ func (r *Router) DrainShard(i int) (moved int, err error) {
 	if wasBuilt {
 		var wg sync.WaitGroup
 		errs := make([]error, len(survivors))
-		for i, e := range survivors {
+		for k, e := range survivors {
 			wg.Add(1)
-			go func(i int, e *videorec.Engine) {
+			go func(k int, e *videorec.Engine) {
 				defer wg.Done()
-				errs[i] = e.Reindex()
-			}(i, e)
+				if errs[k] = faults.Inject(FaultDrainReindex); errs[k] != nil {
+					return
+				}
+				errs[k] = e.Reindex()
+			}(k, e)
 		}
 		wg.Wait()
 		if err := errors.Join(errs...); err != nil {
-			return moved, err
+			return 0, rollback(len(staged), fmt.Errorf("reindex survivors: %w", err))
 		}
 	}
-	return moved, nil
+	// Everything the drained shard held is now owned (and indexed) by the
+	// survivors: only now is it safe to cut its journal. A close failure at
+	// this point is reported but not rolled back — no record is at risk.
+	if err := drained.CloseJournal(); err != nil {
+		return len(staged), fmt.Errorf("shard: drain journal: %w", err)
+	}
+	return len(staged), nil
 }
 
 // AddShard grows the topology by one empty shard configured like the
@@ -563,7 +930,7 @@ func (r *Router) AddShard(opts videorec.Options) int {
 	defer r.mu.Unlock()
 	s := r.set()
 	engines := append(append([]*videorec.Engine(nil), s.engines...), videorec.New(opts))
-	next := &shardSet{engines: engines, epoch: s.epoch + 1}
+	next := r.newSet(engines, s.epoch+1)
 	r.cur.Store(next)
 	if s.engines[0].Built() {
 		r.buildLocked(next)
@@ -657,7 +1024,7 @@ func LoadFile(path string) (*Router, error) {
 	if err != nil {
 		return nil, err
 	}
-	r.cur.Store(&shardSet{engines: r.set().engines, epoch: m.Epoch})
+	r.cur.Store(r.newSet(r.set().engines, m.Epoch))
 	return r, nil
 }
 

@@ -89,6 +89,18 @@ type Options struct {
 	// SAR ranking, flagged degraded. 0 uses the default (20ms); negative
 	// disables degradation so tight deadlines fail with DeadlineExceeded.
 	DegradeMargin time.Duration
+	// ShardMargin applies only to sharded deployments (internal/shard): the
+	// headroom the scatter-gather router reserves from the request deadline
+	// for the merge, so each shard's fan-out call runs under (deadline −
+	// margin) and one stuck shard cannot spend the whole request budget.
+	// 0 disables per-shard budgets. A single engine ignores it.
+	ShardMargin time.Duration
+	// MinShardQuorum applies only to sharded deployments: the minimum number
+	// of shards that must answer a query. <= 0 requires all of them (any
+	// shard failure fails the query); n >= 1 tolerates failures down to n
+	// survivors, answering with the merged partial ranking marked Degraded.
+	// A single engine ignores it.
+	MinShardQuorum int
 }
 
 // Frame is one grayscale frame; intensities are clamped to [0, 255].
@@ -266,11 +278,19 @@ func (e *Engine) Build() {
 // RecommendMeta describes how a Ctx-variant query was answered: the view
 // version that served it (for version-keyed caches) and whether the answer
 // is degraded — coarse SAR-ranked results returned because the context
-// deadline left no room for full EMD refinement. Degraded results are
-// usable rankings, but serving layers should not cache them.
+// deadline left no room for full EMD refinement, or (on a sharded
+// deployment) a partial merge over the shards that answered. Degraded
+// results are usable rankings, but serving layers should not cache them.
 type RecommendMeta struct {
 	ViewVersion uint64
 	Degraded    bool
+	// ShardsFailed / ShardsTotal describe a scatter-gather answer: how many
+	// shards the query fanned out to and how many of them failed (errored,
+	// exhausted their budget, or were skipped by an open breaker). A partial
+	// answer (ShardsFailed > 0) is always also Degraded. A single engine
+	// leaves both zero.
+	ShardsFailed int
+	ShardsTotal  int
 }
 
 // Recommend returns the topK most relevant stored videos for a stored clip,
