@@ -413,7 +413,8 @@ type faultCounter interface {
 
 // quorumReporter is the optional quorum surface: required is the minimum
 // number of answering shards for a query to succeed, healthy counts shards
-// whose breakers are not open.
+// whose breakers are closed (half-open shards refuse normal dispatch while
+// their probe is in flight, so they are not healthy for serving).
 type quorumReporter interface {
 	Quorum() (required, healthy int)
 }

@@ -119,28 +119,55 @@ func (b *breaker) failure(probe bool) (opened bool) {
 		b.open()
 		return true
 	}
-	if b.fails.Load() >= int64(b.threshold) && b.state.CompareAndSwap(stClosed, stOpen) {
+	// CAS through half-open rather than straight to open: half-open refuses
+	// every allow(), so no concurrent caller can observe the open state
+	// before open() has stored the backoff and `until`. Publishing stOpen
+	// first would let a racing allow() win the probe CAS against a stale
+	// (zero) `until` and hit the just-failed shard again instantly.
+	if b.fails.Load() >= int64(b.threshold) && b.state.CompareAndSwap(stClosed, stHalfOpen) {
 		b.open()
 		return true
 	}
 	return false
 }
 
-// open transitions to the open state with the next (jittered) backoff
-// interval. Jitter spreads the half-open probes of breakers that tripped
-// together, so a recovered shard is not hit by every router's probe at once.
+// open transitions to the open state with the backoff doubled (clamped to
+// [base, max]).
 func (b *breaker) open() {
-	next := 2 * b.backoff.Load()
-	if next < int64(b.base) {
-		next = int64(b.base)
-	}
-	if next > int64(b.max) {
-		next = int64(b.max)
-	}
-	b.backoff.Store(next)
-	wait := next/2 + rand.Int63n(next/2+1)
-	b.until.Store(time.Now().UnixNano() + wait)
 	b.openTotal.Add(1)
+	b.rearm(2 * b.backoff.Load())
+}
+
+// abortProbe returns a half-open breaker to the open state without judging
+// the shard. The fan-out calls it when the parent request dies while the
+// probe is in flight: the cancel cut the probe short, so its outcome says
+// nothing about the shard — no failure is recorded, the backoff is not
+// doubled, and the next probe fires after the current interval again.
+// Without this settle path the breaker would stay half-open forever: allow()
+// refuses every dispatch while a probe is in flight, and only the probe's
+// outcome transitions out of half-open.
+func (b *breaker) abortProbe() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.rearm(b.backoff.Load())
+}
+
+// rearm stores the (clamped) backoff interval and its jittered `until`, then
+// publishes the open state — in that order, so a concurrent allow() can
+// never observe stOpen with a stale `until`. Jitter spreads the half-open
+// probes of breakers that tripped together, so a recovered shard is not hit
+// by every router's probe at once.
+func (b *breaker) rearm(interval int64) {
+	if interval < int64(b.base) {
+		interval = int64(b.base)
+	}
+	if interval > int64(b.max) {
+		interval = int64(b.max)
+	}
+	b.backoff.Store(interval)
+	wait := interval/2 + rand.Int63n(interval/2+1)
+	b.until.Store(time.Now().UnixNano() + wait)
 	b.state.Store(stOpen)
 }
 

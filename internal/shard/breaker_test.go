@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -120,6 +121,71 @@ func TestBreakerFailedProbeReopensWithDoubledBackoff(t *testing.T) {
 	}
 	if _, _, _, opens, _ := b.snapshot(); opens != 8 {
 		t.Fatalf("opens = %d, want 8", opens)
+	}
+}
+
+// TestBreakerAbortedProbeReturnsToOpen pins the dangling-probe settle path:
+// a probe cut short by the parent request dying must return the breaker to
+// open — backoff unchanged, no failure or open transition recorded — and
+// the next probe must fire on schedule, not never. Half-open has no other
+// exit, so without this the shard would be refused until a topology change.
+func TestBreakerAbortedProbeReturnsToOpen(t *testing.T) {
+	b := testBreaker(1, 10*time.Millisecond, 40*time.Millisecond)
+	b.failure(false)
+	backoff := b.backoff.Load()
+	failuresBefore := b.failTotal.Load()
+	waitHalfOpen(t, b)
+	b.abortProbe()
+	state, _, failures, opens, retryIn := b.snapshot()
+	if state != BreakerOpen {
+		t.Fatalf("aborted probe left state %s, want open", state)
+	}
+	if retryIn <= 0 {
+		t.Fatal("aborted probe re-opened with no backoff deadline")
+	}
+	if got := b.backoff.Load(); got != backoff {
+		t.Fatalf("aborted probe changed backoff %v -> %v, want unchanged",
+			time.Duration(backoff), time.Duration(got))
+	}
+	if failures != failuresBefore {
+		t.Fatalf("aborted probe recorded a failure: %d -> %d", failuresBefore, failures)
+	}
+	if opens != 1 {
+		t.Fatalf("aborted probe counted as an open transition: opens = %d, want 1", opens)
+	}
+	// The breaker is not stuck: the next probe fires after the same backoff
+	// and settles normally.
+	waitHalfOpen(t, b)
+	b.success(true)
+	if state, _, _, _, _ := b.snapshot(); state != BreakerClosed {
+		t.Fatal("probe after an aborted one did not close the breaker")
+	}
+}
+
+// TestBreakerOpenPublishesBackoffBeforeState hammers allow() while the
+// breaker trips: the open state must never be observable before `until` is
+// stored, or a racing allow() would win the half-open CAS against a stale
+// zero `until` and probe the just-failed shard instantly. With a 1 s base
+// backoff, any probe granted inside this test's lifetime is that race.
+func TestBreakerOpenPublishesBackoffBeforeState(t *testing.T) {
+	for iter := 0; iter < 200; iter++ {
+		b := testBreaker(1, time.Second, 4*time.Second)
+		var granted atomic.Bool
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for i := 0; i < 5000; i++ {
+				if _, probe := b.allow(); probe {
+					granted.Store(true)
+					return
+				}
+			}
+		}()
+		b.failure(false)
+		<-done
+		if granted.Load() {
+			t.Fatal("allow() granted a probe before the open backoff was published")
+		}
 	}
 }
 

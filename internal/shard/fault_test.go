@@ -281,6 +281,92 @@ func TestBreakerOpensAndRecoversThroughRouter(t *testing.T) {
 	requireSameRankings(t, "post-recovery", ref, r, f.queries, nil)
 }
 
+// TestBreakerAbortedProbeRecoversThroughRouter pins the dangling-probe
+// regression through real queries: when
+// the parent request dies while a half-open probe is in flight, the breaker
+// must settle back to open (probe rescheduled) instead of sticking
+// half-open — where allow() refuses every dispatch and the shard would be
+// skipped on all future queries until a topology change.
+func TestBreakerAbortedProbeRecoversThroughRouter(t *testing.T) {
+	defer faults.Reset()
+	f := loadFixture(t, 21)
+	r := buildRouter(t, f, 2, videorec.Options{})
+	r.SetResilience(Resilience{
+		MinShardQuorum:    1,
+		BreakerThreshold:  1,
+		BreakerBackoff:    10 * time.Millisecond,
+		BreakerMaxBackoff: 20 * time.Millisecond,
+	})
+
+	// Open shard 1's breaker with one injected error.
+	faults.Arm(SiteForShard(FaultFanOut, 1), faults.Error(nil))
+	if _, meta, err := r.RecommendCtx(context.Background(), f.queries[0], 10); err != nil || meta.ShardsFailed != 1 {
+		t.Fatalf("opening query: err=%v failed=%d", err, meta.ShardsFailed)
+	}
+	if h := r.Health()[1]; h.Breaker != BreakerOpen {
+		t.Fatalf("breaker not open after threshold: %+v", h)
+	}
+
+	// Swap the error for latency and let the backoff elapse: the next query
+	// wins the half-open probe, sleeps past the request deadline, and the
+	// parent context dies with the probe still unsettled.
+	faults.Disarm(SiteForShard(FaultFanOut, 1))
+	faults.Arm(SiteForShard(FaultFanOutSlow, 1), faults.Latency(150*time.Millisecond))
+	time.Sleep(25 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, _, err := r.RecommendCtx(ctx, f.queries[0], 10); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("probe query: err=%v, want context.DeadlineExceeded", err)
+	}
+	if h := r.Health()[1]; h.Breaker == BreakerHalfOpen {
+		t.Fatalf("aborted probe left the breaker half-open: %+v", h)
+	}
+	// The abort is not evidence against the shard: no fault counted beyond
+	// the opening error.
+	if shardFail, breakerOpen, _ := r.FaultCounters(); shardFail != 1 || breakerOpen != 1 {
+		t.Errorf("aborted probe advanced fault counters: fail=%d open=%d, want 1/1", shardFail, breakerOpen)
+	}
+
+	// Disarm: the rescheduled probe must recover the shard to full serving —
+	// with the bug, half-open never exits and this loop times out.
+	faults.Reset()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, meta, err := r.RecommendCtx(context.Background(), f.queries[0], 10)
+		if err == nil && meta.ShardsFailed == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shard never recovered after aborted probe: err=%v failed=%d health=%+v",
+				err, meta.ShardsFailed, r.Health()[1])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if h := r.Health()[1]; h.Breaker != BreakerClosed {
+		t.Fatalf("after recovery: %+v, want closed", h)
+	}
+}
+
+// TestQuorumCountsOnlyClosedBreakers pins the readiness accounting: healthy
+// counts closed breakers only. A half-open shard refuses every dispatch but
+// its single probe, so from a live query's perspective it is still failing
+// and must not prop up /readyz.
+func TestQuorumCountsOnlyClosedBreakers(t *testing.T) {
+	f := loadFixture(t, 21)
+	r := buildRouter(t, f, 3, videorec.Options{})
+	r.SetResilience(Resilience{MinShardQuorum: 2, BreakerThreshold: 1})
+
+	if required, healthy := r.Quorum(); required != 2 || healthy != 3 {
+		t.Fatalf("all-closed quorum = (%d, %d), want (2, 3)", required, healthy)
+	}
+	s := r.set()
+	s.breakers[1].failure(false) // open
+	s.breakers[2].state.Store(stHalfOpen)
+	if _, healthy := r.Quorum(); healthy != 1 {
+		t.Fatalf("healthy = %d with one open and one half-open breaker, want 1", healthy)
+	}
+}
+
 // TestMergedPartialOrderingGolden pins the merged-partial contract across
 // strategies and shard counts: the merge over any surviving shard subset
 // equals the single-engine ranking restricted to that subset's videos, in

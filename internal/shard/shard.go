@@ -533,7 +533,9 @@ func callShard(ctx context.Context, i int, v *core.View, q core.Query, topK int,
 //
 // A dead parent context is never a shard failure: the query returns
 // ctx.Err() so the serving layer maps it to 499/504, and no breaker is
-// penalized for a client that walked away.
+// penalized for a client that walked away — though an in-flight half-open
+// probe is settled back to open (backoff unchanged) so the breaker is not
+// stuck refusing its shard.
 func (r *Router) fanOut(ctx context.Context, s *shardSet, views []*core.View, q core.Query, topK int, exclude string, meta videorec.RecommendMeta) ([]videorec.Recommendation, videorec.RecommendMeta, error) {
 	res := r.res.Load()
 	meta.ShardsTotal = len(views)
@@ -608,8 +610,23 @@ func (r *Router) fanOut(ctx context.Context, s *shardSet, views []*core.View, q 
 		}
 		// The parent context dying fails every outstanding shard at once;
 		// that is a serving outcome of the whole query, not evidence against
-		// any shard. Surface ctx.Err() itself (→ 499/504 upstream).
+		// any shard. Surface ctx.Err() itself (→ 499/504 upstream) — but
+		// settle the remaining answers' breakers first: a dispatched
+		// half-open probe left unsettled would refuse its shard forever
+		// (allow() admits nothing while a probe is in flight, and only the
+		// probe's outcome transitions out of half-open). An aborted probe
+		// proved nothing, so it re-arms the open state with the backoff
+		// unchanged instead of counting as a failure.
 		if ctxErr := ctx.Err(); ctxErr != nil {
+			for j := i; j < len(answers); j++ {
+				rest := &answers[j]
+				switch {
+				case rest.err == nil:
+					s.breakers[j].success(rest.probe)
+				case rest.probe:
+					s.breakers[j].abortProbe()
+				}
+			}
 			return nil, meta, ctxErr
 		}
 		failed++
@@ -688,14 +705,18 @@ func (r *Router) Health() []ShardHealth {
 }
 
 // Quorum reports the minimum shards a query needs and how many are currently
-// healthy (breaker not open) — the readiness gate: healthy < required means
-// queries are failing with ErrQuorum right now.
+// healthy (breaker closed) — the readiness gate: healthy < required means
+// queries are failing with ErrQuorum right now. Half-open counts as
+// unhealthy, not healthy: while its probe is in flight the fan-out refuses
+// every other dispatch to that shard, so live queries fail it exactly as if
+// it were open; the state is transient (the probe settles, or an aborted
+// probe re-opens), so readiness recovers as soon as the shard does.
 func (r *Router) Quorum() (required, healthy int) {
 	s := r.set()
 	res := r.res.Load()
 	required = res.quorum(len(s.engines))
 	for _, b := range s.breakers {
-		if state, _, _, _, _ := b.snapshot(); state != BreakerOpen {
+		if state, _, _, _, _ := b.snapshot(); state == BreakerClosed {
 			healthy++
 		}
 	}
