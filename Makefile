@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build vet test test-race test-faults race bench bench-shards vrecbench vrecbench-short bench-compare experiments experiments-paper fuzz examples clean
+.PHONY: all check build vet test test-race test-faults race bench bench-shards bench-batch vrecbench vrecbench-short bench-compare experiments experiments-paper fuzz examples clean
 
 all: check
 
@@ -34,10 +34,11 @@ bench:
 
 # Serving-path benchmark harness: fixed RecommendCtx workloads, JSON output
 # with ns/op, qps, allocs/op and latency percentiles (see README). Includes
-# the shards/{1,4,16} scatter-gather workloads and the shards/faulty
-# degraded-path workload.
+# the shards/{1,4,16} scatter-gather workloads, the shards/faulty
+# degraded-path workload, and the unbatched/{1,8,64} vs batch/{1,8,64}
+# batched-serving pairs.
 vrecbench:
-	$(GO) run ./cmd/vrecbench -out BENCH_PR7.json
+	$(GO) run ./cmd/vrecbench -out BENCH_PR8.json
 
 vrecbench-short:
 	$(GO) run ./cmd/vrecbench -short -out bench-short.json
@@ -51,10 +52,17 @@ bench-shards:
 # Override the endpoints with OLD=/NEW=, e.g.
 #   make bench-compare OLD=BENCH_PR3.json NEW=bench-short.json
 # A missing baseline or disjoint workload sets print a note and exit 0.
-OLD ?= BENCH_PR6.json
-NEW ?= BENCH_PR7.json
+OLD ?= BENCH_PR7.json
+NEW ?= BENCH_PR8.json
 bench-compare:
 	$(GO) run ./cmd/benchcompare -old $(OLD) -new $(NEW)
+
+# The batching speedup table: diff the batch/N rows against the unbatched/N
+# rows of one report (same Zipf query stream, same engine — the qps ratio is
+# the aggregate gain of coalesced execution at round size N).
+BENCH ?= BENCH_PR8.json
+bench-batch:
+	$(GO) run ./cmd/benchcompare -old $(BENCH) -new $(BENCH) -old-prefix unbatched/ -new-prefix batch/
 
 # Regenerate every table and figure at the default (fast) scale.
 experiments:

@@ -29,9 +29,11 @@ func (e *Engine) AddAll(clips []Clip, workers int) error {
 }
 
 // AddAllCtx is AddAll with cooperative cancellation: the context is polled
-// between per-clip extractions, and a cancellation abandons the batch before
-// anything is ingested — no partial view is published and ctx.Err() is
-// returned, so an aborted bulk upload never leaves half a batch behind.
+// inside each clip's extraction loop (per shot and per signature window, not
+// just between clips), and a cancellation abandons the batch before anything
+// is ingested — no partial view is published and ctx.Err() is returned, so
+// an aborted bulk upload never leaves half a batch behind and never stalls
+// behind one enormous clip already being extracted.
 func (e *Engine) AddAllCtx(ctx context.Context, clips []Clip, workers int) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -69,8 +71,10 @@ func (e *Engine) AddAllCtx(ctx context.Context, clips []Clip, workers int) error
 					v, err := toVideo(clip)
 					if err != nil {
 						out[i].err = fmt.Errorf("clip %d (%q): %w", i, clip.ID, err)
+					} else if series, err := e.rec.ExtractSeriesCtx(ctx, v); err != nil {
+						out[i].err = err // batch already aborting; error unused
 					} else {
-						out[i].series = e.rec.ExtractSeries(v)
+						out[i].series = series
 						out[i].desc = social.NewDescriptor(clip.Owner, clip.Commenters...)
 					}
 				}

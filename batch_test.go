@@ -1,8 +1,11 @@
 package videorec
 
 import (
+	"context"
 	"errors"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"videorec/internal/video"
@@ -81,6 +84,54 @@ func TestAddAllEmptyAndDefaults(t *testing.T) {
 	}
 	if eng.Len() != 2 {
 		t.Errorf("Len = %d, want 2", eng.Len())
+	}
+}
+
+// pollCountCtx is a context whose Err flips to Canceled after a fixed number
+// of polls — a deterministic stand-in for "the deadline expired while this
+// clip was being extracted", with no sleeps or races.
+type pollCountCtx struct {
+	context.Context
+	polls atomic.Int64
+	after int64
+	done  chan struct{}
+	once  sync.Once
+}
+
+func (c *pollCountCtx) Err() error {
+	if c.polls.Add(1) > c.after {
+		c.once.Do(func() { close(c.done) })
+		return context.Canceled
+	}
+	return nil
+}
+
+func (c *pollCountCtx) Done() <-chan struct{} { return c.done }
+
+// A cancellation landing in the middle of ONE clip's extraction must abort
+// the batch: the worker polls the context per shot and per signature window
+// (not just between clips), so even a single enormous clip cannot stall an
+// abort. The counter flips on the third poll — after the worker's per-clip
+// check and the extractor's first shot poll, i.e. provably inside the
+// extraction loop of the only clip in the batch.
+func TestAddAllCtxCancelsMidExtraction(t *testing.T) {
+	clips := makeClips(t, 1)
+	ctx := &pollCountCtx{Context: context.Background(), after: 2, done: make(chan struct{})}
+	eng := New(Options{})
+	err := eng.AddAllCtx(ctx, clips, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want a batch-abort wrapping context.Canceled", err)
+	}
+	if eng.Len() != 0 {
+		t.Fatalf("aborted batch ingested %d clips, want 0 (no partial view)", eng.Len())
+	}
+	if polls := ctx.polls.Load(); polls <= ctx.after {
+		t.Fatalf("extraction was never polled (%d polls)", polls)
+	}
+	// The same clip extracts fine without the cancellation — the abort above
+	// was the context, not the clip.
+	if err := New(Options{}).AddAll(clips, 1); err != nil {
+		t.Fatalf("control ingest failed: %v", err)
 	}
 }
 

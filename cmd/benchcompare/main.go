@@ -7,6 +7,16 @@
 //
 //	go run ./cmd/benchcompare -old BENCH_PR3.json -new BENCH_PR5.json
 //
+// With -old-prefix/-new-prefix the tool compares two workload FAMILIES —
+// possibly within one report: rows are filtered to the given name prefix and
+// the prefix is stripped before matching, so
+//
+//	go run ./cmd/benchcompare -old BENCH_PR8.json -new BENCH_PR8.json \
+//	    -old-prefix unbatched/ -new-prefix batch/
+//
+// diffs batch/N against unbatched/N per round size N — the batching speedup
+// table of `make bench-batch`.
+//
 // Exit status is 0 whenever the tool has something sensible to say — also
 // when the baseline file does not exist yet (first run on a branch, CI cache
 // miss) or when the two reports share no workload names (a renamed suite):
@@ -24,6 +34,7 @@ import (
 	"log"
 	"os"
 	"sort"
+	"strings"
 )
 
 type result struct {
@@ -53,6 +64,23 @@ func load(path string) (*report, error) {
 	return &r, nil
 }
 
+// filterPrefix restricts a report to one workload family: rows not carrying
+// the prefix are dropped, matching rows lose it — so two families (e.g.
+// unbatched/N vs batch/N) line up by their shared suffix.
+func filterPrefix(rep *report, prefix string) {
+	if prefix == "" {
+		return
+	}
+	kept := rep.Results[:0]
+	for _, r := range rep.Results {
+		if strings.HasPrefix(r.Name, prefix) {
+			r.Name = strings.TrimPrefix(r.Name, prefix)
+			kept = append(kept, r)
+		}
+	}
+	rep.Results = kept
+}
+
 // delta formats a relative change, signed, as a percentage. A negative
 // ns_per_op or allocs_per_op delta is an improvement.
 func delta(oldV, newV float64) string {
@@ -67,8 +95,10 @@ func delta(oldV, newV float64) string {
 
 func main() {
 	var (
-		oldPath = flag.String("old", "", "baseline vrecbench JSON")
-		newPath = flag.String("new", "", "candidate vrecbench JSON")
+		oldPath   = flag.String("old", "", "baseline vrecbench JSON")
+		newPath   = flag.String("new", "", "candidate vrecbench JSON")
+		oldPrefix = flag.String("old-prefix", "", "keep only baseline workloads with this name prefix (stripped before matching)")
+		newPrefix = flag.String("new-prefix", "", "keep only candidate workloads with this name prefix (stripped before matching)")
 	)
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" {
@@ -95,6 +125,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	filterPrefix(oldRep, *oldPrefix)
+	filterPrefix(newRep, *newPrefix)
 
 	oldBy := make(map[string]result, len(oldRep.Results))
 	for _, r := range oldRep.Results {

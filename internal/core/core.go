@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -315,6 +316,7 @@ func (r *Recommender) IngestSeries(id string, series signature.Series, desc soci
 	}
 	s.lsb.Add(i, series)
 	s.built = false
+	s.soa = nil // record set changed; rebuilt by the next installSocial
 }
 
 // Record returns the stored record for a video id.
@@ -469,6 +471,19 @@ func (r *Recommender) vectorizeAll() {
 // parallelizes extraction this way.
 func (r *Recommender) ExtractSeries(v *video.Video) signature.Series {
 	return signature.Extract(v, r.opts.Sig)
+}
+
+// ExtractSeriesCtx is ExtractSeries with cooperative cancellation: the
+// context is polled inside the extraction loop (per shot and per q-gram
+// window), so a cancelled bulk ingest abandons even a very long clip within
+// one signature of the cancellation instead of finishing it. Returns the
+// context's error and a nil series when cancelled.
+func (r *Recommender) ExtractSeriesCtx(ctx context.Context, v *video.Video) (signature.Series, error) {
+	series, ok := signature.ExtractCancelled(v, r.opts.Sig, func() bool { return ctx.Err() != nil })
+	if !ok {
+		return nil, ctx.Err()
+	}
+	return series, nil
 }
 
 // AdHocQuery builds a Query from a clip that is not part of the collection

@@ -349,6 +349,15 @@ func (qs *queryScratch) resultSlots(n int) []Result {
 	return qs.results
 }
 
+// worseResult is the total result order shared by the serial and batched
+// top-K selections: a ranks strictly below b under (score desc, id asc).
+func worseResult(a, b Result) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.VideoID > b.VideoID
+}
+
 // topKResults selects the topK best results under (score desc, id asc). When
 // the candidate set exceeds topK — the normal serving shape, hundreds of
 // refined candidates for a top-10 answer — a bounded heap selects the winners
@@ -356,22 +365,32 @@ func (qs *queryScratch) resultSlots(n int) []Result {
 // output is identical to sort-and-truncate. The returned slice is always
 // freshly allocated — the input may be pooled scratch storage.
 func topKResults(results []Result, topK int) []Result {
-	worse := func(a, b Result) bool {
-		if a.Score != b.Score {
-			return a.Score < b.Score
-		}
-		return a.VideoID > b.VideoID
-	}
 	if len(results) <= topK {
 		out := append([]Result(nil), results...)
-		sort.Slice(out, func(a, b int) bool { return worse(out[b], out[a]) })
+		sort.Slice(out, func(a, b int) bool { return worseResult(out[b], out[a]) })
 		return out
 	}
-	sel := topk.New(topK, worse)
+	sel := topk.New(topK, worseResult)
 	for _, r := range results {
 		sel.Offer(r)
 	}
 	return sel.Sorted()
+}
+
+// topKResultsInto is topKResults writing into dst's storage through a caller
+// owned selector — the batched path's allocation-free variant. The output
+// contents are identical to topKResults on the same input.
+func topKResultsInto(dst, results []Result, topK int, sel *topk.Selector[Result]) []Result {
+	if len(results) <= topK {
+		dst = append(dst[:0], results...)
+		sort.Slice(dst, func(a, b int) bool { return worseResult(dst[b], dst[a]) })
+		return dst
+	}
+	sel.Reset(topK)
+	for _, r := range results {
+		sel.Offer(r)
+	}
+	return sel.SortedInto(dst[:0])
 }
 
 // compiledRefine selects the κJ implementation refine uses: the compiled

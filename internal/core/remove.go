@@ -28,6 +28,7 @@ func (r *Recommender) RemoveVideo(id string) bool {
 		s.tombstones.Add(i)
 		s.tombCount++
 	}
+	s.soa = nil // record set changed; rebuilt by the next installSocial
 	return true
 }
 

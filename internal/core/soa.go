@@ -1,0 +1,77 @@
+package core
+
+import "videorec/internal/signature"
+
+// soaStore is the structure-of-arrays view of every stored video's compiled
+// signature series: one flat value array and one flat weight array for the
+// whole collection, with per-signature Compiled headers subslicing them and
+// per-video CompiledSeries headers addressed by dense index. Batched
+// refinement iterates these contiguous arrays instead of chasing *Record →
+// *CompiledSeries → per-signature slices scattered across the heap, so a
+// batch streaming many candidates through the EMD kernel stays cache-line
+// friendly.
+//
+// The store is an acceleration structure, never a source of truth: the
+// headers carry exactly the values, weights, means and masses of the
+// records' own CompiledSeries, so scoring through it is bit-identical to
+// scoring through the records. It is built by installSocial (valid iff the
+// view is built), shared copy-on-write across view clones like posting
+// lists, and invalidated (set nil) by any mutation that changes the record
+// set — IngestSeries, RemoveVideo — after which refinement falls back to the
+// per-record layout until the next build.
+type soaStore struct {
+	series []signature.CompiledSeries // dense index → compiled header over the flat arrays
+	v, w   []float64                  // flat cuboid value/weight storage
+}
+
+// buildSoA lays the compiled series of every live record out flat. Slots
+// without a record (or without a compiled series) get an empty header, which
+// κJ treats as relevance 0 — but such slots are never offered as candidates
+// anyway.
+func buildSoA(recs []*Record) *soaStore {
+	cuboids, sigs := 0, 0
+	for _, rec := range recs {
+		if rec == nil || rec.Compiled == nil {
+			continue
+		}
+		sigs += len(rec.Compiled.Sigs)
+		for i := range rec.Compiled.Sigs {
+			cuboids += len(rec.Compiled.Sigs[i].V)
+		}
+	}
+	st := &soaStore{
+		series: make([]signature.CompiledSeries, len(recs)),
+		v:      make([]float64, 0, cuboids),
+		w:      make([]float64, 0, cuboids),
+	}
+	flat := make([]signature.Compiled, 0, sigs)
+	for idx, rec := range recs {
+		if rec == nil || rec.Compiled == nil {
+			continue
+		}
+		start := len(flat)
+		for _, sig := range rec.Compiled.Sigs {
+			vo := len(st.v)
+			st.v = append(st.v, sig.V...)
+			st.w = append(st.w, sig.W...)
+			flat = append(flat, signature.Compiled{
+				V:    st.v[vo:len(st.v):len(st.v)],
+				W:    st.w[vo:len(st.w):len(st.w)],
+				Mean: sig.Mean,
+				Mass: sig.Mass,
+				OK:   sig.OK,
+			})
+		}
+		st.series[idx] = signature.CompiledSeries{Sigs: flat[start:len(flat):len(flat)]}
+	}
+	return st
+}
+
+// compiledFor resolves a candidate's compiled series for refinement: the SoA
+// header when the store covers the index, the record's own otherwise.
+func (st *soaStore) compiledFor(idx uint32, rec *Record) *signature.CompiledSeries {
+	if st != nil && int(idx) < len(st.series) {
+		return &st.series[idx]
+	}
+	return rec.Compiled
+}

@@ -58,6 +58,18 @@ type Config struct {
 	RetryAfter time.Duration
 	// CacheSize is the result LRU capacity; 0 defaults to 512.
 	CacheSize int
+	// BatchWindow enables query coalescing: concurrent stored-clip queries
+	// against the same view version gather for up to this long and execute as
+	// one backend batch, sharing candidate generation and deduplicating
+	// identical (clip, k) requests. 0 disables coalescing (every query runs
+	// serially, the pre-batching behavior). Single queries bypass the window
+	// either way. Sensible values are sub-millisecond — the window trades
+	// that much added latency under concurrency for aggregate throughput.
+	BatchWindow time.Duration
+	// MaxBatch caps how many queries one batch may hold before it flushes
+	// without waiting out the window. 0 defaults to 64 (the core engine's
+	// shared-gather chunk size). Ignored unless BatchWindow > 0.
+	MaxBatch int
 	// ReadOnly rejects every state-mutating endpoint (POST /videos, /build,
 	// /updates) with 403 — the replica serving mode, where mutations arrive
 	// only through journal shipping. POST /snapshot stays available: it
@@ -78,6 +90,7 @@ type Backend interface {
 	Add(videorec.Clip) error
 	Build()
 	RecommendCtx(ctx context.Context, clipID string, topK int) ([]videorec.Recommendation, videorec.RecommendMeta, error)
+	RecommendBatchCtx(ctx context.Context, reqs []videorec.BatchRequest) []videorec.BatchAnswer
 	RecommendClipCtx(ctx context.Context, clip videorec.Clip, topK int) ([]videorec.Recommendation, videorec.RecommendMeta, error)
 	ApplyUpdates(newComments map[string][]string) (videorec.UpdateSummary, error)
 	Version() uint64
@@ -108,6 +121,7 @@ type Server struct {
 	queries atomic.Int64
 	cache   *resultCache
 	lim     *limiter
+	batch   *batcher // nil unless Config.BatchWindow > 0
 
 	snapMu sync.Mutex // serializes POST /snapshot
 
@@ -142,6 +156,7 @@ func NewWithConfig(eng Backend, cfg Config) *Server {
 		cfg:   cfg,
 		cache: newResultCache(cfg.CacheSize),
 		lim:   newLimiter(cfg.MaxInFlight, cfg.MaxQueue),
+		batch: newBatcher(eng, cfg.BatchWindow, cfg.MaxBatch),
 	}
 }
 
@@ -281,9 +296,10 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, RecommendResponse{Results: recs, ViewVersion: version})
 		return
 	}
-	// Miss: compute against the live view and store under the version that
+	// Miss: compute against the live view — coalesced with concurrent
+	// queries when batching is on — and store under the version that
 	// actually answered (a mutation may have landed since the lookup).
-	recs, meta, err := s.eng.RecommendCtx(r.Context(), id, k)
+	recs, meta, err := s.recommendCtx(r.Context(), id, k)
 	if err != nil {
 		s.queryError(w, err)
 		return
@@ -301,6 +317,15 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		Results: recs, Degraded: meta.Degraded, ViewVersion: meta.ViewVersion,
 		ShardsFailed: meta.ShardsFailed, ShardsTotal: meta.ShardsTotal,
 	})
+}
+
+// recommendCtx routes one stored-clip query through the coalescer when
+// batching is enabled, or straight to the backend otherwise.
+func (s *Server) recommendCtx(ctx context.Context, clipID string, topK int) ([]videorec.Recommendation, videorec.RecommendMeta, error) {
+	if s.batch != nil {
+		return s.batch.recommend(ctx, clipID, topK)
+	}
+	return s.eng.RecommendCtx(ctx, clipID, topK)
 }
 
 // queryError maps a recommendation failure to its HTTP response. Quorum
@@ -399,6 +424,10 @@ type ShardStats struct {
 	Failures         uint64             `json:"failures,omitempty"`
 	BreakerOpens     uint64             `json:"breakerOpens,omitempty"`
 	RetryInMs        int64              `json:"retryInMs,omitempty"`
+
+	// BatchDispatches counts batched fan-out calls this shard has executed
+	// since its topology generation was published; absent on a single engine.
+	BatchDispatches uint64 `json:"batchDispatches,omitempty"`
 }
 
 // healthReporter is the optional per-shard breaker surface (the router).
@@ -419,12 +448,22 @@ type quorumReporter interface {
 	Quorum() (required, healthy int)
 }
 
+// batchDispatchReporter is the optional per-shard batch-dispatch surface
+// (the router).
+type batchDispatchReporter interface {
+	BatchDispatches() []uint64
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	hits, misses, size := s.cache.stats()
 	_, _, journalBase, journalSeq := s.eng.JournalStatus()
 	var health []shard.ShardHealth
 	if hr, ok := s.eng.(healthReporter); ok {
 		health = hr.Health()
+	}
+	var batchDispatches []uint64
+	if bd, ok := s.eng.(batchDispatchReporter); ok {
+		batchDispatches = bd.BatchDispatches()
 	}
 	shards := make([]ShardStats, 0, s.eng.NumShards())
 	for i := 0; i < s.eng.NumShards(); i++ {
@@ -450,11 +489,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			st.BreakerOpens = h.Opens
 			st.RetryInMs = h.RetryInMs
 		}
+		if i < len(batchDispatches) {
+			st.BatchDispatches = batchDispatches[i]
+		}
 		shards = append(shards, st)
 	}
 	var shardFail, breakerOpen, quorumLost uint64
 	if fc, ok := s.eng.(faultCounter); ok {
 		shardFail, breakerOpen, quorumLost = fc.FaultCounters()
+	}
+	batched, flushes, bypass := s.batch.stats()
+	var avgBatch float64
+	if flushes > 0 {
+		avgBatch = float64(batched) / float64(flushes)
 	}
 	writeJSON(w, map[string]any{
 		// Aggregates. viewVersion is the backend's fingerprint: a single
@@ -477,6 +524,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"shedTotal":       s.shed.Load(),
 		"degradedTotal":   s.degraded.Load(),
 		"panicsRecovered": s.panics.Load(),
+		// Batch coalescing: all zero unless Config.BatchWindow is set.
+		"batchedTotal":     batched,
+		"batchFlushes":     flushes,
+		"avgBatchSize":     avgBatch,
+		"batchBypassTotal": bypass,
 		// Shard fault counters: zero on a single-engine backend.
 		"shardFailTotal":   shardFail,
 		"breakerOpenTotal": breakerOpen,

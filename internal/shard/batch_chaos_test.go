@@ -1,0 +1,147 @@
+package shard
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"videorec"
+	"videorec/internal/core"
+)
+
+// TestBatchChaosCancelDuringRepublish hammers one captured immutable view
+// with concurrent batched queries — one member cancelled mid-flight and one
+// pre-cancelled per batch — while the owning engine keeps republishing new
+// views. The view is COW-immutable, so every surviving answer must stay
+// bit-identical to the serial answer computed on the same view before the
+// chaos started; the batch scratch is pooled per view and shared by every
+// concurrent batch, so any cross-query bleed shows up as a ranking diff (or
+// as a data race under -race, which `make test-faults` runs this under).
+func TestBatchChaosCancelDuringRepublish(t *testing.T) {
+	f := loadFixture(t, 21)
+	eng := buildRef(t, f, videorec.Options{})
+	view, _ := eng.CurrentView()
+
+	type golden struct {
+		id   string
+		q    core.Query
+		want []core.Result
+	}
+	queries := make([]golden, 0, len(f.queries))
+	for _, id := range f.queries {
+		q, ok := view.QueryFor(id)
+		if !ok {
+			t.Fatalf("missing record %s", id)
+		}
+		want, info, err := view.RecommendCtx(context.Background(), q, 10, id)
+		if err != nil || info.Degraded {
+			t.Fatalf("serial %s: err=%v degraded=%v", id, err, info.Degraded)
+		}
+		queries = append(queries, golden{id, q, want})
+	}
+	if len(queries) < 3 {
+		t.Fatal("fixture too small for member isolation roles")
+	}
+
+	// Republisher: churns new engine views for the whole run. The captured
+	// view must not notice.
+	stop := make(chan struct{})
+	var pubWg sync.WaitGroup
+	pubWg.Add(1)
+	go func() {
+		defer pubWg.Done()
+		month := f.col.Opts.MonthsSource
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := eng.ApplyUpdates(f.updateBatch(month + i%3)); err != nil {
+				t.Errorf("republish: %v", err)
+				return
+			}
+		}
+	}()
+
+	const workers = 4
+	const rounds = 20
+	var cancelledSeen, survivedSeen atomic.Int64
+	var workerWg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		workerWg.Add(1)
+		go func() {
+			defer workerWg.Done()
+			for round := 0; round < rounds; round++ {
+				// Roles rotate every round: `victim` is cancelled while the
+				// batch runs (either outcome is legal), `preDead` joins with
+				// an already-dead context (must settle with its error).
+				victim := (w + round) % len(queries)
+				preDead := (victim + 1) % len(queries)
+				dead, deadCancel := context.WithCancel(context.Background())
+				deadCancel()
+				midCtx, midCancel := context.WithCancel(context.Background())
+				items := make([]core.BatchItem, len(queries))
+				for i, g := range queries {
+					items[i] = core.BatchItem{Query: g.q, TopK: 10, Exclude: []string{g.id}}
+					switch i {
+					case victim:
+						items[i].Ctx = midCtx
+					case preDead:
+						items[i].Ctx = dead
+					}
+				}
+				raced := make(chan struct{})
+				go func() {
+					midCancel() // mid-flight on purpose: races the batch
+					close(raced)
+				}()
+				outs := view.RecommendBatch(context.Background(), items)
+				<-raced
+				for i, out := range outs {
+					g := queries[i]
+					switch {
+					case i == preDead:
+						if out.Err != context.Canceled {
+							t.Errorf("worker %d round %d: pre-cancelled %s: err %v, want context.Canceled", w, round, g.id, out.Err)
+						}
+						cancelledSeen.Add(1)
+						continue
+					case out.Err != nil:
+						if i != victim || out.Err != context.Canceled {
+							t.Errorf("worker %d round %d: query %s: unexpected err %v", w, round, g.id, out.Err)
+							continue
+						}
+						cancelledSeen.Add(1)
+						continue
+					}
+					if out.Info.Degraded {
+						t.Errorf("worker %d round %d: query %s degraded without a deadline", w, round, g.id)
+						continue
+					}
+					if len(out.Results) != len(g.want) {
+						t.Errorf("worker %d round %d: query %s: %d results, want %d", w, round, g.id, len(out.Results), len(g.want))
+						continue
+					}
+					for r := range g.want {
+						if out.Results[r] != g.want[r] {
+							t.Errorf("worker %d round %d: query %s rank %d drifted during republish\ngot:  %+v\nwant: %+v",
+								w, round, g.id, r, out.Results[r], g.want[r])
+							break
+						}
+					}
+					survivedSeen.Add(1)
+				}
+			}
+		}()
+	}
+	workerWg.Wait()
+	close(stop)
+	pubWg.Wait()
+
+	if cancelledSeen.Load() == 0 || survivedSeen.Load() == 0 {
+		t.Fatalf("chaos run exercised nothing: %d cancelled, %d survived", cancelledSeen.Load(), survivedSeen.Load())
+	}
+}

@@ -1,0 +1,134 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"videorec"
+	"videorec/internal/faults"
+)
+
+// requireAnswerEqualsSerial asserts one batch answer matches the serial
+// router answer for the same (id, k) — results, degraded flag and
+// shard accounting all equal.
+func requireAnswerEqualsSerial(t *testing.T, r *Router, id string, k int, a videorec.BatchAnswer) {
+	t.Helper()
+	want, wantMeta, wantErr := r.RecommendCtx(context.Background(), id, k)
+	if (wantErr == nil) != (a.Err == nil) {
+		t.Fatalf("query %s: serial err %v, batch err %v", id, wantErr, a.Err)
+	}
+	if wantErr != nil {
+		return
+	}
+	if a.Meta.Degraded != wantMeta.Degraded || a.Meta.ShardsFailed != wantMeta.ShardsFailed || a.Meta.ShardsTotal != wantMeta.ShardsTotal {
+		t.Fatalf("query %s: meta differs: serial %+v, batch %+v", id, wantMeta, a.Meta)
+	}
+	if len(a.Results) != len(want) {
+		t.Fatalf("query %s: serial %d results, batch %d", id, len(want), len(a.Results))
+	}
+	for i := range want {
+		if a.Results[i] != want[i] {
+			t.Fatalf("query %s rank %d differs\nserial: %+v\nbatch:  %+v", id, i, want[i], a.Results[i])
+		}
+	}
+}
+
+// A batched fan-out must answer every query bit-identically to serial
+// scatter-gather calls through the same router — across shard counts,
+// strategies, and with duplicate requests deduplicated inside the batch.
+func TestShardBatchGolden(t *testing.T) {
+	f := loadFixture(t, 21)
+	for _, strat := range []videorec.Strategy{videorec.SARWithHashing, videorec.ExactSocial} {
+		for _, n := range []int{1, 4} {
+			r := buildRouter(t, f, n, videorec.Options{Strategy: strat})
+			reqs := make([]videorec.BatchRequest, 0, len(f.queries)+2)
+			for _, id := range f.queries {
+				reqs = append(reqs, videorec.BatchRequest{ClipID: id, TopK: 10})
+			}
+			// Duplicates of the first query, one at a different K.
+			reqs = append(reqs,
+				videorec.BatchRequest{ClipID: f.queries[0], TopK: 10},
+				videorec.BatchRequest{ClipID: f.queries[0], TopK: 5},
+			)
+			answers := r.RecommendBatchCtx(context.Background(), reqs)
+			for i, a := range answers {
+				requireAnswerEqualsSerial(t, r, reqs[i].ClipID, reqs[i].TopK, a)
+			}
+		}
+	}
+}
+
+// A batch member whose own context is dead settles with that error; its
+// cohort still gets bit-identical answers. An unknown clip fails only its
+// own request.
+func TestShardBatchMemberIsolation(t *testing.T) {
+	f := loadFixture(t, 21)
+	r := buildRouter(t, f, 4, videorec.Options{})
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	reqs := []videorec.BatchRequest{
+		{ClipID: f.queries[0], TopK: 10},
+		{ClipID: f.queries[1], TopK: 10, Ctx: dead},
+		{ClipID: "no-such-clip", TopK: 10},
+		{ClipID: f.queries[2], TopK: 10},
+	}
+	answers := r.RecommendBatchCtx(context.Background(), reqs)
+	if !errors.Is(answers[1].Err, context.Canceled) {
+		t.Fatalf("cancelled member: err %v, want context.Canceled", answers[1].Err)
+	}
+	if !errors.Is(answers[2].Err, videorec.ErrNotFound) {
+		t.Fatalf("unknown clip: err %v, want ErrNotFound", answers[2].Err)
+	}
+	for _, i := range []int{0, 3} {
+		if answers[i].Err != nil {
+			t.Fatalf("survivor %s: %v", reqs[i].ClipID, answers[i].Err)
+		}
+		requireAnswerEqualsSerial(t, r, reqs[i].ClipID, reqs[i].TopK, answers[i])
+	}
+}
+
+// Batching composes with PR7's partial answers: with one shard failing and
+// quorum allowing it, every batched query gets the same partial, degraded
+// merge the serial fan-out produces; with strict quorum every query fails
+// with ErrQuorum.
+func TestShardBatchPartialAndQuorum(t *testing.T) {
+	defer faults.Reset()
+	f := loadFixture(t, 21)
+	r := buildRouter(t, f, 4, videorec.Options{})
+	faults.Arm(SiteForShard(FaultFanOut, 1), faults.Error(nil))
+
+	// Strict quorum (all shards required): every query loses.
+	reqs := make([]videorec.BatchRequest, 0, len(f.queries))
+	for _, id := range f.queries {
+		reqs = append(reqs, videorec.BatchRequest{ClipID: id, TopK: 10})
+	}
+	for _, a := range r.RecommendBatchCtx(context.Background(), reqs) {
+		if !errors.Is(a.Err, ErrQuorum) {
+			t.Fatalf("strict quorum: err %v, want ErrQuorum", a.Err)
+		}
+	}
+
+	// Tolerant quorum: partial answers, identical to serial partials.
+	r.SetResilience(Resilience{MinShardQuorum: 3})
+	answers := r.RecommendBatchCtx(context.Background(), reqs)
+	for i, a := range answers {
+		if a.Err != nil {
+			t.Fatalf("partial %s: %v", reqs[i].ClipID, a.Err)
+		}
+		if !a.Meta.Degraded || a.Meta.ShardsFailed != 1 || a.Meta.ShardsTotal != 4 {
+			t.Fatalf("partial %s: meta %+v, want degraded with 1/4 shards failed", reqs[i].ClipID, a.Meta)
+		}
+		requireAnswerEqualsSerial(t, r, reqs[i].ClipID, reqs[i].TopK, a)
+	}
+
+	// The failing shard's breaker accumulated evidence once per batch, and
+	// its dispatch counter moved.
+	if fails, _, _ := r.FaultCounters(); fails == 0 {
+		t.Fatal("no shard failures recorded")
+	}
+	dispatches := r.BatchDispatches()
+	if len(dispatches) != 4 || dispatches[0] == 0 {
+		t.Fatalf("batch dispatch counters %v, want 4 shards with shard 0 > 0", dispatches)
+	}
+}

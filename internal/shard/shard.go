@@ -162,6 +162,10 @@ type Router struct {
 type shardSet struct {
 	engines  []*videorec.Engine
 	breakers []*breaker // one per engine; reset with the topology
+	// batchDispatched counts batched fan-out dispatches per shard — how many
+	// whole-batch calls each shard's view has executed. Like the breakers it
+	// resets when the topology is republished; /stats surfaces it per shard.
+	batchDispatched []atomic.Uint64
 	// epoch counts topology changes (drain, add). It feeds the version
 	// fingerprint so a query served by an old topology never shares a cache
 	// key with one served by the new.
@@ -214,7 +218,12 @@ func (r *Router) newSet(engines []*videorec.Engine, epoch uint64) *shardSet {
 	for i := range breakers {
 		breakers[i] = newBreaker(*res)
 	}
-	return &shardSet{engines: engines, breakers: breakers, epoch: epoch}
+	return &shardSet{
+		engines:         engines,
+		breakers:        breakers,
+		batchDispatched: make([]atomic.Uint64, len(engines)),
+		epoch:           epoch,
+	}
 }
 
 // SetResilience replaces the router's fault-tolerance configuration. Breaker
@@ -721,6 +730,18 @@ func (r *Router) Quorum() (required, healthy int) {
 		}
 	}
 	return required, healthy
+}
+
+// BatchDispatches reports how many batched fan-out dispatches each shard has
+// executed since the current topology generation was published — the
+// per-shard slice of the serving layer's batch observability.
+func (r *Router) BatchDispatches() []uint64 {
+	s := r.set()
+	out := make([]uint64, len(s.batchDispatched))
+	for i := range s.batchDispatched {
+		out[i] = s.batchDispatched[i].Load()
+	}
+	return out
 }
 
 // FaultCounters returns the router's monotonic fault-tolerance counters:

@@ -64,9 +64,23 @@ func (s *Selector[T]) Items() []T { return s.h }
 // Sorted drains the selector and returns the kept items best-first. The
 // selector is empty afterwards.
 func (s *Selector[T]) Sorted() []T {
-	out := make([]T, len(s.h))
-	for i := len(s.h) - 1; i >= 0; i-- {
-		out[i] = s.h[0]
+	return s.SortedInto(nil)
+}
+
+// SortedInto is Sorted draining into dst's storage: when dst has the
+// capacity no allocation happens, so a caller answering a stream of queries
+// (the batched serving path) can recycle one result buffer per slot. The
+// returned slice must be used in place of dst; the selector is empty
+// afterwards.
+func (s *Selector[T]) SortedInto(dst []T) []T {
+	n := len(s.h)
+	if cap(dst) >= n {
+		dst = dst[:n]
+	} else {
+		dst = make([]T, n)
+	}
+	for i := n - 1; i >= 0; i-- {
+		dst[i] = s.h[0]
 		last := len(s.h) - 1
 		s.h[0] = s.h[last]
 		s.h = s.h[:last]
@@ -74,7 +88,7 @@ func (s *Selector[T]) Sorted() []T {
 			s.down(0)
 		}
 	}
-	return out
+	return dst
 }
 
 func (s *Selector[T]) up(i int) {
