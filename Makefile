@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build vet test test-race test-faults race bench bench-shards bench-batch vrecbench vrecbench-short bench-compare experiments experiments-paper fuzz examples clean
+.PHONY: all check build vet test test-race test-faults race bench bench-shards bench-batch vrecbench vrecbench-short bench-compare vrecload vrecload-smoke load-compare experiments experiments-paper fuzz examples clean
 
 all: check
 
@@ -63,6 +63,39 @@ bench-compare:
 BENCH ?= BENCH_PR8.json
 bench-batch:
 	$(GO) run ./cmd/benchcompare -old $(BENCH) -new $(BENCH) -old-prefix unbatched/ -new-prefix batch/
+
+# HTTP-level storm harness: regenerate the three BENCH_LOAD scenarios —
+# unloaded baseline, a comment storm against the fixed limiter, and the same
+# storm with the adaptive limiter + brownout (see README "Surviving traffic
+# storms" for what the numbers mean). -service-time simulates a production-
+# sized corpus so real queueing forms even on small CI boxes.
+vrecload:
+	$(GO) run ./cmd/vrecload -scenario unloaded -conc 4 -duration 5s \
+	    -service-time 25ms -max-inflight 8 -max-queue 16 -query-timeout 250ms \
+	    -out BENCH_LOAD.json
+	$(GO) run ./cmd/vrecload -scenario storm/fixed -conc 24 -duration 8s \
+	    -service-time 25ms -max-inflight 8 -max-queue 16 -query-timeout 250ms \
+	    -storm-at 3s -storm-dur 2s -storm-factor 4 -out BENCH_LOAD.json -append
+	$(GO) run ./cmd/vrecload -scenario storm/adaptive -conc 24 -duration 8s \
+	    -service-time 25ms -max-inflight 8 -max-queue 12 -limit-floor 2 \
+	    -limit-ceiling 12 -adjust-window 50ms -brownout -brownout-margin 35ms \
+	    -query-timeout 65ms -storm-at 3s -storm-dur 2s -storm-factor 4 \
+	    -out BENCH_LOAD.json -append
+
+# CI smoke: one short closed-loop storm against an in-process server,
+# asserting nonzero goodput, zero panics, and Retry-After on every 503.
+vrecload-smoke:
+	$(GO) run ./cmd/vrecload -scenario smoke/storm -conc 12 -duration 3s \
+	    -service-time 10ms -max-inflight 4 -max-queue 8 -limit-floor 2 \
+	    -limit-ceiling 12 -adjust-window 25ms -brownout -brownout-margin 20ms \
+	    -query-timeout 60ms -storm-at 1s -storm-dur 1s -storm-factor 3 \
+	    -out bench-load-smoke.json -check
+
+# Diff two vrecload reports (goodput / p99 / p999 per scenario).
+LOAD_OLD ?= BENCH_LOAD_PR9.json
+LOAD_NEW ?= BENCH_LOAD.json
+load-compare:
+	$(GO) run ./cmd/benchcompare -old $(LOAD_OLD) -new $(LOAD_NEW)
 
 # Regenerate every table and figure at the default (fast) scale.
 experiments:

@@ -3,9 +3,15 @@
 // bench-compare`, which tracks serving-path performance from one checked-in
 // BENCH_PR*.json to the next.
 //
+// It also understands vrecload reports (kind "vrecload", BENCH_LOAD_*.json):
+// when both inputs are load reports, the diff is per-scenario goodput and
+// latency-percentile deltas instead — `make load-compare`. For goodput a
+// positive delta is an improvement; for p50/p99/p999 a negative one is.
+//
 // Usage:
 //
 //	go run ./cmd/benchcompare -old BENCH_PR3.json -new BENCH_PR5.json
+//	go run ./cmd/benchcompare -old BENCH_LOAD_PR9.json -new BENCH_LOAD.json
 //
 // With -old-prefix/-new-prefix the tool compares two workload FAMILIES —
 // possibly within one report: rows are filtered to the given name prefix and
@@ -45,11 +51,25 @@ type result struct {
 	BytesPerOp  float64 `json:"bytes_per_op"`
 }
 
+// scenario is one vrecload measurement row — the goodput/latency family of a
+// load report, matched across files by scenario name.
+type scenario struct {
+	Name         string  `json:"name"`
+	GoodputQPS   float64 `json:"goodput_qps"`
+	P50Ms        float64 `json:"p50_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	P999Ms       float64 `json:"p999_ms"`
+	ShedRate     float64 `json:"shed_rate"`
+	DegradedRate float64 `json:"degraded_rate"`
+}
+
 type report struct {
-	GoVersion  string   `json:"go_version"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
-	Videos     int      `json:"videos"`
-	Results    []result `json:"results"`
+	Kind       string     `json:"kind"` // "" = vrecbench, "vrecload" = load report
+	GoVersion  string     `json:"go_version"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	Videos     int        `json:"videos"`
+	Results    []result   `json:"results"`
+	Scenarios  []scenario `json:"scenarios"`
 }
 
 func load(path string) (*report, error) {
@@ -125,6 +145,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if oldRep.Kind == "vrecload" || newRep.Kind == "vrecload" {
+		if oldRep.Kind != newRep.Kind {
+			// One microbenchmark report, one load report: nothing lines up.
+			// A clear note beats a table of "new"/"gone" rows.
+			fmt.Printf("benchcompare: %s is kind %q but %s is kind %q — reports are not comparable.\n",
+				*oldPath, kindName(oldRep.Kind), *newPath, kindName(newRep.Kind))
+			return
+		}
+		compareLoad(*oldPath, oldRep, *newPath, newRep, *oldPrefix, *newPrefix)
+		return
+	}
 	filterPrefix(oldRep, *oldPrefix)
 	filterPrefix(newRep, *newPrefix)
 
@@ -172,6 +203,81 @@ func main() {
 		if _, ok := newBy[r.Name]; !ok {
 			fmt.Printf("%-28s %14.0f %14s %8s   %12.1f %12s %8s\n",
 				r.Name, r.NsPerOp, "-", "gone", r.AllocsPerOp, "-", "gone")
+		}
+	}
+}
+
+func kindName(kind string) string {
+	if kind == "" {
+		return "vrecbench"
+	}
+	return kind
+}
+
+// filterScenarioPrefix is filterPrefix for load-report scenario rows.
+func filterScenarioPrefix(rep *report, prefix string) {
+	if prefix == "" {
+		return
+	}
+	kept := rep.Scenarios[:0]
+	for _, s := range rep.Scenarios {
+		if strings.HasPrefix(s.Name, prefix) {
+			s.Name = strings.TrimPrefix(s.Name, prefix)
+			kept = append(kept, s)
+		}
+	}
+	rep.Scenarios = kept
+}
+
+// compareLoad diffs two vrecload reports scenario by scenario: goodput and
+// the latency-percentile family, the numbers the overload-control acceptance
+// criteria are written against.
+func compareLoad(oldPath string, oldRep *report, newPath string, newRep *report, oldPrefix, newPrefix string) {
+	filterScenarioPrefix(oldRep, oldPrefix)
+	filterScenarioPrefix(newRep, newPrefix)
+
+	oldBy := make(map[string]scenario, len(oldRep.Scenarios))
+	for _, s := range oldRep.Scenarios {
+		oldBy[s.Name] = s
+	}
+	newBy := make(map[string]scenario, len(newRep.Scenarios))
+	names := make([]string, 0, len(newRep.Scenarios))
+	shared := 0
+	for _, s := range newRep.Scenarios {
+		newBy[s.Name] = s
+		names = append(names, s.Name)
+		if _, ok := oldBy[s.Name]; ok {
+			shared++
+		}
+	}
+	sort.Strings(names)
+	if shared == 0 {
+		fmt.Printf("benchcompare: %s and %s share no scenario names (%d baseline, %d candidate) — no comparable rows.\n",
+			oldPath, newPath, len(oldRep.Scenarios), len(newRep.Scenarios))
+		return
+	}
+
+	fmt.Printf("baseline:  %s (go %s, GOMAXPROCS %d, %d videos)\n", oldPath, oldRep.GoVersion, oldRep.GOMAXPROCS, oldRep.Videos)
+	fmt.Printf("candidate: %s (go %s, GOMAXPROCS %d, %d videos)\n\n", newPath, newRep.GoVersion, newRep.GOMAXPROCS, newRep.Videos)
+	fmt.Printf("%-20s %10s %10s %8s   %9s %9s %8s   %9s %9s %8s\n",
+		"scenario", "qps old", "qps new", "Δqps", "p99 old", "p99 new", "Δp99", "p999 old", "p999 new", "Δp999")
+	for _, name := range names {
+		n := newBy[name]
+		o, ok := oldBy[name]
+		if !ok {
+			fmt.Printf("%-20s %10s %10.1f %8s   %9s %9.1f %8s   %9s %9.1f %8s\n",
+				name, "-", n.GoodputQPS, "new", "-", n.P99Ms, "new", "-", n.P999Ms, "new")
+			continue
+		}
+		fmt.Printf("%-20s %10.1f %10.1f %8s   %9.1f %9.1f %8s   %9.1f %9.1f %8s\n",
+			name, o.GoodputQPS, n.GoodputQPS, delta(o.GoodputQPS, n.GoodputQPS),
+			o.P99Ms, n.P99Ms, delta(o.P99Ms, n.P99Ms),
+			o.P999Ms, n.P999Ms, delta(o.P999Ms, n.P999Ms))
+	}
+	for _, s := range oldRep.Scenarios {
+		if _, ok := newBy[s.Name]; !ok {
+			fmt.Printf("%-20s %10.1f %10s %8s   %9.1f %9s %8s   %9.1f %9s %8s\n",
+				s.Name, s.GoodputQPS, "-", "gone", s.P99Ms, "-", "gone", s.P999Ms, "-", "gone")
 		}
 	}
 }

@@ -4,6 +4,8 @@
 //
 //	vrecd [-addr :8080] [-shards N] [-snapshot engine.snap] [-journal engine.wal]
 //	      [-demo hours] [-query-timeout 2s] [-max-inflight 256] [-max-queue N]
+//	      [-limit-floor 0] [-limit-ceiling 0] [-adjust-window 100ms]
+//	      [-brownout] [-brownout-margin 10ms]
 //	      [-max-k 100] [-replica-of http://primary:8080] [-max-replica-lag 64]
 //	      [-shard-margin 0] [-shard-quorum 0] [-breaker-threshold 5]
 //	      [-breaker-backoff 200ms] [-batch-window 0] [-max-batch 64]
@@ -15,6 +17,18 @@
 // to -max-queue deep and are then shed with 503 + Retry-After, and queries
 // that outlive -query-timeout answer degraded (coarse SAR ranking) instead
 // of erroring.
+//
+// With -limit-ceiling > 0 the concurrency limit adapts by latency gradient:
+// it probes upward from -max-inflight toward the ceiling while observed
+// latency tracks the no-queue baseline and backs off multiplicatively (never
+// below -limit-floor) when latency inflates; /stats reports the live limit.
+// The wait queue is deadline-aware — a queued query whose remaining budget
+// cannot cover the expected service time is answered 504 immediately — and
+// Retry-After on refusals is computed from queue depth over drain rate.
+// With -brownout, sustained queue pressure browns out queries (tier 1: those
+// that waited; tier 2: all) by shrinking their deadline to -brownout-margin,
+// so they take the engine's coarse degraded path instead of queueing toward
+// the deadline; browned answers are marked degraded:true and never cached.
 //
 // With -shards N (N > 1) the corpus is partitioned across N shard engines
 // behind a scatter-gather router: queries fan out to every shard in parallel
@@ -82,6 +96,11 @@ func main() {
 	queryTimeout := flag.Duration("query-timeout", 2*time.Second, "per-query deadline; near-deadline queries answer degraded (0 = none)")
 	maxInflight := flag.Int("max-inflight", 256, "max concurrently executing queries (0 = unlimited)")
 	maxQueue := flag.Int("max-queue", 0, "max queries queued for a slot before shedding (0 = same as -max-inflight)")
+	limitFloor := flag.Int("limit-floor", 0, "adaptive concurrency limit floor (0 = default 1; needs -limit-ceiling)")
+	limitCeiling := flag.Int("limit-ceiling", 0, "adaptive concurrency limit ceiling; the limiter probes between floor and ceiling by latency gradient (0 = fixed -max-inflight limit)")
+	adjustWindow := flag.Duration("adjust-window", 0, "adaptive limiter adjustment cadence (0 = default 100ms)")
+	brownout := flag.Bool("brownout", false, "serve coarse degraded answers under queue pressure instead of queueing toward the deadline")
+	brownoutMargin := flag.Duration("brownout-margin", 0, "deadline budget left to a browned-out query (0 = default 10ms; keep it under the engine degrade margin)")
 	maxK := flag.Int("max-k", 100, "cap on the k query parameter")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on shed (503) responses")
 	replicaOf := flag.String("replica-of", "", "run as a read-only replica of this primary URL")
@@ -108,14 +127,19 @@ func main() {
 	}
 
 	cfg := server.Config{
-		SnapshotPath: *snapshot,
-		MaxInFlight:  *maxInflight,
-		MaxQueue:     *maxQueue,
-		QueryTimeout: *queryTimeout,
-		MaxK:         *maxK,
-		RetryAfter:   *retryAfter,
-		BatchWindow:  *batchWindow,
-		MaxBatch:     *maxBatch,
+		SnapshotPath:   *snapshot,
+		MaxInFlight:    *maxInflight,
+		MaxQueue:       *maxQueue,
+		LimitFloor:     *limitFloor,
+		LimitCeiling:   *limitCeiling,
+		AdjustWindow:   *adjustWindow,
+		Brownout:       *brownout,
+		BrownoutMargin: *brownoutMargin,
+		QueryTimeout:   *queryTimeout,
+		MaxK:           *maxK,
+		RetryAfter:     *retryAfter,
+		BatchWindow:    *batchWindow,
+		MaxBatch:       *maxBatch,
 	}
 
 	if *shards < 1 {

@@ -7,83 +7,97 @@ import (
 	"log"
 	"net/http"
 	"strconv"
-	"sync/atomic"
 	"time"
+
+	"videorec/internal/overload"
 )
 
-// errShed is returned by the admission controller when both the in-flight
-// slots and the wait queue are full — the request must be shed, not queued.
-var errShed = errors.New("server: overloaded, request shed")
+// The admission path, back to front: withDeadline stamps the per-request
+// query timeout FIRST, so the deadline is visible while the request queues
+// — queue wait burns real budget, which is exactly what lets the
+// deadline-aware queue evict requests that can no longer make it. admit
+// then runs the request through the overload controller: the adaptive
+// concurrency limiter, the bounded wait queue, and — under load — the
+// brownout tiers that shrink the request's deadline into the engine's
+// degrade margin so it answers coarse instead of late.
 
-// limiter is a semaphore-based admission controller with a bounded wait
-// queue: up to cap(slots) requests run concurrently, up to maxQueue more
-// wait for a slot, and everything beyond that is shed immediately. Bounding
-// the queue is the point — under a sustained spike an unbounded queue turns
-// into latency debt that is repaid to clients who already left.
-type limiter struct {
-	slots    chan struct{}
-	queued   atomic.Int64
-	maxQueue int64
-}
-
-func newLimiter(maxInFlight, maxQueue int) *limiter {
-	if maxInFlight <= 0 {
-		return nil
-	}
-	if maxQueue < 0 {
-		maxQueue = 0
-	}
-	return &limiter{slots: make(chan struct{}, maxInFlight), maxQueue: int64(maxQueue)}
-}
-
-// acquire claims an execution slot, waiting in the bounded queue when all
-// slots are busy. It returns a release func on success; errShed when the
-// queue is full; ctx.Err() when the caller's context dies while queued.
-func (l *limiter) acquire(ctx context.Context) (func(), error) {
-	select {
-	case l.slots <- struct{}{}:
-		return func() { <-l.slots }, nil
+// overloadStatus maps an admission failure to its HTTP response shape:
+// status code, machine-readable reason (distinct 503 bodies: a shed 503
+// must not read like a quorum-lost 503), whether the response carries the
+// load-derived Retry-After hint, and whether it counts as a true shed.
+// Queue-wait context death is the CALLER's outcome, not overload: a
+// canceled client maps to 499 and an expired deadline to 504, and neither
+// increments the shed counter.
+func overloadStatus(err error) (status int, reason string, retryAfter, shed bool) {
+	switch {
+	case errors.Is(err, overload.ErrShed):
+		return http.StatusServiceUnavailable, "shed", true, true
+	case errors.Is(err, overload.ErrDoomed):
+		return http.StatusGatewayTimeout, "queue_evicted", true, false
+	case errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest, "client_closed", false, false
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "deadline", false, false
 	default:
-	}
-	if l.queued.Add(1) > l.maxQueue {
-		l.queued.Add(-1)
-		return nil, errShed
-	}
-	defer l.queued.Add(-1)
-	select {
-	case l.slots <- struct{}{}:
-		return func() { <-l.slots }, nil
-	case <-ctx.Done():
-		return nil, ctx.Err()
+		return http.StatusInternalServerError, "", false, false
 	}
 }
 
-// inFlight reports the number of currently admitted requests.
-func (l *limiter) inFlight() int {
-	if l == nil {
-		return 0
-	}
-	return len(l.slots)
-}
-
-// admit wraps the expensive query handlers with the admission controller:
-// shed requests get 503 with a Retry-After hint and are never queued
-// unboundedly. A nil limiter (MaxInFlight <= 0) admits everything.
+// admit wraps the expensive query handlers with the overload controller:
+// requests run when a slot is free, wait (deadline-aware, adaptively LIFO
+// under sustained overload) when the limiter is full, and are refused with
+// a load-derived Retry-After when even waiting cannot help. Once admitted,
+// the brownout tier may shrink the request's deadline into the engine's
+// degrade margin, trading answer quality for staying inside deadlines. A
+// nil controller (MaxInFlight <= 0) admits everything.
 func (s *Server) admit(next http.HandlerFunc) http.HandlerFunc {
-	if s.lim == nil {
+	if s.ctl == nil {
 		return next
 	}
 	return func(w http.ResponseWriter, r *http.Request) {
-		release, err := s.lim.acquire(r.Context())
+		release, waited, err := s.ctl.Acquire(r.Context())
 		if err != nil {
-			s.shed.Add(1)
-			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
-			httpError(w, http.StatusServiceUnavailable, errShed)
+			status, reason, retry, shed := overloadStatus(err)
+			if shed {
+				s.shed.Add(1)
+			}
+			if retry {
+				w.Header().Set("Retry-After", strconv.Itoa(s.retrySecs()))
+			}
+			if reason != "" {
+				httpErrorReason(w, status, reason, err)
+			} else {
+				httpError(w, status, err)
+			}
 			return
 		}
 		defer release()
+		if s.cfg.Brownout {
+			// Brownout: tier 1 degrades the requests that already paid a
+			// queue wait (they are the marginal load), tier 2 degrades
+			// everyone. Shrinking the deadline into the engine's degrade
+			// margin reuses the existing coarse path end to end — through
+			// the coalescer too, since each member's context rides into the
+			// batch and the per-item degrade decision is made against it.
+			if tier := s.ctl.Tier(); tier >= 2 || (tier >= 1 && waited > 0) {
+				s.brownout.Add(1)
+				ctx, cancel := context.WithDeadline(r.Context(), time.Now().Add(s.cfg.BrownoutMargin))
+				defer cancel()
+				r = r.WithContext(ctx)
+			}
+		}
 		next(w, r)
 	}
+}
+
+// retrySecs is the Retry-After hint for refusals: load-derived (queue depth
+// over drain rate) when the controller is live, the configured constant
+// otherwise.
+func (s *Server) retrySecs() int {
+	if s.ctl != nil {
+		return s.ctl.RetryAfterSeconds()
+	}
+	return retryAfterSeconds(s.cfg.RetryAfter)
 }
 
 func retryAfterSeconds(d time.Duration) int {
@@ -95,8 +109,9 @@ func retryAfterSeconds(d time.Duration) int {
 }
 
 // withDeadline attaches the per-request query timeout to the request
-// context, so the deadline propagates through Engine.RecommendCtx into the
-// EMD refinement workers.
+// context. It runs OUTSIDE admit, so the deadline covers queueing as well
+// as execution: the overload controller needs the remaining budget to
+// decide whether queueing the request can still produce a useful answer.
 func (s *Server) withDeadline(next http.HandlerFunc) http.HandlerFunc {
 	if s.cfg.QueryTimeout <= 0 {
 		return next

@@ -25,6 +25,7 @@ import (
 
 	"videorec"
 	"videorec/internal/faults"
+	"videorec/internal/overload"
 	"videorec/internal/shard"
 )
 
@@ -42,11 +43,35 @@ type Config struct {
 	// engine.
 	SnapshotPath string
 	// MaxInFlight bounds concurrently executing recommendation queries.
-	// <= 0 disables admission control.
+	// <= 0 disables admission control. With LimitCeiling set this is the
+	// INITIAL limit of the adaptive latency-gradient limiter; otherwise it
+	// is fixed.
 	MaxInFlight int
 	// MaxQueue bounds how many queries may wait for an execution slot before
 	// newcomers are shed. 0 with MaxInFlight > 0 defaults to MaxInFlight.
 	MaxQueue int
+	// LimitFloor / LimitCeiling bound the adaptive concurrency limiter.
+	// LimitCeiling > 0 enables adaptation: the limit starts at MaxInFlight,
+	// probes additively toward LimitCeiling while observed latency tracks
+	// the no-queue baseline, and backs off multiplicatively toward
+	// LimitFloor (default 1) when latency inflates. LimitCeiling == 0 keeps
+	// the limit fixed at MaxInFlight.
+	LimitFloor   int
+	LimitCeiling int
+	// AdjustWindow tunes the limiter's adjustment cadence (0 = 100ms).
+	// Mostly a test/harness knob.
+	AdjustWindow time.Duration
+	// Brownout couples admission load to the engine's degrade path: under
+	// queue pressure (tier 1) queries that waited for a slot — and under
+	// saturation (tier 2) every query — run with their deadline shrunk to
+	// BrownoutMargin, which sits inside the engine's DegradeMargin, so they
+	// answer the coarse social-only ranking (degraded:true, never cached)
+	// instead of competing for refinement the server cannot afford.
+	Brownout bool
+	// BrownoutMargin is the deadline handed to browned-out queries. It must
+	// stay below the engine's DegradeMargin (default 20ms) for the coarse
+	// path to engage up front. 0 defaults to 10ms.
+	BrownoutMargin time.Duration
 	// QueryTimeout is the per-request deadline for recommendation queries;
 	// 0 means no deadline. The engine degrades (coarse SAR answer) rather
 	// than erroring when the deadline is near.
@@ -120,12 +145,13 @@ type Server struct {
 	cfg     Config
 	queries atomic.Int64
 	cache   *resultCache
-	lim     *limiter
-	batch   *batcher // nil unless Config.BatchWindow > 0
+	ctl     *overload.Controller // nil when MaxInFlight <= 0
+	batch   *batcher             // nil unless Config.BatchWindow > 0
 
 	snapMu sync.Mutex // serializes POST /snapshot
 
 	shed     atomic.Int64 // requests rejected by admission control
+	brownout atomic.Int64 // admitted requests deliberately browned out
 	degraded atomic.Int64 // queries answered with the coarse ranking
 	panics   atomic.Int64 // handler panics recovered
 }
@@ -151,11 +177,21 @@ func NewWithConfig(eng Backend, cfg Config) *Server {
 	if cfg.MaxInFlight > 0 && cfg.MaxQueue <= 0 {
 		cfg.MaxQueue = cfg.MaxInFlight
 	}
+	if cfg.BrownoutMargin <= 0 {
+		cfg.BrownoutMargin = 10 * time.Millisecond
+	}
 	return &Server{
 		eng:   eng,
 		cfg:   cfg,
 		cache: newResultCache(cfg.CacheSize),
-		lim:   newLimiter(cfg.MaxInFlight, cfg.MaxQueue),
+		ctl: overload.New(overload.Config{
+			Limit:              cfg.MaxInFlight,
+			Floor:              cfg.LimitFloor,
+			Ceiling:            cfg.LimitCeiling,
+			MaxQueue:           cfg.MaxQueue,
+			AdjustWindow:       cfg.AdjustWindow,
+			RetryAfterFallback: cfg.RetryAfter,
+		}),
 		batch: newBatcher(eng, cfg.BatchWindow, cfg.MaxBatch),
 	}
 }
@@ -230,8 +266,10 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /videos", s.mutating(s.handleAddVideo))
 	mux.HandleFunc("POST /build", s.mutating(s.handleBuild))
-	mux.HandleFunc("GET /recommend", s.admit(s.withDeadline(s.handleRecommend)))
-	mux.HandleFunc("POST /recommend", s.admit(s.withDeadline(s.handleRecommendClip)))
+	// Deadline OUTSIDE admission: the query budget must cover queue wait so
+	// the overload controller can evict requests that can no longer finish.
+	mux.HandleFunc("GET /recommend", s.withDeadline(s.admit(s.handleRecommend)))
+	mux.HandleFunc("POST /recommend", s.withDeadline(s.admit(s.handleRecommendClip)))
 	mux.HandleFunc("POST /updates", s.mutating(s.handleUpdates))
 	mux.HandleFunc("POST /snapshot", s.handleSnapshot)
 	mux.HandleFunc("POST /shards/drain", s.mutating(s.handleDrainShard))
@@ -330,11 +368,18 @@ func (s *Server) recommendCtx(ctx context.Context, clipID string, topK int) ([]v
 
 // queryError maps a recommendation failure to its HTTP response. Quorum
 // loss is an overload-shaped outcome — the shards may be recovering behind
-// their breakers — so like shed requests it carries a Retry-After hint.
+// their breakers — so like shed requests it carries the load-derived
+// Retry-After hint, but its body says "quorum_lost" where a shed says
+// "shed": the client's correct reaction differs (back off versus maybe
+// route elsewhere), so the two 503s must not be conflated.
 func (s *Server) queryError(w http.ResponseWriter, err error) {
 	status := statusFor(err)
 	if status == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
+		w.Header().Set("Retry-After", strconv.Itoa(s.retrySecs()))
+		if errors.Is(err, shard.ErrQuorum) {
+			httpErrorReason(w, status, "quorum_lost", err)
+			return
+		}
 	}
 	httpError(w, status, err)
 }
@@ -503,6 +548,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if flushes > 0 {
 		avgBatch = float64(batched) / float64(flushes)
 	}
+	ov := s.ctl.Snapshot()
 	writeJSON(w, map[string]any{
 		// Aggregates. viewVersion is the backend's fingerprint: a single
 		// engine's monotonic counter, or the router's fold of (epoch, every
@@ -520,10 +566,23 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"cacheHits":       hits,
 		"cacheMisses":     misses,
 		"cacheSize":       size,
-		"inFlight":        s.lim.inFlight(),
+		"inFlight":        ov.InFlight,
 		"shedTotal":       s.shed.Load(),
 		"degradedTotal":   s.degraded.Load(),
 		"panicsRecovered": s.panics.Load(),
+		// Overload control: the live adaptive limit, queue state, and
+		// brownout activity. All zero when admission control is off.
+		"limit":             ov.Limit,
+		"limitProbes":       ov.ProbeTotal,
+		"limitBackoffs":     ov.BackoffTotal,
+		"queueDepth":        ov.QueueDepth,
+		"peakQueue":         ov.PeakQueue,
+		"queuedServedTotal": ov.QueuedServed,
+		"queueWaitP50Ms":    ov.QueueWaitP50Ms,
+		"queueWaitP99Ms":    ov.QueueWaitP99Ms,
+		"queueEvictedTotal": ov.EvictedTotal,
+		"brownoutTier":      ov.Tier,
+		"brownoutTotal":     s.brownout.Load(),
 		// Batch coalescing: all zero unless Config.BatchWindow is set.
 		"batchedTotal":     batched,
 		"batchFlushes":     flushes,
@@ -622,4 +681,13 @@ func httpError(w http.ResponseWriter, status int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// httpErrorReason is httpError plus a machine-readable reason tag, for
+// statuses that would otherwise be ambiguous (a shed 503 versus a
+// quorum-lost 503, a deadline 504 versus a queue-evicted 504).
+func httpErrorReason(w http.ResponseWriter, status int, reason string, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error(), "reason": reason})
 }
