@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build vet test test-race test-faults race bench bench-shards bench-batch vrecbench vrecbench-short bench-compare vrecload vrecload-smoke load-compare experiments experiments-paper fuzz examples clean
+.PHONY: all check build vet test test-race test-faults race bench bench-shards bench-batch bench-updates vrecbench vrecbench-short bench-compare vrecload vrecload-smoke load-compare experiments experiments-paper fuzz examples clean
 
 all: check
 
@@ -47,6 +47,16 @@ vrecbench-short:
 # and 16 shards, suitable for -cpuprofile (see internal/shard/prof_test.go).
 bench-shards:
 	$(GO) test ./internal/shard/ -run '^$$' -bench FanOut -benchtime 300x
+
+# The write-path (Figure 5 maintenance) rows in isolation: re-run the
+# updates/{small,storm} vrecbench workloads and diff them against the
+# checked-in pre-CSR baseline (see DESIGN.md §17). Override the baseline
+# with UPDATES_OLD=, e.g. against the last full run:
+#   make bench-updates UPDATES_OLD=BENCH_PR10.json
+UPDATES_OLD ?= BENCH_PR10_BASE.json
+bench-updates:
+	$(GO) run ./cmd/vrecbench -only updates/ -out bench-updates.json
+	$(GO) run ./cmd/benchcompare -old $(UPDATES_OLD) -new bench-updates.json
 
 # Diff two vrecbench reports (ns_per_op / allocs_per_op per workload).
 # Override the endpoints with OLD=/NEW=, e.g.

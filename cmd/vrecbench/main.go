@@ -43,6 +43,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"time"
 
 	"videorec"
@@ -87,8 +88,10 @@ func main() {
 		users = flag.Int("users", 200, "community size")
 		seed  = flag.Int64("seed", 11, "dataset seed")
 		topK  = flag.Int("topk", 10, "recommendation depth")
+		only  = flag.String("only", "", "run only workloads whose name starts with this prefix (e.g. updates/)")
 	)
 	flag.Parse()
+	keep := func(name string) bool { return *only == "" || strings.HasPrefix(name, *only) }
 
 	iters := 300
 	if *short {
@@ -167,6 +170,9 @@ func main() {
 	}
 
 	for _, wl := range workloads {
+		if !keep(wl.name) {
+			continue
+		}
 		v := build(wl.mutate)
 		r := runWorkload(wl.name, wl.iters, func(i int) (bool, error) {
 			ctx := context.Background()
@@ -198,7 +204,7 @@ func main() {
 	// repeats the engine-level dedup collapses and near-misses the shared
 	// posting-list merge amortizes. One op = one round of N queries; qps
 	// counts queries (see runWorkloadN), so rows are comparable across N.
-	{
+	if keep("unbatched/") || keep("batch/") {
 		eng := videorec.New(videorec.Options{SubCommunities: 12, RefineWorkers: 1})
 		for _, it := range col.Items {
 			if err := eng.AddPrepared(videorec.PreparedClip{ID: it.ID, Series: series[it.ID], Desc: descs[it.ID]}); err != nil {
@@ -261,6 +267,9 @@ func main() {
 	// shard counts (the golden tests in internal/shard prove it); here we
 	// only measure.
 	for _, n := range []int{1, 4, 16} {
+		if !keep(fmt.Sprintf("shards/%d", n)) {
+			continue
+		}
 		router, err := shard.New(n, videorec.Options{SubCommunities: 12, RefineWorkers: 1})
 		if err != nil {
 			log.Fatal(err)
@@ -290,7 +299,7 @@ func main() {
 	// the common case runs at healthy-path latency, while the tail carries
 	// the occasional half-open probe that re-pays the fault to test for
 	// recovery.
-	{
+	if keep("shards/faulty") {
 		const n = 4
 		router, err := shard.New(n, videorec.Options{SubCommunities: 12, RefineWorkers: 1})
 		if err != nil {
@@ -334,6 +343,9 @@ func main() {
 		{name: "candidates/social", mutate: func(o *core.Options) { o.Mode = core.ModeSARHash; o.SocialOnly = true }},
 		{name: "candidates/content", mutate: func(o *core.Options) { o.Mode = core.ModeSARHash; o.ContentWeightOnly = true }},
 	} {
+		if !keep(cw.name) {
+			continue
+		}
 		cv := build(cw.mutate)
 		rep.Results = append(rep.Results, logRow(runWorkload(cw.name, gatherIters, func(i int) (bool, error) {
 			id := queries[i%len(queries)]
@@ -353,30 +365,90 @@ func main() {
 	// compiled kernel with a warmed scratch vs. the uncompiled reference.
 	// The allocs_per_op gap between these two rows is the per-candidate
 	// allocation reduction of the compiled representation.
-	v := build(nil)
-	ids := v.SortedIDs()
-	q, _ := v.QueryFor(ids[0])
-	recs := make([]*core.Record, 0, len(ids))
-	for _, id := range ids[1:] {
-		rec, _ := v.Record(id)
-		recs = append(recs, rec)
-	}
-	threshold := v.Options().MatchThreshold
-	kjIters := iters * 40
+	if keep("kj/") {
+		v := build(nil)
+		ids := v.SortedIDs()
+		q, _ := v.QueryFor(ids[0])
+		recs := make([]*core.Record, 0, len(ids))
+		for _, id := range ids[1:] {
+			rec, _ := v.Record(id)
+			recs = append(recs, rec)
+		}
+		threshold := v.Options().MatchThreshold
+		kjIters := iters * 40
 
-	var scratch signature.KJScratch
-	qc := signature.CompileSeries(q.Series)
-	for _, rec := range recs { // warm the scratch high-water mark
-		signature.KJCancelCompiled(qc, rec.Compiled, threshold, nil, &scratch)
+		var scratch signature.KJScratch
+		qc := signature.CompileSeries(q.Series)
+		for _, rec := range recs { // warm the scratch high-water mark
+			signature.KJCancelCompiled(qc, rec.Compiled, threshold, nil, &scratch)
+		}
+		rep.Results = append(rep.Results, logRow(runWorkload("kj/compiled", kjIters, func(i int) (bool, error) {
+			signature.KJCancelCompiled(qc, recs[i%len(recs)].Compiled, threshold, nil, &scratch)
+			return false, nil
+		})))
+		rep.Results = append(rep.Results, logRow(runWorkload("kj/uncompiled", kjIters, func(i int) (bool, error) {
+			signature.KJCancel(q.Series, recs[i%len(recs)].Series, threshold, nil)
+			return false, nil
+		})))
 	}
-	rep.Results = append(rep.Results, logRow(runWorkload("kj/compiled", kjIters, func(i int) (bool, error) {
-		signature.KJCancelCompiled(qc, recs[i%len(recs)].Compiled, threshold, nil, &scratch)
-		return false, nil
-	})))
-	rep.Results = append(rep.Results, logRow(runWorkload("kj/uncompiled", kjIters, func(i int) (bool, error) {
-		signature.KJCancel(q.Series, recs[i%len(recs)].Series, threshold, nil)
-		return false, nil
-	})))
+
+	// updates/{small,storm}: the write path end to end — Engine.ApplyUpdates
+	// derives the new social connections a comment batch induces, maintains
+	// the sub-communities (new-user attachment, unions, splits), grows
+	// descriptors, re-vectorizes every touched video and publishes a new
+	// view. Batches replay the dataset's test-period comment timeline
+	// (months past the ingest horizon) in deterministic order, cycling when
+	// exhausted — so after the first cycle most user pairs already exist and
+	// the steady state is the delta-apply hot path: weight patches plus
+	// occasional structural work, which is what a production comment stream
+	// looks like between full rebuilds. updates/small applies
+	// conversational batches (64 comments per op); updates/storm applies
+	// republish-burst batches (2048 comments per op), the write pressure the
+	// vrecload storm scenarios fire mid-traffic. One op = one journal-less
+	// ApplyUpdates call, copy-on-write clone and view publication included.
+	if keep("updates/") {
+		type event struct{ vid, user string }
+		var stream []event
+		for _, it := range col.Items {
+			for _, cm := range it.Comments {
+				if cm.Month >= col.Opts.MonthsSource {
+					stream = append(stream, event{vid: it.ID, user: cm.User})
+				}
+			}
+		}
+		if len(stream) == 0 {
+			log.Fatal("updates/: dataset has no test-period comments")
+		}
+		for _, uw := range []struct {
+			name  string
+			batch int
+			iters int
+		}{
+			{name: "updates/small", batch: 64, iters: iters},
+			{name: "updates/storm", batch: 2048, iters: max(iters/5, 20)},
+		} {
+			eng := videorec.New(videorec.Options{SubCommunities: 12, RefineWorkers: 1})
+			for _, it := range col.Items {
+				if err := eng.AddPrepared(videorec.PreparedClip{ID: it.ID, Series: series[it.ID], Desc: descs[it.ID]}); err != nil {
+					log.Fatalf("%s ingest %s: %v", uw.name, it.ID, err)
+				}
+			}
+			eng.Build()
+			batch := func(i int) map[string][]string {
+				out := make(map[string][]string, uw.batch/4)
+				base := i * uw.batch
+				for j := 0; j < uw.batch; j++ {
+					ev := stream[(base+j)%len(stream)]
+					out[ev.vid] = append(out[ev.vid], ev.user)
+				}
+				return out
+			}
+			rep.Results = append(rep.Results, logRow(runWorkload(uw.name, uw.iters, func(i int) (bool, error) {
+				_, err := eng.ApplyUpdates(batch(i))
+				return false, err
+			})))
+		}
+	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

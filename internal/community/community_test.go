@@ -8,6 +8,16 @@ import (
 	"testing/quick"
 )
 
+// cno is the sub-community of a user, -1 when unassigned — test shorthand
+// over the dense partition.
+func cno(p *Partition, u string) int {
+	c, ok := p.Lookup(u)
+	if !ok {
+		return -1
+	}
+	return c
+}
+
 func TestGraphBasics(t *testing.T) {
 	g := NewGraph()
 	g.AddEdgeWeight("a", "b", 2)
@@ -97,13 +107,13 @@ func TestExtractPaperExample(t *testing.T) {
 	if p.Dim != 2 {
 		t.Fatalf("Dim = %d, want 2", p.Dim)
 	}
-	if p.Assign["u1"] != p.Assign["u2"] {
+	if cno(p, "u1") != cno(p, "u2") {
 		t.Error("u1 and u2 should share a sub-community")
 	}
-	if p.Assign["u3"] != p.Assign["u4"] || p.Assign["u4"] != p.Assign["u5"] {
+	if cno(p, "u3") != cno(p, "u4") || cno(p, "u4") != cno(p, "u5") {
 		t.Error("u3, u4, u5 should share a sub-community")
 	}
-	if p.Assign["u1"] == p.Assign["u3"] {
+	if cno(p, "u1") == cno(p, "u3") {
 		t.Error("u1 and u3 should be separated")
 	}
 	if p.LightestIntra != 2 {
@@ -183,9 +193,10 @@ func TestPropertyKruskalDualMatchesLiteral(t *testing.T) {
 		}
 		// Partitions must be identical up to id renaming; ids are assigned
 		// by first appearance in both, so they must match exactly.
-		for u, c := range fast.Assign {
-			if slow.Assign[u] != c {
-				t.Logf("seed %d: user %s assigned %d vs %d", seed, u, c, slow.Assign[u])
+		slowAssign := slow.AssignMap()
+		for u, c := range fast.AssignMap() {
+			if slowAssign[u] != c {
+				t.Logf("seed %d: user %s assigned %d vs %d", seed, u, c, slowAssign[u])
 				return false
 			}
 		}
@@ -209,11 +220,11 @@ func TestPropertyPartitionWellFormed(t *testing.T) {
 		g := randomGraph(rng, users, rng.Intn(80))
 		k := 1 + rng.Intn(users+3)
 		p := ExtractSubCommunities(g, k)
-		if len(p.Assign) != users {
+		if p.Len() != users {
 			return false
 		}
 		seen := map[int]bool{}
-		for _, c := range p.Assign {
+		for _, c := range p.AssignMap() {
 			if c < 0 || c >= p.Dim {
 				return false
 			}
@@ -263,7 +274,7 @@ func TestMaintainerLightConnectionNoUnion(t *testing.T) {
 	if st.Unions != 0 || st.Splits != 0 {
 		t.Errorf("light edge caused unions=%d splits=%d", st.Unions, st.Splits)
 	}
-	if p.Assign["u2"] == p.Assign["u3"] {
+	if cno(p, "u2") == cno(p, "u3") {
 		t.Error("communities merged despite light connection")
 	}
 }
@@ -282,13 +293,13 @@ func TestMaintainerNewUserAssignment(t *testing.T) {
 	if st.NewUsersAssigned != 2 {
 		t.Fatalf("NewUsersAssigned = %d, want 2", st.NewUsersAssigned)
 	}
-	if p.Assign["newbie"] != p.Assign["u5"] {
+	if cno(p, "newbie") != cno(p, "u5") {
 		t.Error("newbie should join u5's community")
 	}
-	if p.Assign["chain"] != p.Assign["newbie"] {
+	if cno(p, "chain") != cno(p, "newbie") {
 		t.Error("chained new user should follow its neighbour")
 	}
-	if assigned["newbie"] != p.Assign["newbie"] {
+	if assigned["newbie"] != cno(p, "newbie") {
 		t.Error("AssignUser hook saw a different community")
 	}
 }
@@ -301,7 +312,7 @@ func TestMaintainerIsolatedNewUserStaysOut(t *testing.T) {
 	if st.NewUsersAssigned != 0 {
 		t.Errorf("NewUsersAssigned = %d, want 0", st.NewUsersAssigned)
 	}
-	if _, ok := p.Assign["lost1"]; ok {
+	if _, ok := p.Lookup("lost1"); ok {
 		t.Error("isolated new user got an assignment")
 	}
 }
@@ -316,7 +327,7 @@ func TestMaintainerSplitRestoresK(t *testing.T) {
 	g.AddEdgeWeight("b2", "b3", 5)
 	g.AddEdgeWeight("a3", "b1", 1)
 	p := ExtractSubCommunities(g, 2)
-	if p.Assign["a1"] == p.Assign["b1"] {
+	if cno(p, "a1") == cno(p, "b1") {
 		t.Fatal("setup: clusters should start separated")
 	}
 	m := NewMaintainer(g, p, Hooks{})
@@ -375,7 +386,7 @@ func TestPropertyMaintenanceWellFormed(t *testing.T) {
 			m.ApplyConnections(batch)
 		}
 		// Every assigned id is in [0, Dim); assigned users are graph nodes.
-		for u, c := range p.Assign {
+		for u, c := range p.AssignMap() {
 			if c < 0 || c >= p.Dim {
 				return false
 			}

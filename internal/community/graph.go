@@ -8,7 +8,9 @@ package community
 import "sort"
 
 // Edge is a weighted UIG edge: W counts the videos both users are
-// interested in.
+// interested in. Edges are string-named because they cross the journal and
+// replication wire (the v3 entry format); inside the package everything
+// runs on dense interned ids.
 type Edge struct {
 	U, V string
 	W    float64
@@ -17,41 +19,148 @@ type Edge struct {
 // Graph is the user interest graph: nodes are social users, edge weights
 // count shared interesting videos. It is undirected; parallel additions
 // accumulate weight.
+//
+// Adjacency is a CSR base (flat neighbor/weight arrays plus per-node
+// offsets, both directions stored, neighbors sorted by id) with a small
+// per-node overlay absorbing post-build insertions. An edge lives in
+// exactly one of the two: a delta to an edge already in the base patches
+// the weight array in place (the graph is write-side private — published
+// Views hold only the partition and the user table, never the adjacency),
+// while a brand-new edge goes to the overlay. When the overlay outgrows
+// compactThreshold(base size) it is merged into a fresh CSR base, so the
+// steady state is flat-array traversal with amortized O(1) insertion.
+//
+// Nodes minted after the last compaction have no base span; their entire
+// adjacency is overlay.
 type Graph struct {
-	index map[string]int
-	names []string
-	adj   []map[int]float64
+	users *UserTable
+
+	off []uint32 // base: node id → [off[i], off[i+1]) span in nbr/wt; len = baseNodes+1
+	nbr []uint32 // base: neighbor ids, sorted within each span
+	wt  []float64
+
+	ov    [][]oedge // per-node overlay, sorted by .to; nil for untouched nodes
+	ovLen int       // total overlay entries (directed)
+	edges int       // undirected edge count (base + overlay)
+}
+
+type oedge struct {
+	to uint32
+	w  float64
+}
+
+// compactTrigger decides when the overlay is folded into the CSR base. A
+// variable so tests can force compaction on tiny graphs.
+var compactTrigger = func(overlayDirected, baseDirected int) bool {
+	return overlayDirected > 128 && overlayDirected > baseDirected/2
 }
 
 // NewGraph returns an empty UIG.
 func NewGraph() *Graph {
-	return &Graph{index: make(map[string]int)}
+	return &Graph{users: NewUserTable(), off: []uint32{0}}
+}
+
+// UserTable exposes the graph's intern table. The partition extracted from
+// this graph shares it.
+func (g *Graph) UserTable() *UserTable { return g.users }
+
+// MarkUsersShared flags the intern table as published: the next minted user
+// id copies the table first so frozen readers are unaffected.
+func (g *Graph) MarkUsersShared() { g.users.MarkShared() }
+
+// internUser resolves a name to its dense id, minting (with copy-on-write
+// when the table is shared) if new. The empty string must never reach this.
+func (g *Graph) internUser(name string) (uint32, bool) {
+	if i, ok := g.users.idx[name]; ok {
+		return i, false
+	}
+	if g.users.shared {
+		g.users = g.users.clone()
+	}
+	return g.users.insert(name), true
 }
 
 // AddUser inserts the user if absent and returns its node index.
 func (g *Graph) AddUser(u string) int {
-	if i, ok := g.index[u]; ok {
-		return i
-	}
-	i := len(g.names)
-	g.index[u] = i
-	g.names = append(g.names, u)
-	g.adj = append(g.adj, make(map[int]float64))
-	return i
+	i, _ := g.internUser(u)
+	return int(i)
 }
 
 // HasUser reports whether u is a node of the graph.
 func (g *Graph) HasUser(u string) bool {
-	_, ok := g.index[u]
+	_, ok := g.users.idx[u]
 	return ok
 }
 
 // NumUsers returns the node count.
-func (g *Graph) NumUsers() int { return len(g.names) }
+func (g *Graph) NumUsers() int { return g.users.Len() }
 
 // Users returns the node names in insertion order. The caller must not
 // modify the returned slice.
-func (g *Graph) Users() []string { return g.names }
+func (g *Graph) Users() []string { return g.users.names }
+
+// baseSpan returns the CSR slice bounds for node i (empty for nodes minted
+// after the last compaction).
+func (g *Graph) baseSpan(i uint32) (lo, hi uint32) {
+	if int(i)+1 >= len(g.off) {
+		return 0, 0
+	}
+	return g.off[i], g.off[i+1]
+}
+
+// findBase locates neighbor b in a's base span via binary search, returning
+// the index into nbr/wt.
+func (g *Graph) findBase(a, b uint32) (int, bool) {
+	lo, hi := g.baseSpan(a)
+	end := hi
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.nbr[mid] < b {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < end && g.nbr[lo] == b {
+		return int(lo), true
+	}
+	return 0, false
+}
+
+// addDirected adds delta to the a→b half-edge, reporting whether the edge
+// did not exist before (in either base or overlay).
+func (g *Graph) addDirected(a, b uint32, delta float64) bool {
+	if i, ok := g.findBase(a, b); ok {
+		g.wt[i] += delta
+		return false
+	}
+	ov := g.ov
+	if int(a) >= len(ov) {
+		grown := make([][]oedge, g.users.Len())
+		copy(grown, ov)
+		g.ov, ov = grown, grown
+	}
+	lst := ov[a]
+	lo, hi := 0, len(lst)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if lst[mid].to < b {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(lst) && lst[lo].to == b {
+		lst[lo].w += delta
+		return false
+	}
+	lst = append(lst, oedge{})
+	copy(lst[lo+1:], lst[lo:])
+	lst[lo] = oedge{to: b, w: delta}
+	ov[a] = lst
+	g.ovLen++
+	return true
+}
 
 // AddEdgeWeight adds delta to the weight of the undirected edge (u, v),
 // creating users and the edge as needed. Self-loops create the user but no
@@ -60,43 +169,154 @@ func (g *Graph) AddEdgeWeight(u, v string, delta float64) {
 	if u == "" || v == "" {
 		return
 	}
-	iu := g.AddUser(u)
-	iv := g.AddUser(v)
+	iu, _ := g.internUser(u)
+	iv, _ := g.internUser(v)
 	if u == v || delta == 0 {
 		return
 	}
-	g.adj[iu][iv] += delta
-	g.adj[iv][iu] += delta
+	g.addEdgeDense(iu, iv, delta)
+}
+
+// addEdgeDense is AddEdgeWeight after interning: both endpoints exist and
+// are distinct.
+func (g *Graph) addEdgeDense(iu, iv uint32, delta float64) {
+	if g.addDirected(iu, iv, delta) {
+		g.edges++
+	}
+	g.addDirected(iv, iu, delta)
+	g.maybeCompact()
+}
+
+func (g *Graph) maybeCompact() {
+	if compactTrigger(g.ovLen, len(g.nbr)) {
+		g.Compact()
+	}
+}
+
+// Compact merges the overlay into a fresh CSR base covering every current
+// node. Weights and the edge set are unchanged; only the storage moves.
+func (g *Graph) Compact() {
+	n := g.users.Len()
+	off := make([]uint32, n+1)
+	for i := uint32(0); i < uint32(n); i++ {
+		lo, hi := g.baseSpan(i)
+		deg := int(hi-lo) + len(g.overlayOf(i))
+		off[i+1] = off[i] + uint32(deg)
+	}
+	total := int(off[n])
+	nbr := make([]uint32, total)
+	wt := make([]float64, total)
+	for i := uint32(0); i < uint32(n); i++ {
+		lo, hi := g.baseSpan(i)
+		ov := g.overlayOf(i)
+		w := off[i]
+		// Merge two id-sorted runs.
+		for lo < hi && len(ov) > 0 {
+			if g.nbr[lo] < ov[0].to {
+				nbr[w], wt[w] = g.nbr[lo], g.wt[lo]
+				lo++
+			} else {
+				nbr[w], wt[w] = ov[0].to, ov[0].w
+				ov = ov[1:]
+			}
+			w++
+		}
+		for ; lo < hi; lo++ {
+			nbr[w], wt[w] = g.nbr[lo], g.wt[lo]
+			w++
+		}
+		for _, e := range ov {
+			nbr[w], wt[w] = e.to, e.w
+			w++
+		}
+	}
+	g.off, g.nbr, g.wt = off, nbr, wt
+	g.ov, g.ovLen = nil, 0
+}
+
+func (g *Graph) overlayOf(i uint32) []oedge {
+	if int(i) < len(g.ov) {
+		return g.ov[i]
+	}
+	return nil
+}
+
+// OverlayLen returns the number of directed overlay entries — the "not yet
+// compacted" portion of the adjacency, surfaced in update reports.
+func (g *Graph) OverlayLen() int { return g.ovLen }
+
+// weightDense returns the weight of the directed half-edge a→b, or 0.
+func (g *Graph) weightDense(a, b uint32) float64 {
+	if i, ok := g.findBase(a, b); ok {
+		return g.wt[i]
+	}
+	for _, e := range g.overlayOf(a) {
+		if e.to == b {
+			return e.w
+		}
+		if e.to > b {
+			break
+		}
+	}
+	return 0
 }
 
 // Weight returns the weight of edge (u, v), or 0 if absent.
 func (g *Graph) Weight(u, v string) float64 {
-	iu, ok := g.index[u]
+	iu, ok := g.users.Lookup(u)
 	if !ok {
 		return 0
 	}
-	iv, ok := g.index[v]
+	iv, ok := g.users.Lookup(v)
 	if !ok {
 		return 0
 	}
-	return g.adj[iu][iv]
+	return g.weightDense(iu, iv)
+}
+
+// neighborsDense calls f for every neighbor of node i with the half-edge
+// weight, base entries before overlay entries.
+func (g *Graph) neighborsDense(i uint32, f func(j uint32, w float64)) {
+	lo, hi := g.baseSpan(i)
+	for ; lo < hi; lo++ {
+		f(g.nbr[lo], g.wt[lo])
+	}
+	for _, e := range g.overlayOf(i) {
+		f(e.to, e.w)
+	}
+}
+
+// eachEdgeDense calls f once per undirected edge (iu < iv), in unspecified
+// order. Callers needing determinism must impose their own total order on
+// what f observes.
+func (g *Graph) eachEdgeDense(f func(iu, iv uint32, w float64)) {
+	n := uint32(g.users.Len())
+	for i := uint32(0); i < n; i++ {
+		lo, hi := g.baseSpan(i)
+		for ; lo < hi; lo++ {
+			if j := g.nbr[lo]; i < j {
+				f(i, j, g.wt[lo])
+			}
+		}
+		for _, e := range g.overlayOf(i) {
+			if i < e.to {
+				f(i, e.to, e.w)
+			}
+		}
+	}
 }
 
 // Edges returns every undirected edge exactly once, sorted by (U, V) for
 // determinism.
 func (g *Graph) Edges() []Edge {
-	var es []Edge
-	for iu, nbrs := range g.adj {
-		for iv, w := range nbrs {
-			if iu < iv {
-				a, b := g.names[iu], g.names[iv]
-				if a > b {
-					a, b = b, a
-				}
-				es = append(es, Edge{U: a, V: b, W: w})
-			}
+	es := make([]Edge, 0, g.edges)
+	g.eachEdgeDense(func(iu, iv uint32, w float64) {
+		a, b := g.users.Name(iu), g.users.Name(iv)
+		if a > b {
+			a, b = b, a
 		}
-	}
+		es = append(es, Edge{U: a, V: b, W: w})
+	})
 	sort.Slice(es, func(a, b int) bool {
 		if es[a].U != es[b].U {
 			return es[a].U < es[b].U
@@ -107,23 +327,17 @@ func (g *Graph) Edges() []Edge {
 }
 
 // NumEdges returns the undirected edge count.
-func (g *Graph) NumEdges() int {
-	n := 0
-	for _, nbrs := range g.adj {
-		n += len(nbrs)
-	}
-	return n / 2
-}
+func (g *Graph) NumEdges() int { return g.edges }
 
 // Neighbors calls f for every neighbor of u with the edge weight.
 func (g *Graph) Neighbors(u string, f func(v string, w float64)) {
-	iu, ok := g.index[u]
+	iu, ok := g.users.Lookup(u)
 	if !ok {
 		return
 	}
-	for iv, w := range g.adj[iu] {
-		f(g.names[iv], w)
-	}
+	g.neighborsDense(iu, func(j uint32, w float64) {
+		f(g.users.Name(j), w)
+	})
 }
 
 // Interests maps a user to the set of video ids they are interested in
@@ -135,43 +349,80 @@ type Interests map[string][]string
 // weight of an edge linking two users denotes the number of common
 // interested videos shared by them"). audiences maps video id → user ids.
 // Every user becomes a node even if it shares no video with anyone.
+//
+// Construction is bulk: per-video pairs are emitted as packed uint64 id
+// keys, sorted once, and run-length counted straight into the CSR base —
+// no per-edge map traffic. Node ids follow (sorted video id, sorted user
+// name) encounter order, so the graph is deterministic given the map's
+// contents.
 func BuildUIG(audiences map[string][]string) *Graph {
 	g := NewGraph()
-	// Sort video ids so graph construction order — and therefore node
-	// indices — is deterministic.
 	vids := make([]string, 0, len(audiences))
 	for vid := range audiences {
 		vids = append(vids, vid)
 	}
 	sort.Strings(vids)
+
+	var pairs []uint64
+	ids := make([]uint32, 0, 64)
 	for _, vid := range vids {
-		users := dedupe(audiences[vid])
+		users := DedupeUsers(audiences[vid])
+		ids = ids[:0]
 		for _, u := range users {
-			g.AddUser(u)
+			i, _ := g.internUser(u)
+			ids = append(ids, i)
 		}
-		for i := 0; i < len(users); i++ {
-			for j := i + 1; j < len(users); j++ {
-				g.AddEdgeWeight(users[i], users[j], 1)
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				a, b := ids[i], ids[j]
+				if a > b {
+					a, b = b, a
+				}
+				pairs = append(pairs, uint64(a)<<32|uint64(b))
 			}
 		}
 	}
-	return g
-}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a] < pairs[b] })
 
-func dedupe(in []string) []string {
-	out := append([]string(nil), in...)
-	sort.Strings(out)
-	w := 0
-	for i, s := range out {
-		if s == "" {
-			continue
+	// Run-length count → degree histogram → CSR fill (both directions).
+	n := g.users.Len()
+	deg := make([]uint32, n)
+	runs := 0
+	for i := 0; i < len(pairs); {
+		j := i
+		for j < len(pairs) && pairs[j] == pairs[i] {
+			j++
 		}
-		if w > 0 && out[w-1] == s {
-			continue
-		}
-		_ = i
-		out[w] = s
-		w++
+		deg[pairs[i]>>32]++
+		deg[uint32(pairs[i])]++
+		runs++
+		i = j
 	}
-	return out[:w]
+	off := make([]uint32, n+1)
+	for i := 0; i < n; i++ {
+		off[i+1] = off[i] + deg[i]
+	}
+	nbr := make([]uint32, off[n])
+	wt := make([]float64, off[n])
+	cursor := make([]uint32, n)
+	copy(cursor, off[:n])
+	for i := 0; i < len(pairs); {
+		j := i
+		for j < len(pairs) && pairs[j] == pairs[i] {
+			j++
+		}
+		a, b := uint32(pairs[i]>>32), uint32(pairs[i])
+		w := float64(j - i)
+		nbr[cursor[a]], wt[cursor[a]] = b, w
+		cursor[a]++
+		nbr[cursor[b]], wt[cursor[b]] = a, w
+		cursor[b]++
+		i = j
+	}
+	// Pairs were emitted with a-sides ascending per a, so each a-span filled
+	// in key order is already id-sorted; b-sides land sorted too because the
+	// global key order visits each b's partners in ascending a.
+	g.off, g.nbr, g.wt = off, nbr, wt
+	g.edges = runs
+	return g
 }

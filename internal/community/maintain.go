@@ -37,16 +37,38 @@ type Stats struct {
 // Maintainer applies social updates to a partition in place (Figure 5). It
 // owns the UIG and the partition it was built with; the caller streams new
 // connections through ApplyConnections.
+//
+// All pass-local state (community sizes, the live-id set, new-user queues,
+// the induced subgraph a split extracts over) lives in pooled scratch
+// buffers: a steady-state pass — existing users, weights at or below the
+// union threshold — allocates nothing (pinned by an AllocsPerRun test).
 type Maintainer struct {
 	g     *Graph
 	p     *Partition
 	hooks Hooks
 	free  []int // sub-community ids released by unions, reused by splits
 
-	// edgeCache holds the sorted edge list for the duration of one
-	// ApplyConnections pass: the graph only changes in step 1, but the
-	// split loop consults the global edge list once per split.
-	edgeCache []Edge
+	// Pooled pass scratch.
+	sizes    []int32  // community id → member count
+	newUsers []uint32 // dense ids minted by the current pass
+	split    splitScratch
+}
+
+// splitScratch is the pooled induced-subgraph state of splitLightest: the
+// member list of the community being split, a global→local id map, the
+// local edge list and the union-find that extracts two pieces from it.
+type splitScratch struct {
+	members []uint32 // member ids, sorted by user name
+	local   []int32  // global user id → local index; -1 outside the community
+	edges   []splitEdge
+	parent  []int32
+	rank    []int8
+	subOf   []int32 // local index → piece number (dense, by first appearance)
+}
+
+type splitEdge struct {
+	u, v int32
+	w    float64
 }
 
 // NewMaintainer wraps a graph and its partition for incremental updates.
@@ -82,36 +104,45 @@ func (m *Maintainer) ApplyConnections(edges []Edge) Stats {
 	st.NewConnections = len(edges)
 	w := m.p.LightestIntra
 
-	// Step 1: merge connections into the UIG, remembering new users.
-	newUsers := map[string]bool{}
+	// Step 1: merge connections into the UIG, remembering new users. Edge
+	// names are interned once here; everything after runs on dense ids.
+	m.newUsers = m.newUsers[:0]
 	for _, e := range edges {
-		if e.U == e.V || e.W <= 0 {
+		if e.U == e.V || e.W <= 0 || e.U == "" || e.V == "" {
 			continue
 		}
-		if !m.g.HasUser(e.U) {
-			newUsers[e.U] = true
+		iu, freshU := m.g.internUser(e.U)
+		if freshU {
+			m.newUsers = append(m.newUsers, iu)
 		}
-		if !m.g.HasUser(e.V) {
-			newUsers[e.V] = true
+		iv, freshV := m.g.internUser(e.V)
+		if freshV {
+			m.newUsers = append(m.newUsers, iv)
 		}
-		m.g.AddEdgeWeight(e.U, e.V, e.W)
+		m.g.addEdgeDense(iu, iv, e.W)
 	}
-	st.NewUsersAssigned = m.assignNewUsers(newUsers)
-	m.edgeCache = m.g.Edges()
-	defer func() { m.edgeCache = nil }()
+	// Minting may have copy-on-write replaced the intern table; the
+	// partition must follow the graph's current table and cover the new ids.
+	m.p.syncTable(m.g.users)
+	st.NewUsersAssigned = m.assignNewUsers()
 
 	// Step 2: union pass. A fresh connection heavier than w that bridges
-	// two sub-communities means they have grown together.
+	// two sub-communities means they have grown together. Membership is
+	// resolved now — not in step 1 — so chained assignments are visible.
 	for _, e := range edges {
 		if e.W <= w {
 			continue
 		}
-		ci, iok := m.p.Assign[e.U]
-		cj, jok := m.p.Assign[e.V]
-		if !iok || !jok || ci == cj {
+		iu, uok := m.g.users.Lookup(e.U)
+		iv, vok := m.g.users.Lookup(e.V)
+		if !uok || !vok {
 			continue
 		}
-		m.union(ci, cj, &st)
+		ci, cj := m.p.lookupDense(iu), m.p.lookupDense(iv)
+		if ci < 0 || cj < 0 || ci == cj {
+			continue
+		}
+		m.union(int(ci), int(cj), &st)
 	}
 
 	// Step 3: split pass — restore k sub-communities.
@@ -135,51 +166,62 @@ func (m *Maintainer) ApplyConnections(edges []Edge) Stats {
 // LightestIntraEdge recomputes the lightest edge weight inside any current
 // sub-community. It is informational: ApplyConnections deliberately keeps
 // the extraction-time w as its union threshold.
-func (m *Maintainer) LightestIntraEdge() float64 { return m.lightestIntraEdge() }
+func (m *Maintainer) LightestIntraEdge() float64 {
+	lightest := math.Inf(1)
+	m.g.eachEdgeDense(func(iu, iv uint32, w float64) {
+		cu, cv := m.p.lookupDense(iu), m.p.lookupDense(iv)
+		if cu >= 0 && cu == cv && w < lightest {
+			lightest = w
+		}
+	})
+	return lightest
+}
 
-// assignNewUsers attaches unseen users to the sub-community of their
-// heaviest already-assigned neighbour, iterating so chains of new users
-// resolve. Users with no assigned neighbour stay outside the dictionary
-// until the next full rebuild.
-func (m *Maintainer) assignNewUsers(newUsers map[string]bool) int {
+// assignNewUsers attaches the pass's minted users to the sub-community of
+// their heaviest already-assigned neighbour, iterating so chains of new
+// users resolve. Users with no assigned neighbour stay outside the
+// dictionary until the next full rebuild.
+func (m *Maintainer) assignNewUsers() int {
+	if len(m.newUsers) == 0 {
+		return 0
+	}
 	// Deterministic order: assignment of one new user can decide which
 	// community a chained neighbour joins, and replaying a journal must
-	// reproduce the live run exactly.
-	pending := make([]string, 0, len(newUsers))
-	for u := range newUsers {
-		pending = append(pending, u)
-	}
-	sort.Strings(pending)
+	// reproduce the live run exactly. Sorting by name (not id) preserves the
+	// order the string-keyed implementation established.
+	pending := m.newUsers
+	names := m.g.users
+	sort.Slice(pending, func(a, b int) bool { return names.Name(pending[a]) < names.Name(pending[b]) })
 	assigned := 0
 	for {
 		progress := false
 		for _, u := range pending {
-			if _, ok := m.p.Assign[u]; ok {
+			if m.p.assign[u] >= 0 {
 				continue
 			}
 			bestW := 0.0
-			bestC := -1
+			bestC := int32(-1)
 			bestName := ""
-			m.g.Neighbors(u, func(v string, w float64) {
-				c, ok := m.p.Assign[v]
-				if !ok {
+			m.g.neighborsDense(u, func(v uint32, w float64) {
+				c := m.p.lookupDense(v)
+				if c < 0 {
 					return
 				}
-				// Deterministic tie-break by neighbour name: Neighbors
-				// iterates a map.
-				if w > bestW || (w == bestW && (bestName == "" || v < bestName)) {
+				// Deterministic tie-break by neighbour name, independent of
+				// adjacency iteration order.
+				if w > bestW || (w == bestW && (bestName == "" || names.Name(v) < bestName)) {
 					bestW = w
 					bestC = c
-					bestName = v
+					bestName = names.Name(v)
 				}
 			})
 			if bestC >= 0 {
-				m.p.Assign[u] = bestC
+				m.p.assign[u] = bestC
 				if m.hooks.AssignUser != nil {
-					m.hooks.AssignUser(u, bestC)
+					m.hooks.AssignUser(names.Name(u), int(bestC))
 				}
 				if m.hooks.TouchDimensions != nil {
-					m.hooks.TouchDimensions(bestC)
+					m.hooks.TouchDimensions(int(bestC))
 				}
 				assigned++
 				progress = true
@@ -191,16 +233,33 @@ func (m *Maintainer) assignNewUsers(newUsers map[string]bool) int {
 	}
 }
 
+// computeSizes refreshes the pooled per-community member counts.
+func (m *Maintainer) computeSizes() []int32 {
+	sizes := m.sizes
+	if cap(sizes) < m.p.Dim {
+		sizes = make([]int32, m.p.Dim)
+	}
+	sizes = sizes[:m.p.Dim]
+	clear(sizes)
+	for _, c := range m.p.assign {
+		if c >= 0 {
+			sizes[c]++
+		}
+	}
+	m.sizes = sizes
+	return sizes
+}
+
 // union absorbs the smaller of the two sub-communities into the larger one.
 func (m *Maintainer) union(a, b int, st *Stats) {
-	sizes := m.sizesByID()
+	sizes := m.computeSizes()
 	if sizes[a] < sizes[b] {
 		a, b = b, a // absorb b into a
 	}
 	moved := 0
-	for u, c := range m.p.Assign {
-		if c == b {
-			m.p.Assign[u] = a
+	for i, c := range m.p.assign {
+		if int(c) == b {
+			m.p.assign[i] = int32(a)
 			moved++
 		}
 	}
@@ -224,48 +283,79 @@ func (m *Maintainer) splitLightest(st *Stats) bool {
 	if !ok {
 		return false
 	}
-	members := m.members(target)
-	induced := NewGraph()
-	for _, u := range members {
-		induced.AddUser(u)
+	s := &m.split
+	names := m.g.users
+
+	// Members of the target community, sorted by user name: the induced
+	// subgraph's local ids follow name order, so every tie-break below that
+	// compares local ids reproduces the string-keyed implementation's name
+	// comparisons exactly.
+	s.members = s.members[:0]
+	for i, c := range m.p.assign {
+		if int(c) == target {
+			s.members = append(s.members, uint32(i))
+		}
 	}
-	memberSet := make(map[string]bool, len(members))
-	for _, u := range members {
-		memberSet[u] = true
+	sort.Slice(s.members, func(a, b int) bool {
+		return names.Name(s.members[a]) < names.Name(s.members[b])
+	})
+
+	// Global → local index map, reset member-by-member on exit.
+	n := names.Len()
+	if cap(s.local) < n {
+		s.local = make([]int32, n)
+		for i := range s.local {
+			s.local[i] = -1
+		}
 	}
-	for _, u := range members {
-		m.g.Neighbors(u, func(v string, w float64) {
-			if memberSet[v] && u < v {
-				induced.AddEdgeWeight(u, v, w)
+	s.local = s.local[:n]
+	for li, gi := range s.members {
+		s.local[gi] = int32(li)
+	}
+	defer func() {
+		for _, gi := range s.members {
+			s.local[gi] = -1
+		}
+	}()
+
+	// Induced edge list: each intra-community edge once, endpoints as local
+	// ids with u < v (name order).
+	s.edges = s.edges[:0]
+	for li, gi := range s.members {
+		su := int32(li)
+		m.g.neighborsDense(gi, func(gv uint32, w float64) {
+			if sv := s.local[gv]; sv > su {
+				s.edges = append(s.edges, splitEdge{u: su, v: sv, w: w})
 			}
 		})
 	}
-	sub := ExtractSubCommunities(induced, 2)
-	if sub.Dim < 2 {
+
+	sub, pieces := m.extractTwo()
+	if pieces < 2 {
 		return false
 	}
-	// Members of induced community id >= 1 move to a fresh id; id 0 keeps
-	// the original. When the split yields more than two pieces (already
+	// Members of induced piece >= 1 move to a fresh id; piece 0 keeps the
+	// original. When the split yields more than two pieces (already
 	// disconnected), everything beyond piece 0 moves together — the next
 	// loop iteration can split again if needed.
 	newID := m.takeID()
 	moved := 0
-	for _, u := range members {
-		if sub.Assign[u] >= 1 {
-			m.p.Assign[u] = newID
+	for li, gi := range s.members {
+		if sub[li] >= 1 {
+			m.p.assign[gi] = int32(newID)
 			if m.hooks.AssignUser != nil {
-				m.hooks.AssignUser(u, newID)
+				m.hooks.AssignUser(names.Name(gi), newID)
 			}
 			moved++
 		}
 	}
-	if moved == 0 || moved == len(members) {
+	if moved == 0 || moved == len(s.members) {
 		// Degenerate split; roll back the id and give up on this community.
 		m.free = append(m.free, newID)
 		return false
 	}
 	st.Splits++
-	st.SplitSizes = append(st.SplitSizes, len(members))
+	st.SplitSizes = append(st.SplitSizes, len(s.members))
 	st.UsersMoved += moved
 	if m.hooks.TouchDimensions != nil {
 		m.hooks.TouchDimensions(target, newID)
@@ -273,93 +363,142 @@ func (m *Maintainer) splitLightest(st *Stats) bool {
 	return true
 }
 
-// communityWithLightestEdge finds the sub-community whose internal edge set
-// contains the globally lightest edge (Figure 5, line 16). Communities of
-// size < 2 cannot be split and are skipped.
-func (m *Maintainer) communityWithLightestEdge() (int, bool) {
-	best := math.Inf(1)
-	bestID := -1
-	sizes := m.sizesByID()
-	for _, e := range m.edges() {
-		cu, uok := m.p.Assign[e.U]
-		cv, vok := m.p.Assign[e.V]
-		if !uok || !vok || cu != cv {
-			continue
+// extractTwo runs ExtractSubCommunities(·, 2) over the scratch subgraph:
+// descending Kruskal over the induced edges, stopping at two components,
+// then densifying roots by first appearance in local (= name) order. It
+// returns the local piece assignment and the piece count.
+func (m *Maintainer) extractTwo() ([]int32, int) {
+	s := &m.split
+	// Descending (W, U, V) order. Local ids are name-ordered, so comparing
+	// them is comparing names.
+	sort.Slice(s.edges, func(a, b int) bool {
+		ea, eb := s.edges[a], s.edges[b]
+		if ea.w != eb.w {
+			return ea.w > eb.w
 		}
-		if sizes[cu] < 2 {
-			continue
+		if ea.u != eb.u {
+			return ea.u > eb.u
 		}
-		if e.W < best {
-			best = e.W
-			bestID = cu
+		return ea.v > eb.v
+	})
+
+	n := len(s.members)
+	if cap(s.parent) < n {
+		s.parent = make([]int32, n)
+		s.rank = make([]int8, n)
+	}
+	s.parent, s.rank = s.parent[:n], s.rank[:n]
+	for i := range s.parent {
+		s.parent[i] = int32(i)
+		s.rank[i] = 0
+	}
+	find := func(x int32) int32 {
+		for s.parent[x] != x {
+			s.parent[x] = s.parent[s.parent[x]]
+			x = s.parent[x]
+		}
+		return x
+	}
+
+	count := n
+	for _, e := range s.edges {
+		ru, rv := find(e.u), find(e.v)
+		if ru != rv {
+			if count <= 2 {
+				break
+			}
+			if s.rank[ru] < s.rank[rv] {
+				ru, rv = rv, ru
+			}
+			s.parent[rv] = ru
+			if s.rank[ru] == s.rank[rv] {
+				s.rank[ru]++
+			}
+			count--
 		}
 	}
+
+	if cap(s.subOf) < n {
+		s.subOf = make([]int32, n)
+	}
+	s.subOf = s.subOf[:n]
+	pieces := int32(0)
+	// Number pieces by first appearance in local order; reuse rank as the
+	// seen marker is unsafe (it is union-find state), so mark via subOf
+	// itself: roots are discovered through a two-pass sweep.
+	for i := range s.subOf {
+		s.subOf[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		root := find(int32(i))
+		if s.subOf[root] < 0 {
+			s.subOf[root] = pieces
+			pieces++
+		}
+	}
+	// Second pass: project root numbering onto every member. Roots hold
+	// their own piece id already; non-roots read their root's.
+	for i := 0; i < n; i++ {
+		root := find(int32(i))
+		if int32(i) != root {
+			s.subOf[i] = s.subOf[root]
+		}
+	}
+	return s.subOf, int(pieces)
+}
+
+// communityWithLightestEdge finds the sub-community whose internal edge set
+// contains the globally lightest edge (Figure 5, line 16). Communities of
+// size < 2 cannot be split and are skipped. Ties on weight resolve to the
+// edge with the smallest canonical (min name, max name) pair — the edge a
+// name-sorted scan would reach first.
+func (m *Maintainer) communityWithLightestEdge() (int, bool) {
+	sizes := m.computeSizes()
+	names := m.g.users
+	best := math.Inf(1)
+	bestID := -1
+	var bestA, bestB string
+	m.g.eachEdgeDense(func(iu, iv uint32, w float64) {
+		cu, cv := m.p.lookupDense(iu), m.p.lookupDense(iv)
+		if cu < 0 || cu != cv || sizes[cu] < 2 {
+			return
+		}
+		if w > best {
+			return
+		}
+		a, b := names.Name(iu), names.Name(iv)
+		if a > b {
+			a, b = b, a
+		}
+		if w < best || a < bestA || (a == bestA && b < bestB) {
+			best = w
+			bestID = int(cu)
+			bestA, bestB = a, b
+		}
+	})
 	if bestID < 0 {
-		// Fall back to any internally disconnected community of size >= 2
-		// (splittable without removing an edge).
-		ids := make([]int, 0, len(sizes))
+		// Fall back to the smallest-id community of size >= 2 (internally
+		// disconnected: splittable without removing an edge).
 		for id, n := range sizes {
 			if n >= 2 {
-				ids = append(ids, id)
+				return id, true
 			}
-		}
-		sort.Ints(ids)
-		for _, id := range ids {
-			return id, true
 		}
 		return 0, false
 	}
 	return bestID, true
 }
 
-// lightestIntraEdge recomputes w over the maintained partition.
-func (m *Maintainer) lightestIntraEdge() float64 {
-	lightest := math.Inf(1)
-	for _, e := range m.edges() {
-		cu, uok := m.p.Assign[e.U]
-		cv, vok := m.p.Assign[e.V]
-		if uok && vok && cu == cv && e.W < lightest {
-			lightest = e.W
-		}
-	}
-	return lightest
-}
-
-// edges returns the pass-local edge cache, falling back to a fresh listing
-// outside ApplyConnections.
-func (m *Maintainer) edges() []Edge {
-	if m.edgeCache != nil {
-		return m.edgeCache
-	}
-	return m.g.Edges()
-}
-
 // liveCount is the number of sub-community ids currently in use.
 func (m *Maintainer) liveCount() int {
-	seen := map[int]bool{}
-	for _, c := range m.p.Assign {
-		seen[c] = true
-	}
-	return len(seen)
-}
-
-func (m *Maintainer) sizesByID() map[int]int {
-	sizes := map[int]int{}
-	for _, c := range m.p.Assign {
-		sizes[c]++
-	}
-	return sizes
-}
-
-func (m *Maintainer) members(id int) []string {
-	var out []string
-	for u, c := range m.p.Assign {
-		if c == id {
-			out = append(out, u)
+	sizes := m.computeSizes()
+	live := 0
+	for _, n := range sizes {
+		if n > 0 {
+			live++
 		}
 	}
-	sort.Strings(out)
-	return out
+	return live
 }
 
 // takeID reuses an id freed by a union, or mints a fresh dimension.

@@ -31,9 +31,8 @@ func Modularity(g *Graph, assign map[string]int) float64 {
 		}
 	}
 	var q float64
-	for c, inW := range in {
+	for _, inW := range in {
 		q += inW / m
-		_ = c
 	}
 	for _, totW := range tot {
 		frac := totW / (2 * m)

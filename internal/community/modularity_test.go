@@ -82,7 +82,7 @@ func TestModularityOfExtraction(t *testing.T) {
 	clique([]string{"b1", "b2", "b3", "b4"})
 	g.AddEdgeWeight("a1", "b1", 1)
 	p := ExtractSubCommunities(g, 2)
-	if q := Modularity(g, p.Assign); q < 0.3 {
+	if q := Modularity(g, p.AssignMap()); q < 0.3 {
 		t.Errorf("extracted partition Q = %.3f, want >= 0.3", q)
 	}
 }

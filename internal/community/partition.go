@@ -7,24 +7,125 @@ import (
 
 // Partition is the result of sub-community extraction: a dense sub-community
 // id per user. Ids are in [0, Dim).
+//
+// The assignment is a flat int32 slice indexed by the dense user id of the
+// shared UserTable (-1 = not assigned); the string-keyed view of it exists
+// only at the boundaries (snapshots, metrics, tests) via AssignMap. Cloning
+// a partition for copy-on-write publication copies the assignment slice and
+// shares the table, which from then on copies itself on the first new-user
+// mint (see Graph.internUser) — so a published reader never observes the
+// writer's table growing underneath it.
 type Partition struct {
-	K             int            // requested number of sub-communities
-	Dim           int            // actual number extracted (see ExtractSubCommunities)
-	Assign        map[string]int // user → sub-community id
-	LightestIntra float64        // w: the lightest edge weight inside any sub-community (+Inf when no edges survive)
+	K             int     // requested number of sub-communities
+	Dim           int     // actual number extracted (see ExtractSubCommunities)
+	LightestIntra float64 // w: the lightest edge weight inside any sub-community (+Inf when no edges survive)
+
+	users  *UserTable
+	assign []int32 // dense user id → sub-community id; -1 = unassigned
+}
+
+// NewPartition builds a partition over an explicit user → sub-community
+// map, interning users into the given table (minting ids for unknown
+// names). It is the boundary constructor used by snapshot restore and
+// tests; extraction and maintenance construct partitions densely.
+func NewPartition(users *UserTable, k, dim int, lightest float64, assign map[string]int) *Partition {
+	p := &Partition{K: k, Dim: dim, LightestIntra: lightest, users: users}
+	names := make([]string, 0, len(assign))
+	for u := range assign {
+		names = append(names, u)
+	}
+	sort.Strings(names)
+	for _, u := range names {
+		id, ok := users.Lookup(u)
+		if !ok {
+			id = users.insert(u)
+		}
+		p.growTo(int(id) + 1)
+		p.assign[id] = int32(assign[u])
+	}
+	p.growTo(users.Len())
+	return p
+}
+
+// Users exposes the partition's intern table (shared with the graph it was
+// extracted from).
+func (p *Partition) Users() *UserTable { return p.users }
+
+// growTo extends the assignment slice to cover n user ids, filling new
+// slots with -1.
+func (p *Partition) growTo(n int) {
+	for len(p.assign) < n {
+		p.assign = append(p.assign, -1)
+	}
+}
+
+// syncTable repoints the partition at the graph's current table (which may
+// have been copy-on-write replaced by a mint) and covers any new ids. The
+// maintainer calls this after the merge step of every pass.
+func (p *Partition) syncTable(t *UserTable) {
+	p.users = t
+	p.growTo(t.Len())
 }
 
 // Lookup returns the sub-community id of a user.
 func (p *Partition) Lookup(u string) (int, bool) {
-	c, ok := p.Assign[u]
-	return c, ok
+	i, ok := p.users.Lookup(u)
+	if !ok || int(i) >= len(p.assign) || p.assign[i] < 0 {
+		return 0, false
+	}
+	return int(p.assign[i]), true
+}
+
+// lookupDense returns the sub-community of a dense user id, or -1.
+func (p *Partition) lookupDense(i uint32) int32 {
+	if int(i) >= len(p.assign) {
+		return -1
+	}
+	return p.assign[i]
+}
+
+// Len returns the number of assigned users.
+func (p *Partition) Len() int {
+	n := 0
+	for _, c := range p.assign {
+		if c >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// AssignMap materializes the user → sub-community map. It allocates; use it
+// at snapshot/metrics boundaries, not on hot paths.
+func (p *Partition) AssignMap() map[string]int {
+	out := make(map[string]int, len(p.assign))
+	for i, c := range p.assign {
+		if c >= 0 {
+			out[p.users.Name(uint32(i))] = int(c)
+		}
+	}
+	return out
+}
+
+// Clone returns a copy safe to mutate while the original keeps serving
+// frozen readers: the assignment slice is copied, the table shared and
+// marked so the next mint copies it.
+func (p *Partition) Clone() *Partition {
+	p.users.MarkShared()
+	return &Partition{
+		K:             p.K,
+		Dim:           p.Dim,
+		LightestIntra: p.LightestIntra,
+		users:         p.users,
+		assign:        append([]int32(nil), p.assign...),
+	}
 }
 
 // Sizes returns the member count per sub-community id.
 func (p *Partition) Sizes() []int {
 	sizes := make([]int, p.Dim)
-	for _, c := range p.Assign {
-		if c >= 0 && c < p.Dim {
+	for _, c := range p.assign {
+		if c >= 0 && int(c) < p.Dim {
 			sizes[c]++
 		}
 	}
@@ -67,13 +168,13 @@ func ExtractSubCommunities(g *Graph, k int) *Partition {
 	count := n
 	lightest := math.Inf(1)
 	for _, e := range edges {
-		iu := g.index[e.U]
-		iv := g.index[e.V]
-		if uf.find(iu) != uf.find(iv) {
+		iu, _ := g.users.Lookup(e.U)
+		iv, _ := g.users.Lookup(e.V)
+		if uf.find(int(iu)) != uf.find(int(iv)) {
 			if count <= k {
 				break // this edge and all lighter ones are the removed prefix
 			}
-			uf.union(iu, iv)
+			uf.union(int(iu), int(iv))
 			count--
 		}
 		if e.W < lightest {
@@ -100,8 +201,12 @@ func ExtractLiteral(g *Graph, k int) *Partition {
 	for i := range alive {
 		alive[i] = make(map[int]bool)
 	}
+	nodeOf := func(name string) int {
+		i, _ := g.users.Lookup(name)
+		return int(i)
+	}
 	for _, e := range edges {
-		iu, iv := g.index[e.U], g.index[e.V]
+		iu, iv := nodeOf(e.U), nodeOf(e.V)
 		alive[iu][iv] = true
 		alive[iv][iu] = true
 	}
@@ -119,7 +224,7 @@ func ExtractLiteral(g *Graph, k int) *Partition {
 	for uf.count < k && removed < len(edges) {
 		e := edges[removed]
 		removed++
-		iu, iv := g.index[e.U], g.index[e.V]
+		iu, iv := nodeOf(e.U), nodeOf(e.V)
 		delete(alive[iu], iv)
 		delete(alive[iv], iu)
 		uf = components()
@@ -136,22 +241,24 @@ func ExtractLiteral(g *Graph, k int) *Partition {
 // partitionFromRoots densifies union-find roots into sub-community ids,
 // numbering communities by first appearance in user insertion order.
 func partitionFromRoots(g *Graph, uf *unionFind, k int, lightest float64) *Partition {
-	assign := make(map[string]int, g.NumUsers())
-	ids := make(map[int]int)
-	for i, name := range g.Users() {
+	n := g.NumUsers()
+	assign := make([]int32, n)
+	ids := make(map[int]int32)
+	for i := 0; i < n; i++ {
 		root := uf.find(i)
 		id, ok := ids[root]
 		if !ok {
-			id = len(ids)
+			id = int32(len(ids))
 			ids[root] = id
 		}
-		assign[name] = id
+		assign[i] = id
 	}
 	return &Partition{
 		K:             k,
 		Dim:           len(ids),
-		Assign:        assign,
 		LightestIntra: lightest,
+		users:         g.users,
+		assign:        assign,
 	}
 }
 

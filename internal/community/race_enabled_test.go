@@ -1,0 +1,7 @@
+//go:build race
+
+package community
+
+// raceEnabled reports whether the race detector is instrumenting this build.
+// Race instrumentation allocates, so allocation-pinning tests skip under it.
+const raceEnabled = true

@@ -437,13 +437,14 @@ func (r *Recommender) rebuildDictionaries() {
 	s := r.state
 	s.table = hashing.NewTable(r.opts.HashBuckets, 17)
 	s.dict = nil
-	users := make([]string, 0, len(s.part.Assign))
-	for u := range s.part.Assign {
+	assign := s.part.AssignMap()
+	users := make([]string, 0, len(assign))
+	for u := range assign {
 		users = append(users, u)
 	}
 	sort.Strings(users)
 	for _, u := range users {
-		cno := s.part.Assign[u]
+		cno := assign[u]
 		s.table.Insert(u, cno)
 		s.dict = append(s.dict, dictEntry{user: u, cno: cno})
 	}

@@ -72,10 +72,7 @@ func (r *Recommender) Snapshot() *Snapshot {
 		})
 	}
 	if st.built && st.part != nil {
-		s.Assign = make(map[string]int, len(st.part.Assign))
-		for u, c := range st.part.Assign {
-			s.Assign[u] = c
-		}
+		s.Assign = st.part.AssignMap()
 		s.Dim = st.part.Dim
 		s.K = st.part.K
 		s.LightestIntra = st.part.LightestIntra
@@ -122,19 +119,12 @@ func FromSnapshot(s *Snapshot) (*Recommender, error) {
 	for _, e := range s.GraphEdges {
 		r.graph.AddEdgeWeight(e.U, e.V, e.W)
 	}
-	assign := make(map[string]int, len(s.Assign))
 	for u, c := range s.Assign {
 		if c < 0 || c >= s.Dim {
 			return nil, fmt.Errorf("core: snapshot assigns %q to invalid sub-community %d (dim %d)", u, c, s.Dim)
 		}
-		assign[u] = c
 	}
-	r.state.part = &community.Partition{
-		K:             s.K,
-		Dim:           s.Dim,
-		Assign:        assign,
-		LightestIntra: s.LightestIntra,
-	}
+	r.state.part = community.NewPartition(r.graph.UserTable(), s.K, s.Dim, s.LightestIntra, s.Assign)
 	r.installSocial()
 	return r, nil
 }

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"slices"
 	"sort"
+	"time"
 
 	"videorec/internal/community"
 	"videorec/internal/social"
@@ -9,11 +11,23 @@ import (
 
 // UpdateReport summarizes one ApplyUpdates pass: the maintenance statistics
 // of Figure 5 plus the descriptor re-vectorization work, the quantities of
-// the Equation 8 cost model.
+// the Equation 8 cost model, the maintenance wall time and the size of the
+// user-interest graph after the pass.
 type UpdateReport struct {
 	Maintenance        community.Stats
 	VideosRevectorized int
 	DimensionsTouched  int
+
+	// MaintenanceDuration is the wall time of the Figure 5 pass alone
+	// (graph merge, union/split, hook patching) — the portion the CSR
+	// rewrite targets, excluding derivation and re-vectorization.
+	MaintenanceDuration time.Duration
+
+	// Graph size after the pass: node count, undirected edge count, and the
+	// directed overlay entries not yet compacted into the CSR base.
+	GraphUsers   int
+	GraphEdges   int
+	GraphOverlay int
 }
 
 // ApplyUpdates ingests a batch of new comments (video id → new commenting
@@ -37,32 +51,176 @@ func (r *Recommender) ApplyUpdates(newComments map[string][]string) UpdateReport
 // recommender. Videos the recommender does not hold are skipped, so a shard
 // derives exactly its slice of the global edge set; SumConnections merges
 // the slices back into the edge list a whole-corpus engine would derive.
+//
+// Accumulation runs over batch-local dense ranks: every participant name is
+// ranked by its position in the batch's sorted unique name list, pairs
+// become packed uint64 keys, and one sort + run-length count replaces the
+// string-pair hash map. Rank order is name order, so the key-sorted output
+// is exactly the (U asc, V asc) edge list the map-and-sort implementation
+// produced.
 func (r *Recommender) DeriveConnections(newComments map[string][]string) []community.Edge {
 	r.state.mustBuild()
 	s := r.state
-	acc := map[[2]string]float64{}
 	vids := make([]string, 0, len(newComments))
 	for vid := range newComments {
 		vids = append(vids, vid)
 	}
 	sort.Strings(vids)
+
+	// Pass 1: resolve each video's fresh commenters (raw, deduped later on
+	// integer ranks) and prior audience, and collect the distinct
+	// participant names for ranking.
+	type group struct {
+		raw []string // fresh commenters as given (may repeat, may hold "")
+		old []string // capped audience, as stored (may repeat)
+	}
+	groups := make([]group, 0, len(vids))
+	seen := map[string]uint32{} // becomes the rank map after numbering
 	for _, vid := range vids {
 		rec := s.record(vid)
 		if rec == nil {
 			continue
 		}
-		fresh := dedupeUsers(newComments[vid])
+		raw := newComments[vid]
 		old := capAudience(rec.Desc.Users(), r.opts.UIGMaxAudience)
-		for i, u := range fresh {
-			for _, v := range old {
-				pairAdd(acc, u, v)
+		groups = append(groups, group{raw: raw, old: old})
+		for _, u := range raw {
+			if u != "" {
+				seen[u] = 0
 			}
-			for _, v := range fresh[i+1:] {
-				pairAdd(acc, u, v)
+		}
+		for _, v := range old {
+			if v != "" {
+				seen[v] = 0
 			}
 		}
 	}
-	return sortedEdges(acc)
+	uniq := make([]string, 0, len(seen))
+	for u := range seen {
+		uniq = append(uniq, u)
+	}
+	sort.Strings(uniq)
+	for i, u := range uniq {
+		seen[u] = uint32(i)
+	}
+
+	// Pass 2: accumulate one count per (fresh, old) and (fresh, fresh) pair.
+	// Each group's names resolve to ranks once — fresh commenters dedupe on
+	// their integer ranks, not on strings — so the quadratic pair emission
+	// is pure integer work. Small batches (the common case: n distinct
+	// participants with n² counts fitting in a couple of MB) accumulate into
+	// a dense n×n matrix, turning the whole derivation into increments plus
+	// one ordered sweep — no key buffer, no sort. Larger batches fall back
+	// to packed keys with one sort + run-length count. Both produce the
+	// identical (U asc, V asc) integer-weight edge list.
+	n := len(uniq)
+	const denseLimit = 724 // n² uint32 counts ≤ ~2MB
+	var counts []uint32    // dense: counts[a*n+b] for a < b
+	var keys []uint64      // fallback: packed rank pairs
+	if n <= denseLimit {
+		counts = make([]uint32, n*n)
+	}
+	var freshR, oldR []uint32
+	for _, gr := range groups {
+		freshR = freshR[:0]
+		for _, u := range gr.raw {
+			if u != "" {
+				freshR = append(freshR, seen[u])
+			}
+		}
+		slices.Sort(freshR)
+		freshR = slices.Compact(freshR)
+		oldR = oldR[:0]
+		for _, v := range gr.old {
+			if v == "" {
+				oldR = append(oldR, ^uint32(0)) // sentinel: skipped below
+			} else {
+				oldR = append(oldR, seen[v])
+			}
+		}
+		for i, ru := range freshR {
+			for _, rv := range oldR {
+				if rv == ^uint32(0) || rv == ru {
+					continue
+				}
+				if counts != nil {
+					a, b := ru, rv
+					if a > b {
+						a, b = b, a
+					}
+					counts[int(a)*n+int(b)]++
+				} else {
+					keys = append(keys, pairKey(ru, rv))
+				}
+			}
+			// freshR is sorted and distinct, so ru < rv here: the pair is
+			// already canonical.
+			for _, rv := range freshR[i+1:] {
+				if counts != nil {
+					counts[int(ru)*n+int(rv)]++
+				} else {
+					keys = append(keys, pairKey(ru, rv))
+				}
+			}
+		}
+	}
+
+	if counts != nil {
+		var edges []community.Edge
+		for a := 0; a < n; a++ {
+			row := counts[a*n : (a+1)*n]
+			for b := a + 1; b < n; b++ {
+				if c := row[b]; c != 0 {
+					edges = append(edges, community.Edge{U: uniq[a], V: uniq[b], W: float64(c)})
+				}
+			}
+		}
+		return edges
+	}
+
+	slices.Sort(keys)
+	edges := make([]community.Edge, 0, len(keys))
+	for i := 0; i < len(keys); {
+		j := i
+		for j < len(keys) && keys[j] == keys[i] {
+			j++
+		}
+		edges = append(edges, community.Edge{
+			U: uniq[keys[i]>>32],
+			V: uniq[uint32(keys[i])],
+			W: float64(j - i),
+		})
+		i = j
+	}
+	return edges
+}
+
+// rankNames sorts and dedupes the name list, returning it with a name →
+// position index. Positions are name-ordered, so sorting packed rank pairs
+// sorts by names.
+func rankNames(names []string) ([]string, map[string]uint32) {
+	sort.Strings(names)
+	w := 0
+	for i, s := range names {
+		if i > 0 && names[i-1] == s && w > 0 {
+			continue
+		}
+		names[w] = s
+		w++
+	}
+	names = names[:w]
+	rank := make(map[string]uint32, len(names))
+	for i, s := range names {
+		rank[s] = uint32(i)
+	}
+	return names, rank
+}
+
+func pairKey(a, b uint32) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(a)<<32 | uint64(b)
 }
 
 // SumConnections merges per-shard edge slices into one deterministic edge
@@ -70,36 +228,52 @@ func (r *Recommender) DeriveConnections(newComments map[string][]string) []commu
 // same user pair can share videos on different shards). Merging commutative
 // sums and re-sorting reproduces exactly the edge list DeriveConnections
 // computes over an unpartitioned corpus.
+//
+// Unlike derivation, no filtering happens here: self-loops and empty names
+// pass through unchanged (normalized to canonical orientation), and each
+// pair's weights are added in input encounter order — the merged list is
+// byte-for-byte what the string-keyed accumulator produced, floating-point
+// addition order included.
 func SumConnections(parts ...[]community.Edge) []community.Edge {
-	acc := map[[2]string]float64{}
+	total := 0
+	for _, edges := range parts {
+		total += len(edges)
+	}
+	names := make([]string, 0, 2*total)
 	for _, edges := range parts {
 		for _, e := range edges {
-			key := [2]string{e.U, e.V}
-			if key[0] > key[1] {
-				key[0], key[1] = key[1], key[0]
-			}
-			acc[key] += e.W
+			names = append(names, e.U, e.V)
 		}
 	}
-	return sortedEdges(acc)
-}
+	uniq, rank := rankNames(names)
 
-// sortedEdges flattens a pair-weight accumulator into the canonical
-// deterministic edge order (U asc, then V asc).
-func sortedEdges(acc map[[2]string]float64) []community.Edge {
-	keys := make([][2]string, 0, len(acc))
-	for k := range acc {
-		keys = append(keys, k)
+	type keyed struct {
+		key uint64
+		w   float64
 	}
-	sort.Slice(keys, func(a, b int) bool {
-		if keys[a][0] != keys[b][0] {
-			return keys[a][0] < keys[b][0]
+	items := make([]keyed, 0, total)
+	for _, edges := range parts {
+		for _, e := range edges {
+			items = append(items, keyed{key: pairKey(rank[e.U], rank[e.V]), w: e.W})
 		}
-		return keys[a][1] < keys[b][1]
-	})
-	edges := make([]community.Edge, 0, len(keys))
-	for _, k := range keys {
-		edges = append(edges, community.Edge{U: k[0], V: k[1], W: acc[k]})
+	}
+	// Stable: weights of one pair must accumulate in encounter order.
+	sort.SliceStable(items, func(a, b int) bool { return items[a].key < items[b].key })
+
+	edges := make([]community.Edge, 0, len(items))
+	for i := 0; i < len(items); {
+		j := i
+		w := 0.0
+		for j < len(items) && items[j].key == items[i].key {
+			w += items[j].w
+			j++
+		}
+		edges = append(edges, community.Edge{
+			U: uniq[items[i].key>>32],
+			V: uniq[uint32(items[i].key)],
+			W: w,
+		})
+		i = j
 	}
 	return edges
 }
@@ -124,7 +298,9 @@ func (r *Recommender) ApplyEdges(edges []community.Edge, newComments map[string]
 	// Step 2: maintenance with dimension tracking (the BuildSocial hooks
 	// record every changed dimension into r.touched).
 	r.touched = map[int]bool{}
+	maintStart := time.Now()
 	st := r.maint.ApplyConnections(edges)
+	maintDur := time.Since(maintStart)
 	touched := r.touched
 
 	// Step 3: grow descriptors and re-vectorize affected videos. Dirty
@@ -165,9 +341,13 @@ func (r *Recommender) ApplyEdges(edges []community.Edge, newComments map[string]
 		s.inv.Add(i, rec.Vec)
 	}
 	return UpdateReport{
-		Maintenance:        st,
-		VideosRevectorized: len(dirtyIdx),
-		DimensionsTouched:  len(touched),
+		Maintenance:         st,
+		VideosRevectorized:  len(dirtyIdx),
+		DimensionsTouched:   len(touched),
+		MaintenanceDuration: maintDur,
+		GraphUsers:          r.graph.NumUsers(),
+		GraphEdges:          r.graph.NumEdges(),
+		GraphOverlay:        r.graph.OverlayLen(),
 	}
 }
 
@@ -175,29 +355,12 @@ func (r *Recommender) ApplyEdges(edges []community.Edge, newComments map[string]
 // the N_ui / N_si inputs of the Equation 8 cost model.
 func (r *Recommender) VideosPerDim() []int { return r.state.VideosPerDim() }
 
-func dedupeUsers(in []string) []string {
-	out := append([]string(nil), in...)
-	sort.Strings(out)
-	w := 0
-	for _, u := range out {
-		if u == "" {
-			continue
-		}
-		if w > 0 && out[w-1] == u {
-			continue
-		}
-		out[w] = u
-		w++
+// GraphStats reports the current user-interest graph size: nodes, undirected
+// edges, and directed overlay entries awaiting CSR compaction. All zero
+// before BuildSocial.
+func (r *Recommender) GraphStats() (users, edges, overlay int) {
+	if r.graph == nil {
+		return 0, 0, 0
 	}
-	return out[:w]
-}
-
-func pairAdd(acc map[[2]string]float64, a, b string) {
-	if a == b || a == "" || b == "" {
-		return
-	}
-	if a > b {
-		a, b = b, a
-	}
-	acc[[2]string{a, b}]++
+	return r.graph.NumUsers(), r.graph.NumEdges(), r.graph.OverlayLen()
 }

@@ -145,16 +145,10 @@ func (v *View) clone() *View {
 		nv.table = v.table.Clone()
 	}
 	if v.part != nil {
-		assign := make(map[string]int, len(v.part.Assign))
-		for u, c := range v.part.Assign {
-			assign[u] = c
-		}
-		nv.part = &community.Partition{
-			K:             v.part.K,
-			Dim:           v.part.Dim,
-			Assign:        assign,
-			LightestIntra: v.part.LightestIntra,
-		}
+		// Copies the dense assignment slice and marks the shared user table
+		// so the writer's next mint copies it — the frozen reader never sees
+		// the table grow.
+		nv.part = v.part.Clone()
 	}
 	if v.look != nil {
 		// Rebind to the clone's own table/dict/partition copies.
@@ -295,10 +289,7 @@ func (v *View) lookupFunc() social.Lookup {
 			return 0, false
 		}
 	default:
-		return func(u string) (int, bool) {
-			c, ok := v.part.Assign[u]
-			return c, ok
-		}
+		return v.part.Lookup
 	}
 }
 

@@ -79,7 +79,7 @@ func (e *Env) Silhouette(sampleVideos, k int) (ours, spec float64) {
 	}
 
 	p := community.ExtractSubCommunities(g, k)
-	ours = metrics.Silhouette(users, p.Assign, dist)
+	ours = metrics.Silhouette(users, p.AssignMap(), dist)
 	spec = metrics.Silhouette(users, spectral.Cluster(g, k, e.Scale.Seed), dist)
 	return ours, spec
 }
@@ -123,10 +123,7 @@ func (e *Env) socialVectors(k int) map[string]social.Vector {
 	audiences = core.FilterAudiences(audiences, 2)
 	g := community.BuildUIG(audiences)
 	p := community.ExtractSubCommunities(g, k)
-	lookup := func(u string) (int, bool) {
-		c, ok := p.Assign[u]
-		return c, ok
-	}
+	lookup := p.Lookup
 	vecs := make(map[string]social.Vector, len(e.Col.Items))
 	for _, it := range e.Col.Items {
 		vecs[it.ID] = social.Vectorize(e.Descs[it.ID], lookup, p.Dim)

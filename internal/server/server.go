@@ -154,6 +154,10 @@ type Server struct {
 	brownout atomic.Int64 // admitted requests deliberately browned out
 	degraded atomic.Int64 // queries answered with the coarse ranking
 	panics   atomic.Int64 // handler panics recovered
+
+	// lastUpdate is the summary of the most recent successful POST /updates
+	// batch; /stats surfaces its maintenance wall time and graph counters.
+	lastUpdate atomic.Pointer[videorec.UpdateSummary]
 }
 
 // New wraps the engine with default (disabled) resilience settings.
@@ -421,6 +425,7 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 		httpError(w, statusFor(err), err)
 		return
 	}
+	s.lastUpdate.Store(&sum)
 	writeJSON(w, sum)
 }
 
@@ -499,6 +504,12 @@ type batchDispatchReporter interface {
 	BatchDispatches() []uint64
 }
 
+// graphReporter is the optional user-interest-graph size surface; both the
+// single engine and the router implement it.
+type graphReporter interface {
+	GraphStats() (users, edges, overlay int)
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	hits, misses, size := s.cache.stats()
 	_, _, journalBase, journalSeq := s.eng.JournalStatus()
@@ -548,6 +559,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if flushes > 0 {
 		avgBatch = float64(batched) / float64(flushes)
 	}
+	var graphUsers, graphEdges, graphOverlay int
+	if gr, ok := s.eng.(graphReporter); ok {
+		graphUsers, graphEdges, graphOverlay = gr.GraphStats()
+	}
+	var lastMaintMs float64
+	if lu := s.lastUpdate.Load(); lu != nil {
+		lastMaintMs = float64(lu.MaintenanceDuration) / float64(time.Millisecond)
+	}
 	ov := s.ctl.Snapshot()
 	writeJSON(w, map[string]any{
 		// Aggregates. viewVersion is the backend's fingerprint: a single
@@ -592,6 +611,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"shardFailTotal":   shardFail,
 		"breakerOpenTotal": breakerOpen,
 		"quorumLostTotal":  quorumLost,
+		// User-interest graph size (identical on every shard) and the
+		// maintenance wall time of the last POST /updates batch.
+		"graphUsers":        graphUsers,
+		"graphEdges":        graphEdges,
+		"graphOverlay":      graphOverlay,
+		"lastMaintenanceMs": lastMaintMs,
 	})
 }
 

@@ -164,6 +164,9 @@ func TestUpdatesEndpoint(t *testing.T) {
 	if sum.NewConnections == 0 {
 		t.Error("no connections derived")
 	}
+	if sum.GraphUsers == 0 || sum.GraphEdges == 0 {
+		t.Errorf("graph counters missing from summary: users=%d edges=%d", sum.GraphUsers, sum.GraphEdges)
+	}
 	// Bad body → 400.
 	if resp := post(t, ts.URL+"/updates", []byte("nope")); resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("bad updates body: status %d", resp.StatusCode)
@@ -197,15 +200,24 @@ func TestStatsEndpoint(t *testing.T) {
 	if _, err := http.Get(ts.URL + "/recommend?id=clip-1&k=2"); err != nil {
 		t.Fatal(err)
 	}
+	// An update batch so /stats has a last-maintenance time to report.
+	body, _ := json.Marshal(map[string][]string{"clip-0": {"statfan1", "statfan2", "ann"}})
+	if resp := post(t, ts.URL+"/updates", body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("updates status %d", resp.StatusCode)
+	}
 	resp, err := http.Get(ts.URL + "/stats")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
 	var stats struct {
-		Videos         int   `json:"videos"`
-		SubCommunities int   `json:"subCommunities"`
-		QueriesServed  int64 `json:"queriesServed"`
+		Videos            int     `json:"videos"`
+		SubCommunities    int     `json:"subCommunities"`
+		QueriesServed     int64   `json:"queriesServed"`
+		GraphUsers        int     `json:"graphUsers"`
+		GraphEdges        int     `json:"graphEdges"`
+		GraphOverlay      int     `json:"graphOverlay"`
+		LastMaintenanceMs float64 `json:"lastMaintenanceMs"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
 		t.Fatal(err)
@@ -215,6 +227,15 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 	if stats.QueriesServed != 1 {
 		t.Errorf("queriesServed = %d, want 1", stats.QueriesServed)
+	}
+	if stats.GraphUsers == 0 || stats.GraphEdges == 0 {
+		t.Errorf("graph size missing from stats: users=%d edges=%d", stats.GraphUsers, stats.GraphEdges)
+	}
+	if stats.GraphOverlay < 0 {
+		t.Errorf("graphOverlay = %d, want >= 0", stats.GraphOverlay)
+	}
+	if stats.LastMaintenanceMs <= 0 {
+		t.Errorf("lastMaintenanceMs = %v, want > 0", stats.LastMaintenanceMs)
 	}
 }
 

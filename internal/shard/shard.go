@@ -332,6 +332,12 @@ func (r *Router) SubCommunities() int {
 	return r.set().engines[0].SubCommunities()
 }
 
+// GraphStats reports the user-interest graph size. Every shard maintains an
+// identical replicated graph copy, so the first shard speaks for all.
+func (r *Router) GraphStats() (users, edges, overlay int) {
+	return r.set().engines[0].GraphStats()
+}
+
 // AppliedSeq returns the highest journal cursor across shards. Per-shard
 // cursors advance independently (a batch touching no video of a shard whose
 // edge list is also empty does not claim a sequence there); the maximum is
@@ -826,10 +832,17 @@ func (r *Router) ApplyUpdates(newComments map[string][]string) (videorec.UpdateS
 			return videorec.UpdateSummary{}, err
 		}
 	}
+	// Graph sizes and maintenance stats are identical on every shard (same
+	// edges, same graph copy), so sums[0] already carries them; the shards
+	// maintain in parallel, so the batch's maintenance cost is the slowest
+	// shard's, and re-vectorization counts sum.
 	out := sums[0]
 	out.VideosRevectorized = 0
 	for _, sum := range sums {
 		out.VideosRevectorized += sum.VideosRevectorized
+		if sum.MaintenanceDuration > out.MaintenanceDuration {
+			out.MaintenanceDuration = sum.MaintenanceDuration
+		}
 	}
 	return out, nil
 }

@@ -56,18 +56,46 @@ func (d Descriptor) Contains(user string) bool {
 }
 
 // Add returns a descriptor extended with the given users (the original is
-// unchanged). It is used when new comments arrive on a video. The merged
-// slice is built exactly once — no intermediate copy feeding a second
-// constructor copy.
+// unchanged). It is used when new comments arrive on a video. Only the
+// incoming users are sorted; the existing members — already sorted — join
+// them through a linear merge, so growing a large descriptor by a few
+// commenters costs O(new·log new + len) rather than re-sorting everything.
 func (d Descriptor) Add(users ...string) Descriptor {
-	merged := make([]string, 0, len(d.users)+len(users))
-	merged = append(merged, d.users...)
+	add := make([]string, 0, len(users))
 	for _, u := range users {
 		if u != "" {
-			merged = append(merged, u)
+			add = append(add, u)
 		}
 	}
-	return fromUnsorted(merged)
+	sort.Strings(add)
+	w := 0
+	for i, u := range add {
+		if i == 0 || u != add[i-1] {
+			add[w] = u
+			w++
+		}
+	}
+	add = add[:w]
+
+	merged := make([]string, 0, len(d.users)+len(add))
+	i, j := 0, 0
+	for i < len(d.users) && j < len(add) {
+		switch {
+		case d.users[i] == add[j]:
+			merged = append(merged, d.users[i])
+			i++
+			j++
+		case d.users[i] < add[j]:
+			merged = append(merged, d.users[i])
+			i++
+		default:
+			merged = append(merged, add[j])
+			j++
+		}
+	}
+	merged = append(merged, d.users[i:]...)
+	merged = append(merged, add[j:]...)
+	return Descriptor{users: merged}
 }
 
 // Jaccard is Equation 5: |D_V ∩ D_Q| / |D_V ∪ D_Q|, computed by a linear

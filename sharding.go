@@ -148,13 +148,7 @@ func (e *Engine) ApplyConnections(edges []community.Edge, localComments map[stri
 	}
 	rep := e.rec.ApplyEdges(edges, localComments)
 	e.publishLocked()
-	return UpdateSummary{
-		NewConnections:     rep.Maintenance.NewConnections,
-		Unions:             rep.Maintenance.Unions,
-		Splits:             rep.Maintenance.Splits,
-		UsersMoved:         rep.Maintenance.UsersMoved,
-		VideosRevectorized: rep.VideosRevectorized,
-	}, nil
+	return summaryFromReport(rep), nil
 }
 
 // ApplyReplicatedEntry is ApplyReplicated for shard-journal entries: a

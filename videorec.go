@@ -151,6 +151,32 @@ type UpdateSummary struct {
 	Splits             int
 	UsersMoved         int
 	VideosRevectorized int
+
+	// MaintenanceDuration is the wall time spent inside sub-community
+	// maintenance (graph merge, union/split, dictionary patching) for this
+	// batch, excluding edge derivation and re-vectorization.
+	MaintenanceDuration time.Duration
+
+	// User-interest graph size after the pass: nodes, undirected edges, and
+	// directed overlay entries awaiting CSR compaction.
+	GraphUsers   int
+	GraphEdges   int
+	GraphOverlay int
+}
+
+// summaryFromReport lifts a core update report into the public summary.
+func summaryFromReport(rep core.UpdateReport) UpdateSummary {
+	return UpdateSummary{
+		NewConnections:      rep.Maintenance.NewConnections,
+		Unions:              rep.Maintenance.Unions,
+		Splits:              rep.Maintenance.Splits,
+		UsersMoved:          rep.Maintenance.UsersMoved,
+		VideosRevectorized:  rep.VideosRevectorized,
+		MaintenanceDuration: rep.MaintenanceDuration,
+		GraphUsers:          rep.GraphUsers,
+		GraphEdges:          rep.GraphEdges,
+		GraphOverlay:        rep.GraphOverlay,
+	}
 }
 
 // Engine is the recommender. All methods are safe for concurrent use.
@@ -402,13 +428,16 @@ func (e *Engine) ApplyUpdates(newComments map[string][]string) (UpdateSummary, e
 	}
 	rep := e.rec.ApplyUpdates(newComments)
 	e.publishLocked()
-	return UpdateSummary{
-		NewConnections:     rep.Maintenance.NewConnections,
-		Unions:             rep.Maintenance.Unions,
-		Splits:             rep.Maintenance.Splits,
-		UsersMoved:         rep.Maintenance.UsersMoved,
-		VideosRevectorized: rep.VideosRevectorized,
-	}, nil
+	return summaryFromReport(rep), nil
+}
+
+// GraphStats reports the current user-interest graph size: nodes, undirected
+// edges, and directed overlay entries awaiting CSR compaction. It reads the
+// write-side graph under the writer lock; all zero before Build.
+func (e *Engine) GraphStats() (users, edges, overlay int) {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	return e.rec.GraphStats()
 }
 
 // Built reports whether the currently published view has its social
